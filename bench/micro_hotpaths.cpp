@@ -1,0 +1,102 @@
+// google-benchmark micro-benchmarks for the hot paths every protocol shares:
+// PacketBB encode/parse, Framework-Manager event routing, MPR selection and
+// OLSR route calculation. These quantify the per-operation cost behind
+// Table 1's Time-to-Process-Message numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/manetkit.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "protocols/hello_codec.hpp"
+#include "protocols/mpr/mpr_calculator.hpp"
+#include "protocols/olsr/olsr_cf.hpp"
+#include "util/scheduler.hpp"
+
+namespace mk {
+namespace {
+
+pbb::Message make_tc(std::size_t advertised) {
+  std::set<net::Addr> sel;
+  for (std::size_t i = 0; i < advertised; ++i) {
+    sel.insert(net::addr_for_index(static_cast<std::uint32_t>(i + 1)));
+  }
+  return proto::tc::build(net::addr_for_index(0), 17, 3, sel);
+}
+
+void BM_PacketBBSerialize(benchmark::State& state) {
+  pbb::Packet pkt;
+  pkt.messages.push_back(make_tc(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbb::serialize(pkt));
+  }
+}
+BENCHMARK(BM_PacketBBSerialize)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PacketBBParse(benchmark::State& state) {
+  pbb::Packet pkt;
+  pkt.messages.push_back(make_tc(static_cast<std::size_t>(state.range(0))));
+  auto bytes = pbb::serialize(pkt);
+  for (auto _ : state) {
+    auto parsed = pbb::parse(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_PacketBBParse)->Arg(2)->Arg(8)->Arg(32);
+
+class NullHandler final : public core::EventHandler {
+ public:
+  NullHandler() : core::EventHandler("bench.NullHandler", {"BENCH"}) {}
+  void handle(const ev::Event& event, core::ProtocolContext&) override {
+    benchmark::DoNotOptimize(event.type());
+  }
+};
+
+void BM_EventRouting(benchmark::State& state) {
+  SimScheduler sched;
+  net::SimMedium medium(sched);
+  net::SimNode node(0, medium, sched);
+  core::Manetkit kit(node);
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string name = "p" + std::to_string(i);
+    kit.register_protocol(name, 20, [](core::Manetkit& k) {
+      auto cf = std::make_unique<core::ManetProtocolCf>(
+          k.kernel(), "p", k.scheduler(), k.self(), &k.system().sys_state());
+      cf->add_handler(std::make_unique<NullHandler>());
+      cf->declare_events({"BENCH"}, {});
+      return cf;
+    });
+    kit.deploy(name);
+  }
+  ev::Event e(ev::etype("BENCH"));
+  for (auto _ : state) {
+    kit.system().emit(e);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventRouting)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_MprSelection(benchmark::State& state) {
+  // A dense neighbourhood: n neighbours, each covering a slice of 2n
+  // two-hop nodes.
+  auto n = static_cast<std::uint32_t>(state.range(0));
+  proto::MprState st;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    net::Addr nb = net::addr_for_index(i);
+    st.note_heard(nb, TimePoint{0});
+    st.set_symmetric(nb, true);
+    std::set<net::Addr> two_hop;
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      two_hop.insert(net::addr_for_index(100 + ((i * 3 + j) % (2 * n))));
+    }
+    st.set_two_hop(nb, std::move(two_hop));
+  }
+  proto::MprCalculator calc;
+  net::Addr self = net::addr_for_index(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.compute(st, self));
+  }
+}
+BENCHMARK(BM_MprSelection)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace mk

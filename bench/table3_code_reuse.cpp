@@ -1,0 +1,68 @@
+// Table 3 + Fig. 7 reproduction: reused generic components in MANET
+// protocol compositions, and the proportion of reusable code per protocol.
+//
+// Table 3 lists each generic component with its lines of code and which
+// protocols use it, plus counts of reused vs protocol-specific components.
+// Fig. 7's two series (protocol-specific LoC vs reused LoC per protocol) are
+// printed below, with the reuse percentage (paper: 57% OLSR, 66% DYMO).
+#include <cstdio>
+
+#include "testbed/loc_counter.hpp"
+
+int main() {
+  using namespace mk::testbed;
+
+  std::string root = find_repo_root(".");
+  auto entries = manifest();
+  count_manifest(entries, root);
+
+  std::printf("Table 3: Reused generic components in MANET protocol "
+              "compositions\n(repo root: %s)\n\n", root.c_str());
+  std::printf("%-44s %10s %6s %6s %6s\n", "Component", "LoC", "OLSR", "DYMO",
+              "AODV");
+  std::printf("%-44s %10s %6s %6s %6s\n", "--- reused generic ---", "", "", "",
+              "");
+  for (const auto& e : entries) {
+    if (!e.generic) continue;
+    std::printf("%-44s %10zu %6s %6s %6s\n", e.name.c_str(), e.loc,
+                e.used_by.count("OLSR") ? "X" : "",
+                e.used_by.count("DYMO") ? "X" : "",
+                e.used_by.count("AODV") ? "X" : "");
+  }
+  std::printf("%-44s %10s %6s %6s %6s\n", "--- protocol-specific ---", "", "",
+              "", "");
+  for (const auto& e : entries) {
+    if (e.generic) continue;
+    std::printf("%-44s %10zu %6s %6s %6s\n", e.name.c_str(), e.loc,
+                e.used_by.count("OLSR") ? "X" : "",
+                e.used_by.count("DYMO") ? "X" : "",
+                e.used_by.count("AODV") ? "X" : "");
+  }
+
+  std::printf("\n%-28s %8s %8s %8s\n", "", "OLSR", "DYMO", "AODV");
+  ReuseSummary olsr = summarize(entries, "OLSR");
+  ReuseSummary dymo = summarize(entries, "DYMO");
+  ReuseSummary aodv = summarize(entries, "AODV");
+  std::printf("%-28s %8zu %8zu %8zu\n", "Reused generic components",
+              olsr.reused_components, dymo.reused_components,
+              aodv.reused_components);
+  std::printf("%-28s %8zu %8zu %8zu\n", "Protocol-specific components",
+              olsr.specific_components, dymo.specific_components,
+              aodv.specific_components);
+
+  std::printf("\nFig. 7: proportion of reusable code in each protocol\n\n");
+  std::printf("%-10s %14s %14s %10s\n", "Protocol", "Reused LoC",
+              "Specific LoC", "Reused %");
+  for (auto [name, s] :
+       {std::pair<const char*, ReuseSummary>{"OLSR", olsr},
+        {"DYMO", dymo},
+        {"AODV", aodv}}) {
+    std::printf("%-10s %14zu %14zu %9.0f%%\n", name, s.reused_loc,
+                s.specific_loc, 100.0 * s.reused_fraction());
+  }
+
+  std::printf(
+      "\nPaper reported: generic components outnumber specific ones >=2x for\n"
+      "both protocols; reused proportion 57%% (OLSR) and 66%% (DYMO).\n");
+  return 0;
+}

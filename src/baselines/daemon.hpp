@@ -1,0 +1,30 @@
+// Common surface of the monolithic comparator implementations (the paper's
+// Unik-olsrd and DYMOUM-0.3 stand-ins). They are deliberately *not* built on
+// MANETKit: no component model, no event bus, their own packet codecs —
+// classic single-translation-unit routing daemons attached straight to a
+// SimNode. Differences measured against the MANETKit implementations
+// therefore isolate framework overhead (Tables 1 and 2).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace mk::baseline {
+
+class RoutingDaemon {
+ public:
+  virtual ~RoutingDaemon() = default;
+
+  virtual void start() = 0;
+  virtual void stop() = 0;
+  virtual const std::string& name() const = 0;
+
+  /// Table 1 instrumentation: wall-clock per-message processing time, keyed
+  /// by message kind ("HELLO", "TC", "RM", ...).
+  virtual void enable_profiling(bool on) = 0;
+  virtual const std::map<std::string, Samples>& processing_times() const = 0;
+};
+
+}  // namespace mk::baseline

@@ -1,0 +1,30 @@
+// Shared attribute keys used on Events by the built-in CFs and protocols.
+#pragma once
+
+#include <string>
+
+namespace mk::core::attrs {
+
+/// On *_OUT events: unicast link-level destination; absent = broadcast.
+inline const std::string kUnicastTo = "unicast_to";
+
+/// Destination address a route refers to (NO_ROUTE, ROUTE_FOUND, ...).
+inline const std::string kDest = "dest";
+
+/// Source address of the data packet that triggered the event.
+inline const std::string kSrc = "src";
+
+/// Next hop involved (SEND_ROUTE_ERR: the broken next hop).
+inline const std::string kNextHop = "next_hop";
+
+/// POWER_STATUS: battery level in [0,1].
+inline const std::string kBattery = "battery";
+
+/// NHOOD_CHANGE: the neighbour address affected and whether it is now up.
+inline const std::string kNeighbor = "neighbor";
+inline const std::string kUp = "up";
+
+/// LINK_QUALITY: neighbour address + quality estimate in [0,1].
+inline const std::string kQuality = "quality";
+
+}  // namespace mk::core::attrs

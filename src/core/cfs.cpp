@@ -1,0 +1,5 @@
+#include "core/cfs.hpp"
+
+// ProtocolContext and EventHandler member definitions live in
+// manet_protocol.cpp (they need the full ManetProtocolCf type). This TU
+// exists so the header has a home in the build graph.

@@ -1,0 +1,112 @@
+// The CFS (Control–Forward–State) pattern building blocks (§3, Fig. 1):
+//
+//  * CfsUnit          — what the Framework Manager composes: anything with an
+//                       event tuple and a deliver() entry point (ManetProtocol
+//                       CF instances and the System CF).
+//  * EventHandler     — plug-in processing logic of a protocol's C element;
+//                       handlers run atomically (inside the owning CF's
+//                       critical section) and may emit further events.
+//  * EventSource      — timer-driven emitters (HELLO generation, TC
+//                       diffusion, expiry sweeps).
+//  * ProtocolContext  — the services handlers/sources reach: event emission,
+//                       the scheduler, the System CF's S element, and the
+//                       protocol's own S element.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ifaces.hpp"
+#include "events/event.hpp"
+#include "opencom/component.hpp"
+#include "util/scheduler.hpp"
+
+namespace mk::core {
+
+class CfsUnit {
+ public:
+  virtual ~CfsUnit() = default;
+
+  virtual const std::string& unit_name() const = 0;
+
+  /// Protocol category ("reactive", "proactive", ...) used by
+  /// deployment-level integrity rules; empty for utility units.
+  virtual std::string_view category() const { return {}; }
+
+  /// The declarative <required-events, provided-events> contract.
+  virtual const ev::EventTuple& tuple() const = 0;
+
+  /// Delivers an event into the unit (runs its handlers / forwarding).
+  virtual void deliver(const ev::Event& event) = 0;
+};
+
+class ManetProtocolCf;
+
+/// Execution context handed to handlers and sources.
+class ProtocolContext {
+ public:
+  ProtocolContext(ManetProtocolCf& proto, Scheduler& sched, net::Addr self,
+                  ISysState* sys)
+      : proto_(proto), sched_(sched), self_(self), sys_(sys) {}
+
+  /// Emits an event from the owning protocol; it is routed by the Framework
+  /// Manager per the current event-tuple bindings.
+  void emit(ev::Event event);
+
+  Scheduler& scheduler() { return sched_; }
+  TimePoint now() const { return sched_.now(); }
+
+  /// This node's address.
+  net::Addr self() const { return self_; }
+
+  /// The System CF's S element (kernel routes, devices). May be null in
+  /// handler unit tests.
+  ISysState* sys() { return sys_; }
+
+  /// The owning protocol's S element (null if none installed).
+  oc::Component* state();
+
+  /// Typed access to the protocol's S element interface.
+  template <typename T>
+  T* state_as(std::string_view iface) {
+    oc::Component* s = state();
+    return s == nullptr ? nullptr : s->interface_as<T>(iface);
+  }
+
+  ManetProtocolCf& protocol() { return proto_; }
+
+ private:
+  ManetProtocolCf& proto_;
+  Scheduler& sched_;
+  net::Addr self_;
+  ISysState* sys_;
+};
+
+/// Plug-in event-processing component (the protocol logic lives here).
+class EventHandler : public oc::Component {
+ public:
+  EventHandler(std::string type_name, const std::vector<std::string>& handled);
+
+  const std::set<ev::EventTypeId>& handles() const { return handles_; }
+
+  /// Processes one event. Guaranteed atomic w.r.t. other handlers of the
+  /// same protocol and w.r.t. reconfiguration.
+  virtual void handle(const ev::Event& event, ProtocolContext& ctx) = 0;
+
+ protected:
+  std::set<ev::EventTypeId> handles_;
+};
+
+/// Plug-in event source, typically driven by a PeriodicTimer.
+class EventSource : public oc::Component {
+ public:
+  explicit EventSource(std::string type_name)
+      : oc::Component(std::move(type_name)) {}
+
+  virtual void start(ProtocolContext& ctx) = 0;
+  virtual void stop() = 0;
+};
+
+}  // namespace mk::core

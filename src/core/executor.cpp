@@ -1,0 +1,84 @@
+#include "core/executor.hpp"
+
+#include "core/cfs.hpp"
+#include "util/assert.hpp"
+
+namespace mk::core {
+
+void InlineExecutor::dispatch(CfsUnit& target, ev::Event event) {
+  target.deliver(event);
+}
+
+PoolExecutor::PoolExecutor(std::size_t threads, std::size_t batch)
+    : batch_(batch), pool_(threads) {
+  MK_ASSERT(batch_ >= 1);
+}
+
+PoolExecutor::~PoolExecutor() { drain(); }
+
+void PoolExecutor::dispatch(CfsUnit& target, ev::Event event) {
+  std::scoped_lock lock(mutex_);
+  buffer_.push_back(Pending{&target, std::move(event)});
+  if (buffer_.size() >= batch_) flush_locked();
+}
+
+void PoolExecutor::flush_locked() {
+  if (buffer_.empty()) return;
+  auto work = std::make_shared<std::vector<Pending>>(std::move(buffer_));
+  buffer_.clear();
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.submit([this, work] {
+    for (auto& p : *work) {
+      p.target->deliver(p.event);
+    }
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::scoped_lock lk(idle_mutex_);
+      idle_cv_.notify_all();
+    }
+  });
+}
+
+void PoolExecutor::drain() {
+  {
+    std::scoped_lock lock(mutex_);
+    flush_locked();
+  }
+  std::unique_lock lk(idle_mutex_);
+  idle_cv_.wait(lk, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+DedicatedQueue::DedicatedQueue(CfsUnit& unit)
+    : unit_(unit), thread_([this] { run(); }) {}
+
+DedicatedQueue::~DedicatedQueue() {
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DedicatedQueue::enqueue(ev::Event event) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.push(std::move(event))) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void DedicatedQueue::drain() {
+  std::unique_lock lk(idle_mutex_);
+  idle_cv_.wait(lk, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void DedicatedQueue::run() {
+  while (auto event = queue_.pop()) {
+    unit_.deliver(*event);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::scoped_lock lk(idle_mutex_);
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mk::core

@@ -1,0 +1,101 @@
+// MANETKit's pluggable concurrency models (§4.4).
+//
+// The models apply to events originating from *below* (the System CF); calls
+// from above may always be multi-threaded. Whatever the model, a protocol's
+// handlers run as a single critical section (the CF lock), so they execute
+// atomically.
+//
+//  * kSingleThreaded      — one shepherding thread (in simulation: the sim
+//                           thread) calls each interested unit in turn.
+//  * kThreadPerMessage    — a worker (from a bounded pool) shepherds each
+//                           event up the graph; one worker per (event,
+//                           target).
+//  * kThreadPerNMessages  — like thread-per-message but batches N events per
+//                           worker dispatch (the paper's midway point).
+//  * kThreadPerProtocol   — selected per-ManetProtocol: the instance owns a
+//                           dedicated FIFO and thread; dispatch enqueues and
+//                           returns immediately.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "events/event.hpp"
+#include "util/queue.hpp"
+#include "util/threadpool.hpp"
+
+namespace mk::core {
+
+class CfsUnit;
+
+enum class ConcurrencyModel {
+  kSingleThreaded,
+  kThreadPerMessage,
+  kThreadPerNMessages,
+};
+
+/// Dispatch strategy for delivering events from below.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void dispatch(CfsUnit& target, ev::Event event) = 0;
+  /// Blocks until previously dispatched events have been processed.
+  virtual void drain() {}
+};
+
+/// Single-threaded: deliver inline on the calling thread.
+class InlineExecutor final : public Executor {
+ public:
+  void dispatch(CfsUnit& target, ev::Event event) override;
+};
+
+/// Thread-per-message (optionally batching N messages per task). A bounded
+/// pool supplies the threads; FIFO submission order is preserved by the
+/// pool's single queue.
+class PoolExecutor final : public Executor {
+ public:
+  explicit PoolExecutor(std::size_t threads, std::size_t batch = 1);
+  ~PoolExecutor() override;
+
+  void dispatch(CfsUnit& target, ev::Event event) override;
+  void drain() override;
+
+ private:
+  struct Pending {
+    CfsUnit* target;
+    ev::Event event;
+  };
+
+  void flush_locked();
+
+  std::size_t batch_;
+  std::mutex mutex_;
+  std::vector<Pending> buffer_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::condition_variable idle_cv_;
+  std::mutex idle_mutex_;
+  ThreadPool pool_;
+};
+
+/// Dedicated FIFO + thread for one protocol (thread-per-ManetProtocol).
+class DedicatedQueue {
+ public:
+  explicit DedicatedQueue(CfsUnit& unit);
+  ~DedicatedQueue();
+
+  void enqueue(ev::Event event);
+  /// Blocks until the queue has been drained and the worker is idle.
+  void drain();
+
+ private:
+  void run();
+
+  CfsUnit& unit_;
+  BlockingQueue<ev::Event> queue_;
+  std::atomic<std::size_t> pending_{0};
+  std::condition_variable idle_cv_;
+  std::mutex idle_mutex_;
+  std::thread thread_;
+};
+
+}  // namespace mk::core

@@ -1,0 +1,214 @@
+#include "core/framework_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/manet_protocol.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::core {
+
+FrameworkManager::FrameworkManager(oc::Kernel& kernel)
+    : oc::ComponentFramework(kernel, "core.FrameworkManager"),
+      executor_(std::make_unique<InlineExecutor>()) {}
+
+FrameworkManager::~FrameworkManager() = default;
+
+void FrameworkManager::check_unit_rules(
+    const std::vector<CfsUnit*>& hypothetical) const {
+  for (const auto& rule : unit_rules_) {
+    std::string err;
+    if (!rule(hypothetical, err)) {
+      throw std::logic_error("deployment rule violated: " +
+                             (err.empty() ? "(no detail)" : err));
+    }
+  }
+}
+
+void FrameworkManager::register_unit(CfsUnit* unit, int layer) {
+  MK_ASSERT(unit != nullptr);
+  auto lock = quiesce();
+  MK_ENSURE(!is_registered(unit), "unit already registered: " + unit->unit_name());
+
+  std::vector<CfsUnit*> hypothetical;
+  for (const auto& r : registrations_) hypothetical.push_back(r.unit);
+  hypothetical.push_back(unit);
+  check_unit_rules(hypothetical);
+
+  registrations_.push_back(Registration{unit, layer, next_seq_++});
+  if (auto* proto = dynamic_cast<ManetProtocolCf*>(unit)) {
+    proto->set_manager(this);
+  }
+  rebind();
+}
+
+void FrameworkManager::deregister_unit(CfsUnit* unit) {
+  auto lock = quiesce();
+  auto it = std::find_if(registrations_.begin(), registrations_.end(),
+                         [&](const Registration& r) { return r.unit == unit; });
+  if (it == registrations_.end()) return;
+  registrations_.erase(it);
+  if (auto* proto = dynamic_cast<ManetProtocolCf*>(unit)) {
+    proto->set_manager(nullptr);
+  }
+  rebind();
+}
+
+std::vector<CfsUnit*> FrameworkManager::units() const {
+  auto lock = quiesce();
+  std::vector<CfsUnit*> out;
+  out.reserve(registrations_.size());
+  for (const auto& r : registrations_) out.push_back(r.unit);
+  return out;
+}
+
+bool FrameworkManager::is_registered(const CfsUnit* unit) const {
+  auto lock = quiesce();
+  return std::any_of(registrations_.begin(), registrations_.end(),
+                     [&](const Registration& r) { return r.unit == unit; });
+}
+
+void FrameworkManager::add_unit_rule(UnitRule rule) {
+  MK_ASSERT(rule != nullptr);
+  auto lock = quiesce();
+  unit_rules_.push_back(std::move(rule));
+}
+
+void FrameworkManager::rebind() {
+  auto lock = quiesce();
+  routes_.clear();
+
+  // Collect every event type any unit requires or provides.
+  std::vector<ev::EventTypeId> all_types;
+  for (const auto& r : registrations_) {
+    const auto& t = r.unit->tuple();
+    for (auto id : t.required) all_types.push_back(id);
+    for (auto id : t.provided) all_types.push_back(id);
+  }
+  std::sort(all_types.begin(), all_types.end());
+  all_types.erase(std::unique(all_types.begin(), all_types.end()),
+                  all_types.end());
+
+  for (ev::EventTypeId type : all_types) {
+    Route route;
+    for (const auto& r : registrations_) {
+      const auto& t = r.unit->tuple();
+      bool req = t.requires_type(type);
+      bool prov = t.provides(type);
+      if (req && prov) {
+        route.interposers.push_back(r);
+      } else if (req) {
+        route.consumers.push_back(r);
+        if (t.exclusive.count(type) > 0 && route.exclusive == nullptr) {
+          route.exclusive = r.unit;
+        }
+      }
+    }
+    // Interposer chain: descending layer; registration order as tiebreak so
+    // later-inserted variants (e.g. fish-eye) slot deterministically.
+    std::sort(route.interposers.begin(), route.interposers.end(),
+              [](const Registration& a, const Registration& b) {
+                if (a.layer != b.layer) return a.layer > b.layer;
+                return a.seq < b.seq;
+              });
+    routes_.emplace(type, std::move(route));
+  }
+}
+
+void FrameworkManager::route(CfsUnit* emitter, ev::Event event) {
+  std::vector<CfsUnit*> targets;
+  {
+    auto lock = quiesce();
+    ++events_routed_;
+    auto it = routes_.find(event.type());
+    if (it != routes_.end()) {
+      const Route& r = it->second;
+
+      // Position of the emitter in the interposer chain: events always flow
+      // *down* the chain (to interposers at strictly lower layers than the
+      // emitter), which both orders interpositions and prevents loops.
+      int emitter_layer = std::numeric_limits<int>::max();
+      for (const auto& reg : registrations_) {
+        if (reg.unit == emitter) {
+          emitter_layer = reg.layer;
+          break;
+        }
+      }
+      const Registration* next = nullptr;
+      for (const auto& interposer : r.interposers) {
+        if (interposer.unit == emitter) continue;
+        if (interposer.layer < emitter_layer) {
+          next = &interposer;
+          break;
+        }
+      }
+      if (next != nullptr) {
+        targets.push_back(next->unit);
+      } else if (r.exclusive != nullptr) {
+        if (r.exclusive != emitter) targets.push_back(r.exclusive);
+      } else {
+        for (const auto& c : r.consumers) {
+          if (c.unit != emitter) targets.push_back(c.unit);
+        }
+      }
+    }
+    // Context concentrator: subscribers see every routed event of the type.
+    auto range = subscribers_.equal_range(event.type());
+    for (auto sit = range.first; sit != range.second; ++sit) {
+      sit->second(event);
+    }
+  }
+
+  for (CfsUnit* target : targets) {
+    dispatch(*target, event);
+  }
+}
+
+void FrameworkManager::dispatch(CfsUnit& target, ev::Event event) {
+  // Thread-per-ManetProtocol takes precedence over the global model: the
+  // instance's dedicated FIFO decouples it from the shepherding thread.
+  if (auto* proto = dynamic_cast<ManetProtocolCf*>(&target)) {
+    if (auto* queue = proto->dedicated()) {
+      queue->enqueue(std::move(event));
+      return;
+    }
+  }
+  executor_->dispatch(target, std::move(event));
+}
+
+void FrameworkManager::set_concurrency(ConcurrencyModel model,
+                                       std::size_t threads, std::size_t batch) {
+  drain();
+  auto lock = quiesce();
+  model_ = model;
+  switch (model) {
+    case ConcurrencyModel::kSingleThreaded:
+      executor_ = std::make_unique<InlineExecutor>();
+      break;
+    case ConcurrencyModel::kThreadPerMessage:
+      executor_ = std::make_unique<PoolExecutor>(threads, 1);
+      break;
+    case ConcurrencyModel::kThreadPerNMessages:
+      executor_ = std::make_unique<PoolExecutor>(threads, batch);
+      break;
+  }
+}
+
+void FrameworkManager::drain() {
+  if (executor_ != nullptr) executor_->drain();
+  for (const auto& r : registrations_) {
+    if (auto* proto = dynamic_cast<ManetProtocolCf*>(r.unit)) {
+      if (auto* queue = proto->dedicated()) queue->drain();
+    }
+  }
+}
+
+void FrameworkManager::subscribe(const std::string& event_name, Subscriber fn) {
+  MK_ASSERT(fn != nullptr);
+  auto lock = quiesce();
+  subscribers_.emplace(ev::etype(event_name), std::move(fn));
+}
+
+}  // namespace mk::core

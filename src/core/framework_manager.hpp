@@ -1,0 +1,107 @@
+// The Framework Manager CF (§4.2, Fig. 2).
+//
+// CFS units register here with their <required-events, provided-events>
+// tuples and a *layer* (System CF at layer 0, protocol CFs above). From the
+// tuples the manager derives and maintains the event-flow bindings
+// automatically:
+//
+//  * For event type t, units that both require and provide t are
+//    *interposers*; they form a chain ordered by descending layer. An event
+//    emitted by unit U flows to the next interposer strictly below U's layer;
+//    past the last interposer it reaches the *consumers* (units that require
+//    but do not provide t).
+//  * A consumer holding t in its `exclusive` set receives the event alone —
+//    other consumers are skipped (footnote 2 of the paper).
+//  * Loops are impossible by construction: re-emission always advances down
+//    the chain (the paper's loop-avoidance mechanism).
+//
+// Changing any unit's tuple at runtime triggers rebind() — the paper's
+// declarative reconfiguration-enactment method. The manager also hosts the
+// *context concentrator*: a façade through which higher-level (decision
+// making) software observes context events without knowing which sensor or
+// protocol produced them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cfs.hpp"
+#include "core/executor.hpp"
+#include "events/event.hpp"
+#include "opencom/cf.hpp"
+
+namespace mk::core {
+
+class ManetProtocolCf;
+
+class FrameworkManager : public oc::ComponentFramework {
+ public:
+  explicit FrameworkManager(oc::Kernel& kernel);
+  ~FrameworkManager() override;
+
+  // -- unit registration --------------------------------------------------------
+  /// Registers a CFS unit at `layer` (0 = System CF; protocols above).
+  /// Throws std::logic_error if a deployment-level rule rejects it.
+  void register_unit(CfsUnit* unit, int layer);
+  void deregister_unit(CfsUnit* unit);
+  std::vector<CfsUnit*> units() const;
+  bool is_registered(const CfsUnit* unit) const;
+
+  /// Deployment-level integrity rule, e.g. "at most one reactive protocol".
+  using UnitRule =
+      std::function<bool(const std::vector<CfsUnit*>&, std::string&)>;
+  void add_unit_rule(UnitRule rule);
+
+  // -- binding derivation ---------------------------------------------------------
+  /// Recomputes the event-routing topology from the current tuples. Called
+  /// automatically on register/deregister/set_tuple.
+  void rebind();
+
+  /// Routes an event emitted by `emitter` per the derived bindings.
+  void route(CfsUnit* emitter, ev::Event event);
+
+  // -- concurrency (§4.4) -----------------------------------------------------------
+  /// Selects the model used for events from below. Applied MANETKit-wide.
+  void set_concurrency(ConcurrencyModel model, std::size_t threads = 4,
+                       std::size_t batch = 8);
+  ConcurrencyModel concurrency() const { return model_; }
+  /// Blocks until all in-flight dispatches complete (threaded models).
+  void drain();
+
+  // -- context concentrator -----------------------------------------------------------
+  using Subscriber = std::function<void(const ev::Event&)>;
+  /// Observes every routed event of the named type (context or otherwise).
+  void subscribe(const std::string& event_name, Subscriber fn);
+
+  std::uint64_t events_routed() const { return events_routed_; }
+
+ private:
+  struct Registration {
+    CfsUnit* unit;
+    int layer;
+    std::uint64_t seq;
+  };
+
+  struct Route {
+    std::vector<Registration> interposers;  // descending layer
+    std::vector<Registration> consumers;
+    CfsUnit* exclusive = nullptr;
+  };
+
+  void dispatch(CfsUnit& target, ev::Event event);
+  void check_unit_rules(const std::vector<CfsUnit*>& hypothetical) const;
+
+  std::vector<Registration> registrations_;
+  std::uint64_t next_seq_ = 1;
+  std::map<ev::EventTypeId, Route> routes_;
+  std::vector<UnitRule> unit_rules_;
+  std::multimap<ev::EventTypeId, Subscriber> subscribers_;
+  ConcurrencyModel model_ = ConcurrencyModel::kSingleThreaded;
+  std::unique_ptr<Executor> executor_;
+  std::uint64_t events_routed_ = 0;
+};
+
+}  // namespace mk::core

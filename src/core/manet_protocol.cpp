@@ -1,0 +1,279 @@
+#include "core/manet_protocol.hpp"
+
+#include <algorithm>
+
+#include "core/framework_manager.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::core {
+
+// ------------------------------------------------------------- ManetControlCf
+
+ManetControlCf::ManetControlCf(oc::Kernel& kernel)
+    : oc::ComponentFramework(kernel, "core.ManetControl") {
+  // The paper: "ManetControl rejects attempts to add more than one C
+  // element". Our C element functionality is folded into this CF itself, so
+  // the analogous rule polices duplicate *source/handler instance names*,
+  // which would make the Event Registry ambiguous on replace.
+  add_integrity_rule([](const oc::CfView& view, std::string& err) {
+    for (std::size_t i = 0; i < view.members().size(); ++i) {
+      for (std::size_t j = i + 1; j < view.members().size(); ++j) {
+        if (view.members()[i]->instance_name() ==
+            view.members()[j]->instance_name()) {
+          err = "duplicate plug-in instance name: " +
+                view.members()[i]->instance_name();
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+}
+
+void ManetControlCf::rebuild_registry() {
+  auto lock = quiesce();
+  registry_.clear();
+  for (oc::ComponentId id : members()) {
+    auto* handler = dynamic_cast<EventHandler*>(member(id));
+    if (handler == nullptr) continue;
+    for (ev::EventTypeId type : handler->handles()) {
+      registry_[type].push_back(handler);
+    }
+  }
+}
+
+const std::vector<EventHandler*>& ManetControlCf::handlers_for(
+    ev::EventTypeId type) const {
+  static const std::vector<EventHandler*> kEmpty;
+  auto it = registry_.find(type);
+  return it == registry_.end() ? kEmpty : it->second;
+}
+
+std::vector<EventSource*> ManetControlCf::sources() const {
+  std::vector<EventSource*> out;
+  for (oc::ComponentId id : members()) {
+    if (auto* src = dynamic_cast<EventSource*>(member(id))) out.push_back(src);
+  }
+  return out;
+}
+
+std::vector<EventHandler*> ManetControlCf::handlers() const {
+  std::vector<EventHandler*> out;
+  for (oc::ComponentId id : members()) {
+    if (auto* h = dynamic_cast<EventHandler*>(member(id))) out.push_back(h);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ ManetProtocolCf
+
+ManetProtocolCf::ManetProtocolCf(oc::Kernel& kernel, std::string proto_name,
+                                 Scheduler& sched, net::Addr self,
+                                 ISysState* sys)
+    : oc::ComponentFramework(kernel, "core.ManetProtocol"),
+      proto_name_(std::move(proto_name)),
+      ctx_(*this, sched, self, sys) {
+  set_instance_name(proto_name_);
+
+  // Structural invariants of the CFS pattern: at most one S and one F
+  // element, and exactly one nested ManetControl CF.
+  add_integrity_rule([](const oc::CfView& view, std::string& err) {
+    auto count_named = [&](std::string_view name) {
+      std::size_t n = 0;
+      for (const auto* c : view.members()) {
+        if (c->instance_name() == name) ++n;
+      }
+      return n;
+    };
+    if (count_named("State") > 1) {
+      err = "a ManetProtocol may have at most one S element";
+      return false;
+    }
+    if (count_named("Forward") > 1) {
+      err = "a ManetProtocol may have at most one F element";
+      return false;
+    }
+    if (view.count_type("core.ManetControl") > 1) {
+      err = "a ManetProtocol has exactly one ManetControl CF";
+      return false;
+    }
+    return true;
+  });
+
+  auto control = std::make_unique<ManetControlCf>(kernel);
+  control_ = control.get();
+  control_id_ = insert(std::move(control));
+}
+
+ManetProtocolCf::~ManetProtocolCf() { stop(); }
+
+void ManetProtocolCf::deliver(const ev::Event& event) {
+  auto lock = quiesce();  // the critical section of §4.4
+  ++events_delivered_;
+  // Copy the handler list: a handler may reconfigure the protocol (replace
+  // handlers) while we iterate.
+  std::vector<EventHandler*> handlers = control_->handlers_for(event.type());
+  for (EventHandler* h : handlers) {
+    h->handle(event, ctx_);
+  }
+}
+
+void ManetProtocolCf::set_tuple(ev::EventTuple tuple) {
+  {
+    auto lock = quiesce();
+    tuple_ = std::move(tuple);
+  }
+  if (manager_ != nullptr) manager_->rebind();
+}
+
+void ManetProtocolCf::declare_events(const std::vector<std::string>& required,
+                                     const std::vector<std::string>& provided,
+                                     const std::vector<std::string>& exclusive) {
+  ev::EventTuple t;
+  t.required = ev::EventTuple::ids(required);
+  t.provided = ev::EventTuple::ids(provided);
+  t.exclusive = ev::EventTuple::ids(exclusive);
+  for (ev::EventTypeId e : t.exclusive) {
+    MK_ASSERT(t.required.count(e) > 0, "exclusive must be a subset of required");
+  }
+  set_tuple(std::move(t));
+}
+
+oc::ComponentId ManetProtocolCf::add_handler(
+    std::unique_ptr<EventHandler> handler) {
+  auto lock = quiesce();
+  oc::ComponentId id = control_->insert(std::move(handler));
+  control_->rebuild_registry();
+  return id;
+}
+
+oc::ComponentId ManetProtocolCf::replace_handler(
+    std::string_view instance_name, std::unique_ptr<EventHandler> handler) {
+  auto lock = quiesce();
+  oc::ComponentId old_id = control_->find_id(instance_name);
+  MK_ENSURE(old_id != oc::kNoComponent,
+            "no handler named " + std::string{instance_name});
+  oc::ComponentId id = control_->replace(old_id, std::move(handler));
+  control_->rebuild_registry();
+  return id;
+}
+
+bool ManetProtocolCf::remove_handler(std::string_view instance_name) {
+  auto lock = quiesce();
+  oc::ComponentId id = control_->find_id(instance_name);
+  if (id == oc::kNoComponent) return false;
+  control_->remove(id);
+  control_->rebuild_registry();
+  return true;
+}
+
+oc::ComponentId ManetProtocolCf::add_source(std::unique_ptr<EventSource> source) {
+  auto lock = quiesce();
+  EventSource* raw = source.get();
+  oc::ComponentId id = control_->insert(std::move(source));
+  if (running_) raw->start(ctx_);
+  return id;
+}
+
+bool ManetProtocolCf::remove_source(std::string_view instance_name) {
+  auto lock = quiesce();
+  oc::ComponentId id = control_->find_id(instance_name);
+  if (id == oc::kNoComponent) return false;
+  if (auto* src = dynamic_cast<EventSource*>(control_->member(id))) {
+    src->stop();
+  }
+  control_->remove(id);
+  return true;
+}
+
+void ManetProtocolCf::set_state(std::unique_ptr<oc::Component> state) {
+  auto lock = quiesce();
+  state->set_instance_name("State");
+  oc::ComponentId old_id = find_id("State");
+  if (old_id != oc::kNoComponent) {
+    replace(old_id, std::move(state));
+  } else {
+    insert(std::move(state));
+  }
+}
+
+std::unique_ptr<oc::Component> ManetProtocolCf::take_state() {
+  auto lock = quiesce();
+  oc::ComponentId id = find_id("State");
+  MK_ENSURE(id != oc::kNoComponent, "protocol has no S element");
+  return extract(id);
+}
+
+void ManetProtocolCf::set_forward(std::unique_ptr<oc::Component> forward) {
+  auto lock = quiesce();
+  MK_ASSERT(forward->interface_as<IForward>("IForward") != nullptr,
+            "F element must provide IForward");
+  forward->set_instance_name("Forward");
+  oc::ComponentId old_id = find_id("Forward");
+  if (old_id != oc::kNoComponent) {
+    replace(old_id, std::move(forward));
+  } else {
+    insert(std::move(forward));
+  }
+}
+
+oc::Component* ManetProtocolCf::state_component() const { return find("State"); }
+
+IForward* ManetProtocolCf::forward_iface() const {
+  oc::Component* f = find("Forward");
+  return f == nullptr ? nullptr : f->interface_as<IForward>("IForward");
+}
+
+void ManetProtocolCf::init() {}
+
+void ManetProtocolCf::start() {
+  auto lock = quiesce();
+  if (running_) return;
+  running_ = true;
+  for (EventSource* src : control_->sources()) src->start(ctx_);
+}
+
+void ManetProtocolCf::stop() {
+  auto lock = quiesce();
+  if (!running_) return;
+  running_ = false;
+  for (EventSource* src : control_->sources()) src->stop();
+}
+
+void ManetProtocolCf::enable_dedicated_thread() {
+  if (dedicated_ == nullptr) {
+    dedicated_ = std::make_unique<DedicatedQueue>(*this);
+  }
+}
+
+void ManetProtocolCf::disable_dedicated_thread() { dedicated_.reset(); }
+
+void ManetProtocolCf::emit(ev::Event event) {
+  event.raised_at = ctx_.scheduler().now();
+  event.local = ctx_.self();
+  if (manager_ != nullptr) {
+    manager_->route(this, std::move(event));
+  } else if (emit_hook_) {
+    emit_hook_(event);
+  } else {
+    MK_TRACE("proto", proto_name_, " dropped event ", event.type_name(),
+             " (no manager)");
+  }
+}
+
+// ------------------------------------------------------------ ProtocolContext
+
+void ProtocolContext::emit(ev::Event event) { proto_.emit(std::move(event)); }
+
+oc::Component* ProtocolContext::state() { return proto_.state_component(); }
+
+// --------------------------------------------------------------- EventHandler
+
+EventHandler::EventHandler(std::string type_name,
+                           const std::vector<std::string>& handled)
+    : oc::Component(std::move(type_name)) {
+  for (const auto& name : handled) handles_.insert(ev::etype(name));
+}
+
+}  // namespace mk::core

@@ -1,0 +1,163 @@
+// The generic ManetProtocol CF (§4.2, Fig. 3): the component framework that
+// is instantiated and tailored for each ad-hoc routing protocol.
+//
+// Structure (all policed by integrity rules):
+//   ManetProtocolCf  (outer CF, a CfsUnit)
+//     ├── ManetControlCf  (nested CF: Control element + Event Handlers +
+//     │                    Event Sources + the Event Registry)
+//     ├── "State"    — at most one S component (protocol state)
+//     └── "Forward"  — at most one F component (forwarding strategy)
+//
+// deliver() runs the unit's handlers inside the CF lock, giving the paper's
+// guarantee that user-provided parts of a ManetProtocol run as a single
+// critical section: handlers execute atomically, and reconfiguration (which
+// also takes the lock) only happens when the unit is quiescent.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cfs.hpp"
+#include "core/executor.hpp"
+#include "core/ifaces.hpp"
+#include "events/event.hpp"
+#include "opencom/cf.hpp"
+
+namespace mk::core {
+
+class FrameworkManager;
+
+/// Nested CF holding the C element machinery: plug-in Event Handlers and
+/// Event Sources, plus the Event Registry mapping event types to the
+/// handlers subscribed to them.
+class ManetControlCf : public oc::ComponentFramework {
+ public:
+  explicit ManetControlCf(oc::Kernel& kernel);
+
+  /// Rebuilds the Event Registry from current members. Called by the owning
+  /// protocol after any handler mutation.
+  void rebuild_registry();
+
+  /// Handlers subscribed to `type` (registry lookup).
+  const std::vector<EventHandler*>& handlers_for(ev::EventTypeId type) const;
+
+  std::vector<EventSource*> sources() const;
+  std::vector<EventHandler*> handlers() const;
+
+ private:
+  std::map<ev::EventTypeId, std::vector<EventHandler*>> registry_;
+};
+
+class ManetProtocolCf : public oc::ComponentFramework, public CfsUnit {
+ public:
+  /// `sys` may be null for handler-level unit tests.
+  ManetProtocolCf(oc::Kernel& kernel, std::string proto_name, Scheduler& sched,
+                  net::Addr self, ISysState* sys);
+  ~ManetProtocolCf() override;
+
+  // -- CfsUnit ----------------------------------------------------------------
+  const std::string& unit_name() const override { return proto_name_; }
+  /// Renames the unit (used when one protocol's composition is reused as the
+  /// basis of another, e.g. the zone-hybrid built from DYMO).
+  void set_unit_name(std::string name) {
+    proto_name_ = std::move(name);
+    set_instance_name(proto_name_);
+  }
+  std::string_view category() const override { return category_; }
+  void set_category(std::string category) { category_ = std::move(category); }
+  const ev::EventTuple& tuple() const override { return tuple_; }
+  void deliver(const ev::Event& event) override;
+
+  // -- event tuple (declarative composition) -----------------------------------
+  /// Sets the <required, provided> tuple; if the unit is registered with a
+  /// Framework Manager this triggers automatic re-binding (§4.5's first
+  /// reconfiguration-enactment method).
+  void set_tuple(ev::EventTuple tuple);
+
+  /// Convenience builder from names; `exclusive` must be a subset of
+  /// `required`.
+  void declare_events(const std::vector<std::string>& required,
+                      const std::vector<std::string>& provided,
+                      const std::vector<std::string>& exclusive = {});
+
+  // -- composition helpers ------------------------------------------------------
+  /// Adds a handler plug-in to the nested ManetControl CF.
+  oc::ComponentId add_handler(std::unique_ptr<EventHandler> handler);
+
+  /// Replaces a handler (by instance name) with a new one; used by protocol
+  /// variants (power-aware Hello Handler, multipath RE Handler, ...).
+  oc::ComponentId replace_handler(std::string_view instance_name,
+                                  std::unique_ptr<EventHandler> handler);
+
+  /// Removes a handler by instance name; returns false if not found.
+  bool remove_handler(std::string_view instance_name);
+
+  oc::ComponentId add_source(std::unique_ptr<EventSource> source);
+
+  /// Removes a source by instance name (stopping it first); returns false if
+  /// not found.
+  bool remove_source(std::string_view instance_name);
+
+  /// Installs/replaces the S element.
+  void set_state(std::unique_ptr<oc::Component> state);
+
+  /// Extracts the S element for carry-over to another protocol instance
+  /// (§4.5 state management). The protocol keeps running stateless until a
+  /// new S element is installed.
+  std::unique_ptr<oc::Component> take_state();
+
+  /// Installs/replaces the F element.
+  void set_forward(std::unique_ptr<oc::Component> forward);
+
+  /// This protocol's S element (null if none).
+  oc::Component* state_component() const;
+
+  /// This protocol's F element's IForward (null if none).
+  IForward* forward_iface() const;
+
+  ManetControlCf& control() { return *control_; }
+  ProtocolContext& context() { return ctx_; }
+
+  // -- lifecycle ----------------------------------------------------------------
+  void init();
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // -- concurrency ----------------------------------------------------------------
+  /// Switches this instance to the thread-per-ManetProtocol model.
+  void enable_dedicated_thread();
+  void disable_dedicated_thread();
+  DedicatedQueue* dedicated() { return dedicated_.get(); }
+
+  // -- wiring (used by FrameworkManager / Manetkit) -----------------------------
+  void set_manager(FrameworkManager* manager) { manager_ = manager; }
+  FrameworkManager* manager() const { return manager_; }
+
+  /// Emission entry point (ProtocolContext::emit lands here). Routed through
+  /// the manager; if none is attached, the emit hook (tests) receives it.
+  void emit(ev::Event event);
+
+  using EmitHook = std::function<void(const ev::Event&)>;
+  void set_emit_hook(EmitHook hook) { emit_hook_ = std::move(hook); }
+
+  std::uint64_t events_delivered() const { return events_delivered_; }
+
+ private:
+  std::string proto_name_;
+  std::string category_;
+  ev::EventTuple tuple_;
+  ManetControlCf* control_ = nullptr;  // owned as a CF member
+  oc::ComponentId control_id_ = oc::kNoComponent;
+  FrameworkManager* manager_ = nullptr;
+  EmitHook emit_hook_;
+  ProtocolContext ctx_;
+  std::unique_ptr<DedicatedQueue> dedicated_;
+  bool running_ = false;
+  std::uint64_t events_delivered_ = 0;
+};
+
+}  // namespace mk::core

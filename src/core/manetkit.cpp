@@ -1,0 +1,139 @@
+#include "core/manetkit.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::core {
+
+Manetkit::Manetkit(net::SimNode& node) : node_(node) {
+  manager_ = std::make_unique<FrameworkManager>(kernel_);
+  system_ = std::make_unique<SystemCf>(kernel_, node_);
+  system_->set_manager(manager_.get());
+
+  // The paper's example deployment-level integrity rule: only one instance
+  // of a reactive routing protocol may exist in a given deployment.
+  manager_->add_unit_rule(
+      [](const std::vector<CfsUnit*>& units, std::string& err) {
+        std::size_t reactive = 0;
+        for (const CfsUnit* u : units) {
+          if (u->category() == "reactive") ++reactive;
+        }
+        if (reactive > 1) {
+          err = "at most one reactive routing protocol may be deployed";
+          return false;
+        }
+        return true;
+      });
+
+  manager_->register_unit(system_.get(), /*layer=*/0);
+}
+
+Manetkit::~Manetkit() {
+  // Stop protocols before tearing down the manager/system they reference.
+  for (auto& [_, d] : deployed_) d.instance->stop();
+  for (auto& [_, d] : deployed_) {
+    manager_->deregister_unit(d.instance.get());
+  }
+  manager_->deregister_unit(system_.get());
+  deployed_.clear();
+}
+
+void Manetkit::register_protocol(const std::string& name, int layer,
+                                 Builder builder, std::string category) {
+  MK_ASSERT(builder != nullptr);
+  specs_[name] = ProtoSpec{layer, std::move(builder), std::move(category)};
+}
+
+bool Manetkit::has_builder(const std::string& name) const {
+  return specs_.find(name) != specs_.end();
+}
+
+std::vector<std::string> Manetkit::available_protocols() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, _] : specs_) out.push_back(name);
+  return out;
+}
+
+ManetProtocolCf* Manetkit::deploy(const std::string& name) {
+  if (auto* existing = protocol(name)) return existing;
+
+  auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw std::logic_error("no protocol builder registered for: " + name);
+  }
+  const ProtoSpec& spec = it->second;
+
+  auto instance = spec.builder(*this);
+  MK_ASSERT(instance != nullptr, "builder returned null for " + name);
+  if (!spec.category.empty()) instance->set_category(spec.category);
+
+  ManetProtocolCf* raw = instance.get();
+  manager_->register_unit(raw, spec.layer);  // may throw (deployment rules)
+  deployed_.emplace(name, DeployedProto{std::move(instance), spec.layer});
+
+  raw->init();
+  raw->start();
+  MK_DEBUG("manetkit", "deployed ", name, " at ", pbb::addr_to_string(self()));
+  return raw;
+}
+
+bool Manetkit::is_deployed(const std::string& name) const {
+  return deployed_.find(name) != deployed_.end();
+}
+
+ManetProtocolCf* Manetkit::protocol(const std::string& name) const {
+  auto it = deployed_.find(name);
+  return it == deployed_.end() ? nullptr : it->second.instance.get();
+}
+
+std::vector<std::string> Manetkit::deployed() const {
+  std::vector<std::string> out;
+  out.reserve(deployed_.size());
+  for (const auto& [name, _] : deployed_) out.push_back(name);
+  return out;
+}
+
+void Manetkit::undeploy(const std::string& name) {
+  auto it = deployed_.find(name);
+  MK_ENSURE(it != deployed_.end(), "protocol not deployed: " + name);
+  it->second.instance->stop();
+  manager_->deregister_unit(it->second.instance.get());
+  deployed_.erase(it);
+  MK_DEBUG("manetkit", "undeployed ", name);
+}
+
+ManetProtocolCf* Manetkit::switch_protocol(const std::string& from,
+                                           const std::string& to,
+                                           bool carry_state) {
+  auto it = deployed_.find(from);
+  MK_ENSURE(it != deployed_.end(), "protocol not deployed: " + from);
+
+  ManetProtocolCf* old_proto = it->second.instance.get();
+  old_proto->stop();
+
+  std::unique_ptr<oc::Component> carried;
+  if (carry_state && old_proto->state_component() != nullptr) {
+    carried = old_proto->take_state();
+  }
+
+  manager_->deregister_unit(old_proto);
+  deployed_.erase(it);
+
+  ManetProtocolCf* fresh = deploy(to);
+  if (carried != nullptr) {
+    fresh->stop();
+    fresh->set_state(std::move(carried));
+    fresh->start();
+  }
+  return fresh;
+}
+
+int Manetkit::layer_of(const std::string& name) const {
+  auto it = deployed_.find(name);
+  return it == deployed_.end() ? -1 : it->second.layer;
+}
+
+}  // namespace mk::core

@@ -1,0 +1,92 @@
+// The MANETKit facade: one instance per node, owning the OpenCom kernel, the
+// Framework Manager, the System CF and every deployed ManetProtocol CF.
+//
+// Protocols are registered as named builders (with a layer and a category)
+// and can then be dynamically deployed — serially and simultaneously — and
+// undeployed or switched at runtime (§4.5). Deployment-level integrity rules
+// (e.g. at most one reactive protocol) are enforced by the Framework
+// Manager at registration time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework_manager.hpp"
+#include "core/manet_protocol.hpp"
+#include "core/system_cf.hpp"
+#include "net/node.hpp"
+#include "opencom/kernel.hpp"
+
+namespace mk::core {
+
+class Manetkit {
+ public:
+  explicit Manetkit(net::SimNode& node);
+  ~Manetkit();
+
+  Manetkit(const Manetkit&) = delete;
+  Manetkit& operator=(const Manetkit&) = delete;
+
+  oc::Kernel& kernel() { return kernel_; }
+  FrameworkManager& manager() { return *manager_; }
+  SystemCf& system() { return *system_; }
+  net::SimNode& node() { return node_; }
+  Scheduler& scheduler() { return node_.scheduler(); }
+  net::Addr self() const { return node_.addr(); }
+
+  // -- protocol registry -----------------------------------------------------
+  /// A builder creates a fully-composed ManetProtocol CF instance (handlers,
+  /// sources, S/F elements, event tuple) and performs any System CF setup it
+  /// needs (message registration, NetLink, sensors). It may deploy() other
+  /// protocols it depends on (e.g. OLSR deploys MPR).
+  using Builder = std::function<std::unique_ptr<ManetProtocolCf>(Manetkit&)>;
+
+  void register_protocol(const std::string& name, int layer, Builder builder,
+                         std::string category = "");
+  bool has_builder(const std::string& name) const;
+  std::vector<std::string> available_protocols() const;
+
+  // -- dynamic deployment ------------------------------------------------------
+  /// Deploys (builds, registers, starts) a protocol. Idempotent: returns the
+  /// existing instance if already deployed — which is how co-deployed
+  /// protocols share a common substrate CF such as MPR.
+  ManetProtocolCf* deploy(const std::string& name);
+
+  bool is_deployed(const std::string& name) const;
+  ManetProtocolCf* protocol(const std::string& name) const;
+  std::vector<std::string> deployed() const;
+
+  /// Stops, deregisters and destroys a deployed protocol.
+  void undeploy(const std::string& name);
+
+  /// Serial redeployment with optional state carry-over (§4.5): stops and
+  /// removes `from`, deploys `to`, and — if `carry_state` — moves `from`'s S
+  /// element into the new instance before starting it.
+  ManetProtocolCf* switch_protocol(const std::string& from,
+                                   const std::string& to, bool carry_state);
+
+  int layer_of(const std::string& name) const;
+
+ private:
+  struct ProtoSpec {
+    int layer = 0;
+    Builder builder;
+    std::string category;
+  };
+  struct DeployedProto {
+    std::unique_ptr<ManetProtocolCf> instance;
+    int layer = 0;
+  };
+
+  net::SimNode& node_;
+  oc::Kernel kernel_;
+  std::unique_ptr<FrameworkManager> manager_;
+  std::unique_ptr<SystemCf> system_;
+  std::map<std::string, ProtoSpec> specs_;
+  std::map<std::string, DeployedProto> deployed_;
+};
+
+}  // namespace mk::core

@@ -1,0 +1,423 @@
+#include "core/system_cf.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/attrs.hpp"
+#include "core/framework_manager.hpp"
+#include "packetbb/packetbb.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::core {
+
+namespace {
+
+/// The System CF's S element: kernel-route manipulation + device listing.
+class SysStateComponent : public oc::Component, public ISysState {
+ public:
+  explicit SysStateComponent(net::SimNode& node)
+      : oc::Component("core.SysState"), node_(node) {
+    set_instance_name("State");
+    provide("ISysState", this);
+    provide("IState", static_cast<IState*>(this));
+  }
+
+  net::KernelRouteTable& kernel_table() override { return node_.kernel_table(); }
+
+  std::vector<std::string> list_devices() const override {
+    return {node_.device().name()};
+  }
+
+  net::Addr local_addr() const override { return node_.addr(); }
+
+  std::string describe() const override {
+    return "kernel routes: " + std::to_string(node_.kernel_table().size());
+  }
+
+ private:
+  net::SimNode& node_;
+};
+
+/// The F element: send primitive, exposed as IForward for direct calls.
+class SysForwardComponent : public oc::Component, public IForward {
+ public:
+  explicit SysForwardComponent(SystemCf& system)
+      : oc::Component("core.SysForward"), system_(system) {
+    set_instance_name("Forward");
+    provide("IForward", this);
+  }
+
+  void forward(const ev::Event& event) override { system_.deliver(event); }
+
+ private:
+  SystemCf& system_;
+};
+
+/// The C element: lifecycle of the routing environment.
+class SysControlComponent : public oc::Component, public IControl, public IContext {
+ public:
+  explicit SysControlComponent(SystemCf& system, net::SimNode& node)
+      : oc::Component("core.SysControl"), system_(system), node_(node) {
+    set_instance_name("SysControl");
+    provide("IControl", static_cast<IControl*>(this));
+    provide("IContext", static_cast<IContext*>(this));
+  }
+
+  void init() override { system_.init_routing_env(); }
+  void start() override { running_ = true; }
+  void stop() override { running_ = false; }
+  bool running() const override { return running_; }
+
+  double battery_level() const override { return node_.battery(); }
+  std::size_t neighbor_count() const override {
+    return node_.medium().neighbors_of(node_.addr()).size();
+  }
+
+ private:
+  SystemCf& system_;
+  net::SimNode& node_;
+  bool running_ = false;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- NetLink plug-in
+
+NetLinkComponent::NetLinkComponent(SystemCf& system, net::SimNode& node)
+    : oc::Component("core.NetLink"),
+      system_(system),
+      node_(node),
+      sweep_timer_(node.scheduler(), sec(1), [this] { sweep_buffer(); }) {
+  set_instance_name("Netlink");
+  net::ForwardingEngine::Hooks hooks;
+  hooks.on_no_route = [this](const net::DataHeader& hdr) {
+    return on_no_route(hdr);
+  };
+  hooks.on_route_used = [this](net::Addr dest) { on_route_used(dest); };
+  hooks.on_send_failure = [this](const net::DataHeader& hdr, net::Addr hop) {
+    on_send_failure(hdr, hop);
+  };
+  node_.forwarding().set_hooks(std::move(hooks));
+  sweep_timer_.start();
+}
+
+NetLinkComponent::~NetLinkComponent() {
+  node_.forwarding().clear_hooks();
+  sweep_timer_.stop();
+}
+
+bool NetLinkComponent::on_no_route(const net::DataHeader& hdr) {
+  auto& q = buffer_[hdr.dst];
+  if (q.size() >= kMaxBufferedPerDest) {
+    ++buffer_drops_;
+    q.erase(q.begin());  // drop oldest, keep freshest
+  }
+  q.push_back(Buffered{hdr, node_.scheduler().now()});
+
+  ev::Event e(ev::types::NO_ROUTE);
+  e.set_int(attrs::kDest, hdr.dst);
+  e.set_int(attrs::kSrc, hdr.src);
+  system_.emit(std::move(e));
+  return true;  // consumed (buffered)
+}
+
+void NetLinkComponent::on_route_used(net::Addr dest) {
+  ev::Event e(ev::types::ROUTE_UPDATE);
+  e.set_int(attrs::kDest, dest);
+  system_.emit(std::move(e));
+}
+
+void NetLinkComponent::on_send_failure(const net::DataHeader& hdr,
+                                       net::Addr broken_hop) {
+  ev::Event e(ev::types::SEND_ROUTE_ERR);
+  e.set_int(attrs::kDest, hdr.dst);
+  e.set_int(attrs::kSrc, hdr.src);
+  e.set_int(attrs::kNextHop, broken_hop);
+  system_.emit(std::move(e));
+}
+
+void NetLinkComponent::on_route_found(net::Addr dest) {
+  auto it = buffer_.find(dest);
+  if (it == buffer_.end()) return;
+  auto packets = std::move(it->second);
+  buffer_.erase(it);
+  for (auto& b : packets) {
+    node_.forwarding().reinject(b.hdr);
+  }
+}
+
+std::size_t NetLinkComponent::buffered_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, q] : buffer_) n += q.size();
+  return n;
+}
+
+void NetLinkComponent::sweep_buffer() {
+  TimePoint now = node_.scheduler().now();
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    auto& q = it->second;
+    std::erase_if(q, [&](const Buffered& b) {
+      bool expired = now - b.at > kBufferTimeout;
+      if (expired) ++buffer_drops_;
+      return expired;
+    });
+    it = q.empty() ? buffer_.erase(it) : std::next(it);
+  }
+}
+
+// ------------------------------------------------------------------- SystemCf
+
+SystemCf::SystemCf(oc::Kernel& kernel, net::SimNode& node)
+    : oc::ComponentFramework(kernel, "core.System"), node_(node) {
+  set_instance_name("System");
+
+  // CFS structural invariants, as in ManetProtocolCf.
+  add_integrity_rule([](const oc::CfView& view, std::string& err) {
+    std::size_t n = 0;
+    for (const auto* c : view.members()) {
+      if (c->instance_name() == "State") ++n;
+    }
+    if (n > 1) {
+      err = "System CF has exactly one S element";
+      return false;
+    }
+    return true;
+  });
+
+  insert(std::make_unique<SysStateComponent>(node_));
+  insert(std::make_unique<SysForwardComponent>(*this));
+  insert(std::make_unique<SysControlComponent>(*this, node_));
+
+  node_.set_control_handler(
+      [this](const net::Frame& frame) { on_control_frame(frame); });
+}
+
+SystemCf::~SystemCf() { node_.set_control_handler(nullptr); }
+
+void SystemCf::init_routing_env() {
+  // Real implementation: enable IP forwarding, disable ICMP redirects, etc.
+  // The simulated kernel forwards unconditionally, so nothing to do.
+}
+
+void SystemCf::register_message(std::uint8_t msg_type,
+                                const std::string& base_name) {
+  auto lock = quiesce();
+  auto it = msg_registry_.find(msg_type);
+  if (it != msg_registry_.end()) {
+    MK_ENSURE(it->second.base == base_name,
+              "message type " + std::to_string(msg_type) +
+                  " already registered as " + it->second.base);
+    return;
+  }
+  MsgBinding binding;
+  binding.base = base_name;
+  binding.in = ev::etype(base_name + "_IN");
+  binding.out = ev::etype(base_name + "_OUT");
+  out_to_type_[binding.out] = msg_type;
+  msg_registry_.emplace(msg_type, std::move(binding));
+  refresh_tuple();
+}
+
+void SystemCf::ensure_power_status(Duration interval) {
+  auto lock = quiesce();
+  if (power_timer_ != nullptr) return;
+  power_timer_ = std::make_unique<PeriodicTimer>(
+      scheduler(), interval,
+      [this] {
+        ev::Event e(ev::types::POWER_STATUS);
+        e.set_double(attrs::kBattery, node_.battery());
+        emit(std::move(e));
+      },
+      /*jitter=*/0.1, /*seed=*/node_.addr());
+  power_timer_->start();
+  refresh_tuple();
+}
+
+void SystemCf::ensure_link_quality(Duration period, double alpha) {
+  auto lock = quiesce();
+  if (linkq_timer_ != nullptr) return;
+  MK_ASSERT(alpha > 0.0 && alpha <= 1.0);
+  linkq_alpha_ = alpha;
+  linkq_timer_ = std::make_unique<PeriodicTimer>(
+      scheduler(), period,
+      [this] {
+        auto lk = quiesce();
+        auto counts = std::move(frames_from_);
+        frames_from_.clear();
+
+        // Current neighbours that went silent this period count as misses.
+        for (net::Addr n : node_.medium().neighbors_of(self())) {
+          counts.try_emplace(n, 0);
+        }
+        for (const auto& [neighbor, frames] : counts) {
+          double sample = frames > 0 ? 1.0 : 0.0;
+          double& q = link_quality_.try_emplace(neighbor, sample).first->second;
+          q = (1.0 - linkq_alpha_) * q + linkq_alpha_ * sample;
+
+          ev::Event e(ev::types::LINK_QUALITY);
+          e.set_int(attrs::kNeighbor, neighbor);
+          e.set_double(attrs::kQuality, q);
+          emit(std::move(e));
+        }
+        // Forget estimates for neighbours gone for good.
+        for (auto it = link_quality_.begin(); it != link_quality_.end();) {
+          it = (counts.count(it->first) == 0) ? link_quality_.erase(it)
+                                              : std::next(it);
+        }
+      },
+      /*jitter=*/0.1, /*seed=*/node_.addr() + 23);
+  linkq_timer_->start();
+  refresh_tuple();
+}
+
+double SystemCf::link_quality(net::Addr neighbor) const {
+  auto lock = quiesce();
+  auto it = link_quality_.find(neighbor);
+  return it == link_quality_.end() ? 1.0 : it->second;
+}
+
+void SystemCf::ensure_netlink() {
+  auto lock = quiesce();
+  if (netlink_ != nullptr) return;
+  auto netlink = std::make_unique<NetLinkComponent>(*this, node_);
+  netlink_ = netlink.get();
+  insert(std::move(netlink));
+  refresh_tuple();
+}
+
+NetLinkComponent* SystemCf::netlink() { return netlink_; }
+
+ISysState& SystemCf::sys_state() {
+  auto* comp = find("State");
+  MK_ASSERT(comp != nullptr);
+  auto* state = comp->interface_as<ISysState>("ISysState");
+  MK_ASSERT(state != nullptr);
+  return *state;
+}
+
+void SystemCf::refresh_tuple() {
+  ev::EventTuple t;
+  for (const auto& [_, binding] : msg_registry_) {
+    t.provided.insert(binding.in);
+    t.required.insert(binding.out);
+  }
+  if (netlink_ != nullptr) {
+    t.provided.insert(ev::etype(ev::types::NO_ROUTE));
+    t.provided.insert(ev::etype(ev::types::ROUTE_UPDATE));
+    t.provided.insert(ev::etype(ev::types::SEND_ROUTE_ERR));
+    t.required.insert(ev::etype(ev::types::ROUTE_FOUND));
+  }
+  if (power_timer_ != nullptr) {
+    t.provided.insert(ev::etype(ev::types::POWER_STATUS));
+  }
+  if (linkq_timer_ != nullptr) {
+    t.provided.insert(ev::etype(ev::types::LINK_QUALITY));
+  }
+  tuple_ = std::move(t);
+  if (manager_ != nullptr) manager_->rebind();
+}
+
+void SystemCf::deliver(const ev::Event& event) {
+  auto lock = quiesce();
+  if (netlink_ != nullptr && event.type() == ev::etype(ev::types::ROUTE_FOUND)) {
+    netlink_->on_route_found(
+        static_cast<net::Addr>(event.get_int(attrs::kDest)));
+    return;
+  }
+  if (out_to_type_.find(event.type()) != out_to_type_.end()) {
+    transmit(event);
+    return;
+  }
+  MK_TRACE("system", "unhandled event ", event.type_name());
+}
+
+void SystemCf::transmit(const ev::Event& event) {
+  MK_ASSERT(event.msg.has_value(), "outgoing event carries no message");
+  auto dest = static_cast<net::Addr>(
+      event.get_int(attrs::kUnicastTo, net::kBroadcast));
+
+  if (aggregation_window_.count() <= 0) {
+    send_packet({*event.msg}, dest);
+    return;
+  }
+  pending_out_[dest].push_back(*event.msg);
+  if (flush_timer_ == nullptr) {
+    flush_timer_ = std::make_unique<OneShotTimer>(scheduler());
+  }
+  if (!flush_timer_->pending()) {
+    flush_timer_->schedule(aggregation_window_,
+                           [this] { flush_aggregation(); });
+  }
+}
+
+void SystemCf::send_packet(std::vector<pbb::Message> msgs, net::Addr dest) {
+  pbb::Packet pkt;
+  pkt.messages = std::move(msgs);
+  messages_sent_ += pkt.messages.size();
+  ++packets_sent_;
+  node_.send_control(pbb::serialize(pkt), dest);
+}
+
+void SystemCf::flush_aggregation() {
+  auto lock = quiesce();
+  auto pending = std::move(pending_out_);
+  pending_out_.clear();
+  for (auto& [dest, msgs] : pending) {
+    // PacketBB caps messages per packet at 255; chunk defensively.
+    for (std::size_t i = 0; i < msgs.size(); i += 255) {
+      std::vector<pbb::Message> chunk(
+          msgs.begin() + static_cast<std::ptrdiff_t>(i),
+          msgs.begin() + static_cast<std::ptrdiff_t>(
+                             std::min(msgs.size(), i + 255)));
+      send_packet(std::move(chunk), dest);
+    }
+  }
+}
+
+void SystemCf::set_aggregation_window(Duration window) {
+  auto lock = quiesce();
+  aggregation_window_ = window;
+  if (window.count() <= 0) flush_aggregation();
+}
+
+void SystemCf::emit(ev::Event event) {
+  event.raised_at = scheduler().now();
+  event.local = self();
+  if (manager_ != nullptr) {
+    manager_->route(this, std::move(event));
+  }
+}
+
+void SystemCf::on_control_frame(const net::Frame& frame) {
+  ++frames_received_;
+  if (linkq_timer_ != nullptr) ++frames_from_[frame.tx];
+  auto parsed = pbb::parse(frame.payload);
+  if (!parsed) {
+    ++parse_errors_;
+    MK_WARN("system", "dropping malformed packet from ",
+            pbb::addr_to_string(frame.tx), ": ", parsed.error());
+    return;
+  }
+  for (auto& msg : parsed.value().messages) {
+    auto it = msg_registry_.find(msg.type);
+    if (it == msg_registry_.end()) continue;  // no protocol interested
+
+    ev::Event e(it->second.in);
+    e.from = frame.tx;
+    e.msg = std::move(msg);
+
+    if (profiling_) {
+      auto t0 = std::chrono::steady_clock::now();
+      emit(std::move(e));
+      if (manager_ != nullptr) manager_->drain();
+      auto t1 = std::chrono::steady_clock::now();
+      processing_times_[it->second.base].add(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    } else {
+      emit(std::move(e));
+    }
+  }
+}
+
+}  // namespace mk::core

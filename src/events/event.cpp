@@ -1,0 +1,82 @@
+#include "events/event.hpp"
+
+#include "util/assert.hpp"
+
+namespace mk::ev {
+
+EventTypeRegistry& EventTypeRegistry::instance() {
+  static EventTypeRegistry registry;
+  return registry;
+}
+
+EventTypeId EventTypeRegistry::intern(std::string_view name) {
+  MK_ASSERT(!name.empty());
+  std::scoped_lock lock(mutex_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  auto id = static_cast<EventTypeId>(by_id_.size());
+  by_id_.emplace_back(name);
+  by_name_.emplace(std::string{name}, id);
+  return id;
+}
+
+EventTypeId EventTypeRegistry::lookup(std::string_view name) const {
+  std::scoped_lock lock(mutex_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidEventType : it->second;
+}
+
+std::string EventTypeRegistry::name(EventTypeId id) const {
+  std::scoped_lock lock(mutex_);
+  if (id >= by_id_.size()) return "?";
+  return by_id_[id];
+}
+
+std::size_t EventTypeRegistry::size() const {
+  std::scoped_lock lock(mutex_);
+  return by_id_.size() - 1;
+}
+
+EventTypeId etype(std::string_view name) {
+  return EventTypeRegistry::instance().intern(name);
+}
+
+std::string Event::type_name() const {
+  return EventTypeRegistry::instance().name(type_);
+}
+
+std::int64_t Event::get_int(std::string_view key, std::int64_t fallback) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return fallback;
+  if (const auto* v = std::get_if<std::int64_t>(&it->second)) return *v;
+  return fallback;
+}
+
+double Event::get_double(std::string_view key, double fallback) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return fallback;
+  if (const auto* v = std::get_if<double>(&it->second)) return *v;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+std::string Event::get_string(std::string_view key, std::string fallback) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return fallback;
+  if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+  return fallback;
+}
+
+bool Event::has_attr(std::string_view key) const {
+  return attrs_.find(key) != attrs_.end();
+}
+
+std::set<EventTypeId> EventTuple::ids(const std::vector<std::string>& names) {
+  std::set<EventTypeId> out;
+  for (const auto& n : names) out.insert(etype(n));
+  return out;
+}
+
+}  // namespace mk::ev

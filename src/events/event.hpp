@@ -1,0 +1,147 @@
+// MANETKit event ontology (§4.2).
+//
+// Communication between CFS units is carried out using events drawn from an
+// extensible polymorphic ontology: event types are interned strings (dense
+// ids), and an Event optionally carries a PacketBB message — the paper bases
+// its event structure on the PacketBB format — plus a small attribute map for
+// context values (battery level, link quality, ...).
+//
+// Each CFS unit declares an EventTuple <required-events, provided-events>;
+// the Framework Manager derives bindings from these (see core/).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "packetbb/packetbb.hpp"
+#include "util/time.hpp"
+
+namespace mk::ev {
+
+using EventTypeId = std::uint32_t;
+inline constexpr EventTypeId kInvalidEventType = 0;
+
+/// Global interning registry: name <-> dense id. Thread-safe. Ids are stable
+/// for the process lifetime so they can be compared across nodes in one
+/// simulation.
+class EventTypeRegistry {
+ public:
+  static EventTypeRegistry& instance();
+
+  /// Returns the id for `name`, interning it on first use.
+  EventTypeId intern(std::string_view name);
+
+  /// Id for an already-interned name, or kInvalidEventType.
+  EventTypeId lookup(std::string_view name) const;
+
+  /// Name for an id ("?" if unknown).
+  std::string name(EventTypeId id) const;
+
+  std::size_t size() const;
+
+ private:
+  EventTypeRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, EventTypeId, std::less<>> by_name_;
+  std::vector<std::string> by_id_{"<invalid>"};
+};
+
+/// Convenience: intern at call site.
+EventTypeId etype(std::string_view name);
+
+/// The well-known event names used by the built-in CFs and protocols.
+/// (Protocols are free to define further types; these are just the shared
+/// vocabulary from the paper's case studies.)
+namespace types {
+// Neighbour detection / MPR
+inline const std::string HELLO_IN = "HELLO_IN";
+inline const std::string HELLO_OUT = "HELLO_OUT";
+inline const std::string NHOOD_CHANGE = "NHOOD_CHANGE";
+inline const std::string MPR_CHANGE = "MPR_CHANGE";
+// OLSR
+inline const std::string TC_IN = "TC_IN";
+inline const std::string TC_OUT = "TC_OUT";
+// DYMO
+inline const std::string RM_IN = "RM_IN";      // routing message (RREQ/RREP)
+inline const std::string RM_OUT = "RM_OUT";
+inline const std::string RERR_IN = "RERR_IN";
+inline const std::string RERR_OUT = "RERR_OUT";
+// AODV
+inline const std::string AODV_IN = "AODV_IN";
+inline const std::string AODV_OUT = "AODV_OUT";
+// NetLink (kernel packet-filter) events
+inline const std::string NO_ROUTE = "NO_ROUTE";
+inline const std::string ROUTE_UPDATE = "ROUTE_UPDATE";
+inline const std::string SEND_ROUTE_ERR = "SEND_ROUTE_ERR";
+inline const std::string ROUTE_FOUND = "ROUTE_FOUND";
+// Context events
+inline const std::string POWER_STATUS = "POWER_STATUS";
+inline const std::string LINK_QUALITY = "LINK_QUALITY";
+}  // namespace types
+
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+/// A unit of communication between CFS units.
+class Event {
+ public:
+  Event() = default;
+  explicit Event(EventTypeId type) : type_(type) {}
+  explicit Event(std::string_view type_name) : type_(etype(type_name)) {}
+
+  EventTypeId type() const { return type_; }
+  std::string type_name() const;
+
+  /// Previous hop the carried message arrived from (for *_IN events).
+  pbb::Addr from = 0;
+  /// Local address the event was raised at (useful in simulation harnesses).
+  pbb::Addr local = 0;
+  /// Time the event was raised.
+  TimePoint raised_at{};
+
+  /// The PacketBB message carried by the event, if any.
+  std::optional<pbb::Message> msg;
+
+  // -- attribute map ----------------------------------------------------------
+  void set_int(std::string key, std::int64_t v) { attrs_[std::move(key)] = v; }
+  void set_double(std::string key, double v) { attrs_[std::move(key)] = v; }
+  void set_string(std::string key, std::string v) {
+    attrs_[std::move(key)] = std::move(v);
+  }
+
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+  double get_double(std::string_view key, double fallback = 0.0) const;
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  bool has_attr(std::string_view key) const;
+
+  const std::map<std::string, AttrValue, std::less<>>& attrs() const {
+    return attrs_;
+  }
+
+ private:
+  EventTypeId type_ = kInvalidEventType;
+  std::map<std::string, AttrValue, std::less<>> attrs_;
+};
+
+/// The declarative composition contract of a CFS unit (§4.2): the set of
+/// event types it wants to receive, the set it can generate, and the subset
+/// of required events it wants *exclusively* (other requirers are then
+/// skipped — footnote 2 of the paper).
+struct EventTuple {
+  std::set<EventTypeId> required;
+  std::set<EventTypeId> provided;
+  std::set<EventTypeId> exclusive;
+
+  bool requires_type(EventTypeId t) const { return required.count(t) > 0; }
+  bool provides(EventTypeId t) const { return provided.count(t) > 0; }
+
+  static std::set<EventTypeId> ids(const std::vector<std::string>& names);
+};
+
+}  // namespace mk::ev

@@ -1,0 +1,25 @@
+// Node addressing for the simulated network. Addresses are IPv4-like 32-bit
+// values; the testbed allocates them from 10.0.0.0/24 by node index.
+#pragma once
+
+#include <cstdint>
+
+#include "packetbb/packetbb.hpp"
+
+namespace mk::net {
+
+using Addr = pbb::Addr;
+
+inline constexpr Addr kBroadcast = 0xFFFFFFFFu;
+inline constexpr Addr kNoAddr = 0;
+
+/// 10.0.0.(index+1) — the testbed's address plan.
+inline constexpr Addr addr_for_index(std::uint32_t index) {
+  return (10u << 24) | (index + 1);
+}
+
+inline constexpr std::uint32_t index_for_addr(Addr a) {
+  return (a & 0xFFu) - 1;
+}
+
+}  // namespace mk::net

@@ -1,0 +1,28 @@
+#include "net/device.hpp"
+
+#include "net/medium.hpp"
+#include "util/assert.hpp"
+
+namespace mk::net {
+
+NetworkDevice::NetworkDevice(std::string name, Addr addr)
+    : name_(std::move(name)), addr_(addr) {
+  MK_ASSERT(addr_ != kNoAddr && addr_ != kBroadcast);
+}
+
+NetworkDevice::~NetworkDevice() {
+  if (medium_ != nullptr) medium_->detach(addr_);
+}
+
+bool NetworkDevice::send(Frame frame) {
+  if (!up_ || medium_ == nullptr) return false;
+  frame.tx = addr_;
+  return medium_->transmit(frame);
+}
+
+void NetworkDevice::receive(const Frame& frame) {
+  if (!up_) return;
+  if (rx_) rx_(frame);
+}
+
+}  // namespace mk::net

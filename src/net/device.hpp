@@ -1,0 +1,51 @@
+// A network interface bound to the simulated medium. One per node in the
+// default testbed (the System CF's device-listing operations enumerate
+// these).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/address.hpp"
+#include "net/frame.hpp"
+
+namespace mk::net {
+
+class SimMedium;
+
+class NetworkDevice {
+ public:
+  NetworkDevice(std::string name, Addr addr);
+  ~NetworkDevice();
+
+  NetworkDevice(const NetworkDevice&) = delete;
+  NetworkDevice& operator=(const NetworkDevice&) = delete;
+
+  const std::string& name() const { return name_; }
+  Addr addr() const { return addr_; }
+
+  bool is_up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  /// Sends a frame (stamping tx = this device's address).
+  /// Returns false on unicast link-layer failure or if the device is down
+  /// or unattached.
+  bool send(Frame frame);
+
+  using RxHandler = std::function<void(const Frame&)>;
+  void set_rx_handler(RxHandler handler) { rx_ = std::move(handler); }
+
+  /// Called by the medium on frame arrival.
+  void receive(const Frame& frame);
+
+ private:
+  friend class SimMedium;
+
+  std::string name_;
+  Addr addr_;
+  bool up_ = true;
+  SimMedium* medium_ = nullptr;
+  RxHandler rx_;
+};
+
+}  // namespace mk::net

@@ -1,0 +1,48 @@
+// Link-layer frames exchanged over the simulated medium.
+//
+// Control frames carry a serialized PacketBB packet (or a baseline's own
+// codec output) — this is the "UDP port 269/698" traffic of a real
+// deployment. Data frames model application packets routed hop-by-hop via
+// each node's kernel forwarding table; since both ends live in the same
+// process the payload stays structured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/time.hpp"
+
+namespace mk::net {
+
+enum class FrameKind : std::uint8_t { kControl, kData };
+
+/// End-to-end header of a data packet (IP-header analogue).
+struct DataHeader {
+  Addr src = kNoAddr;
+  Addr dst = kNoAddr;
+  std::uint32_t seq = 0;
+  std::uint8_t ttl = 64;
+  std::uint16_t payload_size = 0;  // bytes of simulated payload
+  TimePoint sent_at{};             // stamped at origination, for latency stats
+};
+
+struct Frame {
+  Addr tx = kNoAddr;        // transmitting interface
+  Addr rx = kBroadcast;     // link-level destination (kBroadcast for flooding)
+  FrameKind kind = FrameKind::kControl;
+  std::vector<std::uint8_t> payload;  // control: serialized packet
+  DataHeader data;                    // valid when kind == kData
+
+  /// Approximate on-air size, used for overhead accounting and per-byte
+  /// transmission delay (matches what a real trace would count).
+  std::size_t wire_size() const {
+    constexpr std::size_t kMacHeader = 34;  // 802.11-ish MAC+LLC overhead
+    return kMacHeader +
+           (kind == FrameKind::kControl
+                ? payload.size() + 28           // IP+UDP headers
+                : data.payload_size + 20u);     // IP header
+  }
+};
+
+}  // namespace mk::net

@@ -1,0 +1,45 @@
+#include "net/kernel_table.hpp"
+
+#include "util/assert.hpp"
+
+namespace mk::net {
+
+void KernelRouteTable::set_route(const RouteEntry& entry) {
+  MK_ASSERT(entry.dest != kNoAddr && entry.next_hop != kNoAddr);
+  routes_[entry.dest] = entry;
+  ++generation_;
+}
+
+bool KernelRouteTable::remove_route(Addr dest) {
+  bool erased = routes_.erase(dest) > 0;
+  if (erased) ++generation_;
+  return erased;
+}
+
+std::vector<Addr> KernelRouteTable::dests_via(Addr next_hop) const {
+  std::vector<Addr> out;
+  for (const auto& [dest, e] : routes_) {
+    if (e.next_hop == next_hop) out.push_back(dest);
+  }
+  return out;
+}
+
+std::optional<RouteEntry> KernelRouteTable::lookup(Addr dest) const {
+  auto it = routes_.find(dest);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RouteEntry> KernelRouteTable::entries() const {
+  std::vector<RouteEntry> out;
+  out.reserve(routes_.size());
+  for (const auto& [_, e] : routes_) out.push_back(e);
+  return out;
+}
+
+void KernelRouteTable::clear() {
+  if (!routes_.empty()) ++generation_;
+  routes_.clear();
+}
+
+}  // namespace mk::net

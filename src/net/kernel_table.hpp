@@ -1,0 +1,56 @@
+// Per-node "kernel" routing table — the OS forwarding state a routing daemon
+// manipulates (the System CF's S element wraps this, mirroring the paper's
+// kernel route-table manipulation API).
+//
+// Host routes only (a deliberate, uniform simplification — see DESIGN.md):
+// each entry maps a destination address to a next hop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/time.hpp"
+
+namespace mk::net {
+
+struct RouteEntry {
+  Addr dest = kNoAddr;
+  Addr next_hop = kNoAddr;
+  std::string iface = "wlan0";
+  std::uint32_t metric = 0;  // hop count
+  TimePoint installed_at{};
+};
+
+class KernelRouteTable {
+ public:
+  /// Adds or replaces the route to `entry.dest`.
+  void set_route(const RouteEntry& entry);
+
+  /// Removes the route to `dest`; returns true if one existed.
+  bool remove_route(Addr dest);
+
+  /// All routes whose next hop is `next_hop` (used for invalidation after a
+  /// link break).
+  std::vector<Addr> dests_via(Addr next_hop) const;
+
+  std::optional<RouteEntry> lookup(Addr dest) const;
+
+  std::vector<RouteEntry> entries() const;
+
+  std::size_t size() const { return routes_.size(); }
+  void clear();
+
+  /// Monotonic change counter (bumped on every mutation) — cheap way for
+  /// harnesses to detect convergence.
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::map<Addr, RouteEntry> routes_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace mk::net

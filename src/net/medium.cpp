@@ -1,0 +1,105 @@
+#include "net/medium.hpp"
+
+#include "net/device.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::net {
+
+SimMedium::SimMedium(Scheduler& sched, std::uint64_t seed)
+    : sched_(sched), rng_(seed) {}
+
+void SimMedium::attach(NetworkDevice& device) {
+  MK_ASSERT(device.medium_ == nullptr, "device already attached");
+  auto [_, inserted] = devices_.emplace(device.addr(), &device);
+  MK_ASSERT(inserted, "duplicate device address");
+  device.medium_ = this;
+}
+
+void SimMedium::detach(Addr addr) {
+  auto it = devices_.find(addr);
+  if (it == devices_.end()) return;
+  it->second->medium_ = nullptr;
+  devices_.erase(it);
+}
+
+void SimMedium::set_link(Addr a, Addr b, bool up, bool symmetric) {
+  MK_ASSERT(a != b);
+  auto apply = [&](Addr from, Addr to) {
+    bool was = adjacency_[from].count(to) > 0;
+    if (up) {
+      adjacency_[from].insert(to);
+    } else {
+      adjacency_[from].erase(to);
+    }
+    if (was != up) {
+      for (const auto& obs : link_observers_) obs(from, to, up);
+    }
+  };
+  apply(a, b);
+  if (symmetric) apply(b, a);
+}
+
+bool SimMedium::has_link(Addr from, Addr to) const {
+  auto it = adjacency_.find(from);
+  return it != adjacency_.end() && it->second.count(to) > 0;
+}
+
+void SimMedium::clear_links() {
+  // Emit down-notifications so observers stay consistent.
+  auto old = adjacency_;
+  adjacency_.clear();
+  for (const auto& [from, tos] : old) {
+    for (Addr to : tos) {
+      for (const auto& obs : link_observers_) obs(from, to, false);
+    }
+  }
+}
+
+std::set<Addr> SimMedium::neighbors_of(Addr a) const {
+  auto it = adjacency_.find(a);
+  return it == adjacency_.end() ? std::set<Addr>{} : it->second;
+}
+
+bool SimMedium::transmit(const Frame& frame) {
+  if (frame.kind == FrameKind::kControl) {
+    ++stats_.control_frames;
+    stats_.control_bytes += frame.wire_size();
+  } else {
+    ++stats_.data_frames;
+    stats_.data_bytes += frame.wire_size();
+  }
+
+  if (frame.rx == kBroadcast) {
+    for (Addr to : neighbors_of(frame.tx)) {
+      deliver_later(frame, to);
+    }
+    return true;
+  }
+  if (!has_link(frame.tx, frame.rx)) {
+    ++stats_.failed_unicasts;
+    return false;
+  }
+  deliver_later(frame, frame.rx);
+  return true;
+}
+
+void SimMedium::deliver_later(const Frame& frame, Addr to) {
+  if (loss_prob_ > 0.0 && rng_.bernoulli(loss_prob_)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  Duration delay =
+      base_delay_ + Duration{per_byte_delay_.count() *
+                             static_cast<std::int64_t>(frame.wire_size())};
+  sched_.schedule_after(delay, [this, frame, to] {
+    // Re-check adjacency at delivery time: the topology may have changed
+    // while the frame was "on the air".
+    if (frame.rx == kBroadcast && !has_link(frame.tx, to)) return;
+    auto it = devices_.find(to);
+    if (it == devices_.end() || !it->second->is_up()) return;
+    it->second->receive(frame);
+  });
+}
+
+}  // namespace mk::net

@@ -1,0 +1,39 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+
+namespace mk::net {
+
+SimNode::SimNode(std::uint32_t index, SimMedium& medium, Scheduler& sched)
+    : index_(index),
+      medium_(medium),
+      sched_(sched),
+      device_("wlan0", addr_for_index(index)),
+      fwd_(device_, table_, sched) {
+  medium_.attach(device_);
+  device_.set_rx_handler([this](const Frame& f) { on_frame(f); });
+  fwd_.set_deliver([this](const DataHeader& hdr) {
+    Delivery d{hdr, sched_.now()};
+    deliveries_.push_back(d);
+    if (on_delivery_) on_delivery_(d);
+  });
+}
+
+bool SimNode::send_control(std::vector<std::uint8_t> payload, Addr to) {
+  Frame frame;
+  frame.rx = to;
+  frame.kind = FrameKind::kControl;
+  frame.payload = std::move(payload);
+  if (tx_cost_ > 0.0) battery_ = std::max(0.0, battery_ - tx_cost_);
+  return device_.send(std::move(frame));
+}
+
+void SimNode::on_frame(const Frame& frame) {
+  if (frame.kind == FrameKind::kData) {
+    fwd_.handle_frame(frame);
+  } else if (control_) {
+    control_(frame);
+  }
+}
+
+}  // namespace mk::net

@@ -1,0 +1,85 @@
+// A simulated host: one network device, a kernel routing table, the data-plane
+// forwarding engine, a battery model and a position. Routing stacks — MANETKit
+// deployments or monolithic baselines — attach to a SimNode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/forwarding.hpp"
+#include "net/frame.hpp"
+#include "net/kernel_table.hpp"
+#include "net/medium.hpp"
+#include "util/scheduler.hpp"
+
+namespace mk::net {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class SimNode {
+ public:
+  SimNode(std::uint32_t index, SimMedium& medium, Scheduler& sched);
+
+  std::uint32_t index() const { return index_; }
+  Addr addr() const { return device_.addr(); }
+
+  NetworkDevice& device() { return device_; }
+  KernelRouteTable& kernel_table() { return table_; }
+  const KernelRouteTable& kernel_table() const { return table_; }
+  ForwardingEngine& forwarding() { return fwd_; }
+  SimMedium& medium() { return medium_; }
+  Scheduler& scheduler() { return sched_; }
+
+  // -- control-plane attach ----------------------------------------------------
+  /// Routing stacks receive every incoming *control* frame through this.
+  using ControlHandler = std::function<void(const Frame&)>;
+  void set_control_handler(ControlHandler handler) {
+    control_ = std::move(handler);
+  }
+
+  /// Convenience for routing stacks: broadcast/unicast a control payload.
+  bool send_control(std::vector<std::uint8_t> payload, Addr to = kBroadcast);
+
+  // -- application data --------------------------------------------------------
+  struct Delivery {
+    DataHeader hdr;
+    TimePoint at{};
+  };
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  void clear_deliveries() { deliveries_.clear(); }
+  using DeliveryCallback = std::function<void(const Delivery&)>;
+  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  // -- battery (context for power-aware routing) --------------------------------
+  double battery() const { return battery_; }
+  void set_battery(double level) { battery_ = level; }
+  /// Per-transmission energy cost, as a fraction of full charge.
+  void set_tx_cost(double cost) { tx_cost_ = cost; }
+
+  Position position() const { return pos_; }
+  void set_position(Position p) { pos_ = p; }
+
+ private:
+  void on_frame(const Frame& frame);
+
+  std::uint32_t index_;
+  SimMedium& medium_;
+  Scheduler& sched_;
+  NetworkDevice device_;
+  KernelRouteTable table_;
+  ForwardingEngine fwd_;
+  ControlHandler control_;
+  std::vector<Delivery> deliveries_;
+  DeliveryCallback on_delivery_;
+  double battery_ = 1.0;
+  double tx_cost_ = 0.0;
+  Position pos_;
+};
+
+}  // namespace mk::net

@@ -1,0 +1,113 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mk::net::topo {
+
+void linear(SimMedium& medium, std::span<const Addr> addrs) {
+  for (std::size_t i = 0; i + 1 < addrs.size(); ++i) {
+    medium.set_link(addrs[i], addrs[i + 1], true);
+  }
+}
+
+void ring(SimMedium& medium, std::span<const Addr> addrs) {
+  linear(medium, addrs);
+  if (addrs.size() > 2) {
+    medium.set_link(addrs.front(), addrs.back(), true);
+  }
+}
+
+void grid(SimMedium& medium, std::span<const Addr> addrs, std::size_t cols) {
+  MK_ASSERT(cols > 0);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if ((i + 1) % cols != 0 && i + 1 < addrs.size()) {
+      medium.set_link(addrs[i], addrs[i + 1], true);
+    }
+    if (i + cols < addrs.size()) {
+      medium.set_link(addrs[i], addrs[i + cols], true);
+    }
+  }
+}
+
+void full_mesh(SimMedium& medium, std::span<const Addr> addrs) {
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < addrs.size(); ++j) {
+      medium.set_link(addrs[i], addrs[j], true);
+    }
+  }
+}
+
+void apply_range_links(SimMedium& medium, std::span<SimNode* const> nodes,
+                       double range) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      Position a = nodes[i]->position();
+      Position b = nodes[j]->position();
+      double dx = a.x - b.x;
+      double dy = a.y - b.y;
+      bool in_range = std::sqrt(dx * dx + dy * dy) <= range;
+      if (medium.has_link(nodes[i]->addr(), nodes[j]->addr()) != in_range) {
+        medium.set_link(nodes[i]->addr(), nodes[j]->addr(), in_range);
+      }
+    }
+  }
+}
+
+void random_geometric(SimMedium& medium, std::span<SimNode* const> nodes,
+                      double w, double h, double range, Rng& rng) {
+  for (SimNode* n : nodes) {
+    n->set_position({rng.uniform(0.0, w), rng.uniform(0.0, h)});
+  }
+  apply_range_links(medium, nodes, range);
+}
+
+}  // namespace mk::net::topo
+
+namespace mk::net {
+
+RandomWaypoint::RandomWaypoint(SimMedium& medium, std::vector<SimNode*> nodes,
+                               Params params, std::uint64_t seed)
+    : medium_(medium), nodes_(std::move(nodes)), params_(params), rng_(seed) {
+  states_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->set_position(
+        {rng_.uniform(0.0, params_.width), rng_.uniform(0.0, params_.height)});
+    pick_waypoint(i);
+  }
+  topo::apply_range_links(medium_, nodes_, params_.range);
+}
+
+void RandomWaypoint::pick_waypoint(std::size_t i) {
+  states_[i].waypoint = {rng_.uniform(0.0, params_.width),
+                         rng_.uniform(0.0, params_.height)};
+  states_[i].speed = rng_.uniform(params_.min_speed, params_.max_speed);
+  states_[i].pause_left = 0.0;
+}
+
+void RandomWaypoint::step(Duration dt) {
+  double t = static_cast<double>(dt.count()) / 1e6;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    State& s = states_[i];
+    if (s.pause_left > 0.0) {
+      s.pause_left -= t;
+      continue;
+    }
+    Position p = nodes_[i]->position();
+    double dx = s.waypoint.x - p.x;
+    double dy = s.waypoint.y - p.y;
+    double dist = std::sqrt(dx * dx + dy * dy);
+    double travel = s.speed * t;
+    if (travel >= dist) {
+      nodes_[i]->set_position(s.waypoint);
+      s.pause_left = params_.pause;
+      pick_waypoint(i);
+    } else {
+      nodes_[i]->set_position({p.x + dx / dist * travel, p.y + dy / dist * travel});
+    }
+  }
+  topo::apply_range_links(medium_, nodes_, params_.range);
+}
+
+}  // namespace mk::net

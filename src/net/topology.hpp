@@ -1,0 +1,79 @@
+// Topology builders and mobility models for the simulated medium.
+//
+// linear() reproduces the paper's 5-node chain testbed; the other builders
+// and the RandomWaypoint model support the wider parameter sweeps in the
+// ablation benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "util/rng.hpp"
+
+namespace mk::net::topo {
+
+/// a—b—c—d—... chain (symmetric links).
+void linear(SimMedium& medium, std::span<const Addr> addrs);
+
+/// Chain closed into a cycle.
+void ring(SimMedium& medium, std::span<const Addr> addrs);
+
+/// Row-major grid with 4-neighbourhood links.
+void grid(SimMedium& medium, std::span<const Addr> addrs, std::size_t cols);
+
+/// Every pair adjacent (single dense cell).
+void full_mesh(SimMedium& medium, std::span<const Addr> addrs);
+
+/// Links derived from node positions: adjacent iff distance <= range.
+/// Reapplies from scratch (existing links outside the rule are torn down
+/// per-pair), so it is safe to call repeatedly as nodes move.
+void apply_range_links(SimMedium& medium, std::span<SimNode* const> nodes,
+                       double range);
+
+/// Places nodes uniformly at random in [0,w]x[0,h] and applies range links.
+void random_geometric(SimMedium& medium, std::span<SimNode* const> nodes,
+                      double w, double h, double range, Rng& rng);
+
+}  // namespace mk::net::topo
+
+namespace mk::net {
+
+/// Random-waypoint mobility: each node picks a waypoint, travels at a random
+/// speed, pauses, repeats. step(dt) advances positions and recomputes
+/// range-based adjacency on the medium.
+class RandomWaypoint {
+ public:
+  struct Params {
+    double width = 1000.0;
+    double height = 1000.0;
+    double min_speed = 1.0;   // m/s
+    double max_speed = 10.0;  // m/s
+    double pause = 2.0;       // s
+    double range = 250.0;     // radio range, m
+  };
+
+  RandomWaypoint(SimMedium& medium, std::vector<SimNode*> nodes, Params params,
+                 std::uint64_t seed = 7);
+
+  /// Advances the model by dt and reapplies range links.
+  void step(Duration dt);
+
+ private:
+  struct State {
+    Position waypoint;
+    double speed = 0.0;
+    double pause_left = 0.0;
+  };
+
+  void pick_waypoint(std::size_t i);
+
+  SimMedium& medium_;
+  std::vector<SimNode*> nodes_;
+  Params params_;
+  Rng rng_;
+  std::vector<State> states_;
+};
+
+}  // namespace mk::net

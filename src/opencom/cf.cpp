@@ -1,0 +1,217 @@
+#include "opencom/cf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mk::oc {
+
+std::size_t CfView::count_type(std::string_view type_name) const {
+  return static_cast<std::size_t>(
+      std::count_if(members_.begin(), members_.end(),
+                    [&](const Component* c) { return c->type_name() == type_name; }));
+}
+
+std::size_t CfView::count_providing(std::string_view iface_name) const {
+  return static_cast<std::size_t>(
+      std::count_if(members_.begin(), members_.end(), [&](const Component* c) {
+        return c->interface(iface_name) != nullptr;
+      }));
+}
+
+ComponentFramework::ComponentFramework(Kernel& kernel, std::string type_name)
+    : Component(std::move(type_name)), kernel_(kernel) {}
+
+ComponentFramework::~ComponentFramework() = default;
+
+void ComponentFramework::add_integrity_rule(IntegrityRule rule) {
+  MK_ASSERT(rule != nullptr);
+  std::scoped_lock lock(lock_);
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<const Component*> ComponentFramework::current_members() const {
+  std::vector<const Component*> out;
+  out.reserve(members_.size());
+  for (const auto& [_, comp] : members_) out.push_back(comp.get());
+  return out;
+}
+
+void ComponentFramework::check_integrity(
+    const std::vector<const Component*>& members) const {
+  CfView view{members};
+  for (const auto& rule : rules_) {
+    std::string err;
+    if (!rule(view, err)) {
+      throw std::logic_error("integrity rule violated in " + instance_name() +
+                             ": " + (err.empty() ? "(no detail)" : err));
+    }
+  }
+}
+
+ComponentId ComponentFramework::insert(std::unique_ptr<Component> comp) {
+  MK_ASSERT(comp != nullptr);
+  std::scoped_lock lock(lock_);
+  auto hypothetical = current_members();
+  hypothetical.push_back(comp.get());
+  check_integrity(hypothetical);
+  ComponentId id = next_id_++;
+  members_.emplace(id, std::move(comp));
+  return id;
+}
+
+ComponentId ComponentFramework::insert_type(std::string_view type_name) {
+  return insert(kernel_.instantiate(type_name));
+}
+
+void ComponentFramework::remove(ComponentId id) { extract(id); }
+
+std::unique_ptr<Component> ComponentFramework::extract(ComponentId id) {
+  std::scoped_lock lock(lock_);
+  auto it = members_.find(id);
+  if (it == members_.end()) {
+    throw std::logic_error("no such member component");
+  }
+  auto hypothetical = current_members();
+  hypothetical.erase(std::remove(hypothetical.begin(), hypothetical.end(),
+                                 it->second.get()),
+                     hypothetical.end());
+  check_integrity(hypothetical);
+  disconnect_all_involving(id);
+  auto comp = std::move(it->second);
+  members_.erase(it);
+  return comp;
+}
+
+ComponentId ComponentFramework::replace(ComponentId old_id,
+                                        std::unique_ptr<Component> replacement) {
+  MK_ASSERT(replacement != nullptr);
+  std::scoped_lock lock(lock_);
+  auto it = members_.find(old_id);
+  if (it == members_.end()) {
+    throw std::logic_error("no such member component");
+  }
+
+  // Validate the hypothetical composition with the replacement swapped in.
+  auto hypothetical = current_members();
+  std::replace(hypothetical.begin(), hypothetical.end(),
+               static_cast<const Component*>(it->second.get()),
+               static_cast<const Component*>(replacement.get()));
+  check_integrity(hypothetical);
+
+  // Remember the old component's bindings, then take it out.
+  std::vector<BindingInfo> old_bindings;
+  for (const auto& [bid, info] : bindings_) {
+    if (info.user == old_id || info.provider == old_id) {
+      old_bindings.push_back(info);
+    }
+  }
+  disconnect_all_involving(old_id);
+  members_.erase(it);
+
+  ComponentId new_id = next_id_++;
+  Component* new_comp = replacement.get();
+  members_.emplace(new_id, std::move(replacement));
+
+  // Re-establish every binding the replacement can satisfy.
+  for (const auto& b : old_bindings) {
+    if (b.user == old_id && new_comp->has_receptacle(b.receptacle)) {
+      if (member(b.provider) != nullptr) {
+        connect(new_id, b.receptacle, b.provider, b.iface);
+      }
+    } else if (b.provider == old_id &&
+               new_comp->interface(b.iface) != nullptr) {
+      if (member(b.user) != nullptr) {
+        connect(b.user, b.receptacle, new_id, b.iface);
+      }
+    }
+  }
+  return new_id;
+}
+
+BindingId ComponentFramework::connect(ComponentId user,
+                                      std::string_view receptacle,
+                                      ComponentId provider,
+                                      std::string_view iface) {
+  std::scoped_lock lock(lock_);
+  Component* u = member(user);
+  Component* p = member(provider);
+  if (u == nullptr || p == nullptr) {
+    throw std::logic_error("connect: unknown member component");
+  }
+  kernel_.bind(*u, receptacle, *p, iface);
+  BindingId id = next_id_++;
+  bindings_.emplace(id, BindingInfo{id, user, std::string{receptacle}, provider,
+                                    std::string{iface}});
+  return id;
+}
+
+void ComponentFramework::disconnect(BindingId id) {
+  std::scoped_lock lock(lock_);
+  auto it = bindings_.find(id);
+  if (it == bindings_.end()) {
+    throw std::logic_error("disconnect: unknown binding");
+  }
+  Component* u = member(it->second.user);
+  if (u != nullptr) {
+    kernel_.unbind(*u, it->second.receptacle);
+  }
+  bindings_.erase(it);
+}
+
+void ComponentFramework::disconnect_all_involving(ComponentId id) {
+  std::vector<BindingId> doomed;
+  for (const auto& [bid, info] : bindings_) {
+    if (info.user == id || info.provider == id) doomed.push_back(bid);
+  }
+  for (BindingId bid : doomed) disconnect(bid);
+}
+
+std::vector<ComponentId> ComponentFramework::members() const {
+  std::scoped_lock lock(lock_);
+  std::vector<ComponentId> out;
+  out.reserve(members_.size());
+  for (const auto& [id, _] : members_) out.push_back(id);
+  return out;
+}
+
+Component* ComponentFramework::member(ComponentId id) const {
+  std::scoped_lock lock(lock_);
+  auto it = members_.find(id);
+  return it == members_.end() ? nullptr : it->second.get();
+}
+
+Component* ComponentFramework::find(std::string_view instance_name) const {
+  std::scoped_lock lock(lock_);
+  for (const auto& [_, comp] : members_) {
+    if (comp->instance_name() == instance_name) return comp.get();
+  }
+  return nullptr;
+}
+
+ComponentId ComponentFramework::find_id(std::string_view instance_name) const {
+  std::scoped_lock lock(lock_);
+  for (const auto& [id, comp] : members_) {
+    if (comp->instance_name() == instance_name) return id;
+  }
+  return kNoComponent;
+}
+
+Component* ComponentFramework::find_providing(std::string_view iface_name) const {
+  std::scoped_lock lock(lock_);
+  for (const auto& [_, comp] : members_) {
+    if (comp->interface(iface_name) != nullptr) return comp.get();
+  }
+  return nullptr;
+}
+
+std::vector<BindingInfo> ComponentFramework::bindings() const {
+  std::scoped_lock lock(lock_);
+  std::vector<BindingInfo> out;
+  out.reserve(bindings_.size());
+  for (const auto& [_, info] : bindings_) out.push_back(info);
+  return out;
+}
+
+}  // namespace mk::oc

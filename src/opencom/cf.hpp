@@ -1,0 +1,146 @@
+// Component Frameworks (CFs): composite components that own plug-in
+// components, police integrity rules over their composition, and expose the
+// paper's *architecture meta-model* — a generic API through which the
+// interconnections of the composed set can be inspected and reconfigured.
+//
+// CFs are themselves Components, so they nest (MANETKit CF ⊃ ManetProtocol
+// CFs ⊃ ManetControl CF, ...). Reconfiguration safety is provided by the CF
+// lock: event-processing threads and reconfiguration threads both take it, so
+// a reconfigurer sees the CF quiescent (the paper's critical-section
+// mechanism, with OpenCom quiescence folded into the same lock).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opencom/component.hpp"
+#include "opencom/kernel.hpp"
+
+namespace mk::oc {
+
+using ComponentId = std::uint64_t;
+using BindingId = std::uint64_t;
+inline constexpr ComponentId kNoComponent = 0;
+
+/// Snapshot of one internal binding for the architecture meta-model.
+struct BindingInfo {
+  BindingId id = 0;
+  ComponentId user = kNoComponent;
+  std::string receptacle;
+  ComponentId provider = kNoComponent;
+  std::string iface;
+};
+
+class ComponentFramework;
+
+/// Read-only view of a (possibly hypothetical) composition, handed to
+/// integrity rules for validation *before* a mutation is committed.
+class CfView {
+ public:
+  explicit CfView(std::vector<const Component*> members)
+      : members_(std::move(members)) {}
+
+  const std::vector<const Component*>& members() const { return members_; }
+
+  std::size_t count_type(std::string_view type_name) const;
+  std::size_t count_providing(std::string_view iface_name) const;
+
+ private:
+  std::vector<const Component*> members_;
+};
+
+/// Returns true if the composition is legal; on failure fill `err`.
+using IntegrityRule =
+    std::function<bool(const CfView&, std::string& err)>;
+
+class ComponentFramework : public Component {
+ public:
+  ComponentFramework(Kernel& kernel, std::string type_name);
+  ~ComponentFramework() override;
+
+  Kernel& kernel() { return kernel_; }
+
+  // -- integrity ------------------------------------------------------------
+
+  /// Registers a rule checked on every insert/remove/replace.
+  void add_integrity_rule(IntegrityRule rule);
+
+  // -- composition (architecture meta-model: mutation) -----------------------
+
+  /// Inserts a plug-in, taking ownership. Throws std::logic_error if an
+  /// integrity rule rejects the resulting composition.
+  ComponentId insert(std::unique_ptr<Component> comp);
+
+  /// Instantiates `type_name` via the kernel and inserts it.
+  ComponentId insert_type(std::string_view type_name);
+
+  /// Removes and destroys a plug-in; its bindings (both directions) are
+  /// disconnected first. Throws if integrity rules reject the removal.
+  void remove(ComponentId id);
+
+  /// Removes a plug-in but returns it instead of destroying it (used for
+  /// state transfer — carrying an S component to a new protocol instance).
+  std::unique_ptr<Component> extract(ComponentId id);
+
+  /// Replaces `old_id` with `replacement`: disconnects the old component,
+  /// inserts the new one and re-establishes every binding the old component
+  /// participated in whose receptacle/interface names the replacement also
+  /// supports. Returns the new component's id.
+  ComponentId replace(ComponentId old_id, std::unique_ptr<Component> replacement);
+
+  /// Connects member `user`'s receptacle to member `provider`'s interface.
+  BindingId connect(ComponentId user, std::string_view receptacle,
+                    ComponentId provider, std::string_view iface);
+
+  void disconnect(BindingId id);
+
+  // -- architecture meta-model: introspection --------------------------------
+
+  std::vector<ComponentId> members() const;
+  Component* member(ComponentId id) const;
+
+  /// Finds the first member with the given instance name (nullptr if none).
+  Component* find(std::string_view instance_name) const;
+  ComponentId find_id(std::string_view instance_name) const;
+
+  /// Finds the first member providing interface `iface_name`.
+  Component* find_providing(std::string_view iface_name) const;
+
+  std::vector<BindingInfo> bindings() const;
+
+  std::size_t member_count() const { return members_.size(); }
+
+  // -- quiescence -------------------------------------------------------------
+
+  /// Acquires the CF lock. Event dispatch into this CF and reconfiguration
+  /// both hold it, so holding the guard means the CF is quiescent.
+  std::unique_lock<std::recursive_mutex> quiesce() const {
+    return std::unique_lock{lock_};
+  }
+
+  std::recursive_mutex& cf_lock() const { return lock_; }
+
+ private:
+  void check_integrity(const std::vector<const Component*>& members) const;
+  std::vector<const Component*> current_members() const;
+  void disconnect_all_involving(ComponentId id);
+
+  Kernel& kernel_;
+  std::uint64_t next_id_ = 1;
+  std::map<ComponentId, std::unique_ptr<Component>> members_;
+  std::map<BindingId, BindingInfo> bindings_;
+  std::vector<IntegrityRule> rules_;
+  mutable std::recursive_mutex lock_;
+};
+
+/// Paper-fidelity alias: each CF *exports* an architecture meta-model; in this
+/// implementation the CF's own API *is* that meta-model.
+using ArchitectureMetaModel = ComponentFramework;
+
+}  // namespace mk::oc

@@ -1,0 +1,100 @@
+// OpenCom-style component base class.
+//
+// Subclasses call provide() in their constructor to expose interfaces, and
+// declare_receptacle() to declare required interfaces. The Kernel (or a
+// ComponentFramework acting through it) connects receptacles to interfaces.
+//
+// The reflective *interface meta-model* of the paper is the introspection
+// API here: interfaces(), receptacles(), interface(name).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opencom/interface.hpp"
+
+namespace mk::oc {
+
+class Component;
+
+/// Introspection record for one receptacle (required interface).
+struct ReceptacleInfo {
+  std::string name;
+  std::string iface_type;
+  bool connected = false;
+  const Component* provider = nullptr;  // component currently plugged in
+};
+
+class Component {
+ public:
+  explicit Component(std::string type_name);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// The component *type* (factory name), e.g. "olsr.TcHandler".
+  const std::string& type_name() const { return type_name_; }
+
+  /// Optional per-instance name (defaults to the type name).
+  const std::string& instance_name() const { return instance_name_; }
+  void set_instance_name(std::string name) { instance_name_ = std::move(name); }
+
+  // -- interface meta-model --------------------------------------------------
+
+  /// Names of all provided interfaces.
+  std::vector<std::string> interfaces() const;
+
+  /// Looks up a provided interface; nullptr if not provided.
+  Interface* interface(std::string_view name) const;
+
+  /// Typed lookup; nullptr if absent or of the wrong dynamic type.
+  template <typename T>
+  T* interface_as(std::string_view name) const {
+    return dynamic_cast<T*>(interface(name));
+  }
+
+  /// All declared receptacles with their current connection state.
+  std::vector<ReceptacleInfo> receptacles() const;
+
+  bool has_receptacle(std::string_view name) const;
+
+  /// The interface currently plugged into a receptacle (nullptr if none).
+  Interface* plugged(std::string_view receptacle) const;
+
+  /// Typed access to the plugged interface.
+  template <typename T>
+  T* plugged_as(std::string_view receptacle) const {
+    return dynamic_cast<T*>(plugged(receptacle));
+  }
+
+  /// Component providing the interface plugged into a receptacle.
+  Component* plugged_provider(std::string_view receptacle) const;
+
+ protected:
+  /// Exposes an interface under `name`. The pointer must stay valid for the
+  /// component's lifetime (usually `this` or an owned member).
+  void provide(std::string name, Interface* iface);
+
+  /// Declares a receptacle requiring an interface of type `iface_type`.
+  void declare_receptacle(std::string name, std::string iface_type);
+
+ private:
+  friend class Kernel;
+
+  struct Receptacle {
+    std::string iface_type;
+    Interface* target = nullptr;
+    Component* provider = nullptr;
+  };
+
+  std::string type_name_;
+  std::string instance_name_;
+  std::map<std::string, Interface*, std::less<>> provided_;
+  std::map<std::string, Receptacle, std::less<>> receptacles_;
+};
+
+}  // namespace mk::oc

@@ -1,0 +1,17 @@
+// OpenCom-style interfaces.
+//
+// A component exposes named interfaces (points at which it can be invoked)
+// and declares named receptacles (points at which it requires an interface of
+// another component). Interfaces are plain abstract classes rooted at
+// oc::Interface; the name string is the interface *type* used for matching
+// receptacles to interfaces at bind time (the paper's interface meta-model).
+#pragma once
+
+namespace mk::oc {
+
+class Interface {
+ public:
+  virtual ~Interface() = default;
+};
+
+}  // namespace mk::oc

@@ -1,0 +1,258 @@
+#include "packetbb/packetbb.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace mk::pbb {
+
+namespace {
+
+constexpr std::uint8_t kPktFlagSeqnum = 0x01;
+constexpr std::uint8_t kMsgFlagOrig = 0x01;
+constexpr std::uint8_t kMsgFlagHops = 0x02;
+constexpr std::uint8_t kMsgFlagSeqnum = 0x04;
+
+void write_tlv(ByteWriter& w, std::uint8_t type,
+               const std::vector<std::uint8_t>& value) {
+  MK_ASSERT(value.size() <= 0xFFFF, "tlv too large");
+  w.put_u8(type);
+  w.put_u16(static_cast<std::uint16_t>(value.size()));
+  w.put_bytes(value);
+}
+
+Tlv read_tlv(ByteReader& r) {
+  Tlv t;
+  t.type = r.get_u8();
+  std::uint16_t len = r.get_u16();
+  t.value = r.get_bytes(len);
+  return t;
+}
+
+}  // namespace
+
+Tlv Tlv::u8(std::uint8_t type, std::uint8_t v) { return Tlv{type, {v}}; }
+
+Tlv Tlv::u16(std::uint8_t type, std::uint16_t v) {
+  return Tlv{type,
+             {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)}};
+}
+
+Tlv Tlv::u32(std::uint8_t type, std::uint32_t v) {
+  return Tlv{type,
+             {static_cast<std::uint8_t>(v >> 24),
+              static_cast<std::uint8_t>(v >> 16),
+              static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)}};
+}
+
+std::uint8_t Tlv::as_u8() const {
+  MK_ENSURE(value.size() >= 1, "tlv not u8");
+  return value[0];
+}
+
+std::uint16_t Tlv::as_u16() const {
+  MK_ENSURE(value.size() >= 2, "tlv not u16");
+  return static_cast<std::uint16_t>((value[0] << 8) | value[1]);
+}
+
+std::uint32_t Tlv::as_u32() const {
+  MK_ENSURE(value.size() >= 4, "tlv not u32");
+  return (static_cast<std::uint32_t>(value[0]) << 24) |
+         (static_cast<std::uint32_t>(value[1]) << 16) |
+         (static_cast<std::uint32_t>(value[2]) << 8) |
+         static_cast<std::uint32_t>(value[3]);
+}
+
+std::uint8_t AddressTlv::as_u8() const {
+  MK_ENSURE(value.size() >= 1, "addr tlv not u8");
+  return value[0];
+}
+
+std::uint32_t AddressTlv::as_u32() const {
+  MK_ENSURE(value.size() >= 4, "addr tlv not u32");
+  return (static_cast<std::uint32_t>(value[0]) << 24) |
+         (static_cast<std::uint32_t>(value[1]) << 16) |
+         (static_cast<std::uint32_t>(value[2]) << 8) |
+         static_cast<std::uint32_t>(value[3]);
+}
+
+void AddressBlock::add_with_u8(Addr a, std::uint8_t tlv_type, std::uint8_t v) {
+  MK_ASSERT(addrs.size() < 255, "address block full");
+  auto idx = static_cast<std::uint8_t>(addrs.size());
+  addrs.push_back(a);
+  tlvs.push_back(AddressTlv{tlv_type, idx, idx, {v}});
+}
+
+void AddressBlock::add_with_u32(Addr a, std::uint8_t tlv_type, std::uint32_t v) {
+  MK_ASSERT(addrs.size() < 255, "address block full");
+  auto idx = static_cast<std::uint8_t>(addrs.size());
+  addrs.push_back(a);
+  tlvs.push_back(AddressTlv{tlv_type, idx, idx,
+                            {static_cast<std::uint8_t>(v >> 24),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v)}});
+}
+
+const AddressTlv* AddressBlock::tlv_for(std::size_t i, std::uint8_t type) const {
+  for (const auto& t : tlvs) {
+    if (t.type == type && t.covers(i)) return &t;
+  }
+  return nullptr;
+}
+
+const Tlv* Message::find_tlv(std::uint8_t type) const {
+  for (const auto& t : tlvs) {
+    if (t.type == type) return &t;
+  }
+  return nullptr;
+}
+
+void Message::set_tlv(Tlv tlv) {
+  for (auto& t : tlvs) {
+    if (t.type == tlv.type) {
+      t = std::move(tlv);
+      return;
+    }
+  }
+  tlvs.push_back(std::move(tlv));
+}
+
+std::vector<std::uint8_t> serialize(const Packet& packet) {
+  ByteWriter w;
+  w.put_u8(packet.version);
+  w.put_u8(packet.seqnum ? kPktFlagSeqnum : 0);
+  if (packet.seqnum) w.put_u16(*packet.seqnum);
+
+  MK_ASSERT(packet.tlvs.size() <= 255, "too many packet tlvs");
+  w.put_u8(static_cast<std::uint8_t>(packet.tlvs.size()));
+  for (const auto& t : packet.tlvs) write_tlv(w, t.type, t.value);
+
+  MK_ASSERT(packet.messages.size() <= 255, "too many messages");
+  w.put_u8(static_cast<std::uint8_t>(packet.messages.size()));
+
+  for (const auto& m : packet.messages) {
+    w.put_u8(m.type);
+    std::uint8_t flags = 0;
+    if (m.originator) flags |= kMsgFlagOrig;
+    if (m.has_hops) flags |= kMsgFlagHops;
+    if (m.seqnum) flags |= kMsgFlagSeqnum;
+    w.put_u8(flags);
+    std::size_t size_slot = w.reserve_u16();
+    std::size_t msg_start = w.size();
+
+    if (m.originator) w.put_u32(*m.originator);
+    if (m.has_hops) {
+      w.put_u8(m.hop_limit);
+      w.put_u8(m.hop_count);
+    }
+    if (m.seqnum) w.put_u16(*m.seqnum);
+
+    MK_ASSERT(m.tlvs.size() <= 255, "too many message tlvs");
+    w.put_u8(static_cast<std::uint8_t>(m.tlvs.size()));
+    for (const auto& t : m.tlvs) write_tlv(w, t.type, t.value);
+
+    MK_ASSERT(m.addr_blocks.size() <= 255, "too many address blocks");
+    w.put_u8(static_cast<std::uint8_t>(m.addr_blocks.size()));
+    for (const auto& b : m.addr_blocks) {
+      MK_ASSERT(b.addrs.size() <= 255, "address block too large");
+      w.put_u8(static_cast<std::uint8_t>(b.addrs.size()));
+      for (Addr a : b.addrs) w.put_u32(a);
+      MK_ASSERT(b.tlvs.size() <= 255, "too many address tlvs");
+      w.put_u8(static_cast<std::uint8_t>(b.tlvs.size()));
+      for (const auto& t : b.tlvs) {
+        MK_ASSERT(t.value.size() <= 0xFFFF, "addr tlv too large");
+        w.put_u8(t.type);
+        w.put_u8(t.index_start);
+        w.put_u8(t.index_stop);
+        w.put_u16(static_cast<std::uint16_t>(t.value.size()));
+        w.put_bytes(t.value);
+      }
+    }
+
+    std::size_t msg_size = w.size() - msg_start;
+    MK_ASSERT(msg_size <= 0xFFFF, "message too large");
+    w.patch_u16(size_slot, static_cast<std::uint16_t>(msg_size));
+  }
+  return w.take();
+}
+
+Result<Packet> parse(std::span<const std::uint8_t> data) {
+  try {
+    ByteReader r(data);
+    Packet p;
+    p.version = r.get_u8();
+    std::uint8_t pflags = r.get_u8();
+    if (pflags & kPktFlagSeqnum) p.seqnum = r.get_u16();
+
+    std::uint8_t ntlvs = r.get_u8();
+    p.tlvs.reserve(ntlvs);
+    for (std::uint8_t i = 0; i < ntlvs; ++i) p.tlvs.push_back(read_tlv(r));
+
+    std::uint8_t nmsgs = r.get_u8();
+    p.messages.reserve(nmsgs);
+    for (std::uint8_t i = 0; i < nmsgs; ++i) {
+      Message m;
+      m.type = r.get_u8();
+      std::uint8_t flags = r.get_u8();
+      std::uint16_t size = r.get_u16();
+      ByteReader mr = r.slice(size);
+
+      if (flags & kMsgFlagOrig) m.originator = mr.get_u32();
+      if (flags & kMsgFlagHops) {
+        m.has_hops = true;
+        m.hop_limit = mr.get_u8();
+        m.hop_count = mr.get_u8();
+      }
+      if (flags & kMsgFlagSeqnum) m.seqnum = mr.get_u16();
+
+      std::uint8_t mtlvs = mr.get_u8();
+      m.tlvs.reserve(mtlvs);
+      for (std::uint8_t j = 0; j < mtlvs; ++j) m.tlvs.push_back(read_tlv(mr));
+
+      std::uint8_t nblocks = mr.get_u8();
+      m.addr_blocks.reserve(nblocks);
+      for (std::uint8_t j = 0; j < nblocks; ++j) {
+        AddressBlock b;
+        std::uint8_t naddrs = mr.get_u8();
+        b.addrs.reserve(naddrs);
+        for (std::uint8_t k = 0; k < naddrs; ++k) b.addrs.push_back(mr.get_u32());
+        std::uint8_t natlvs = mr.get_u8();
+        b.tlvs.reserve(natlvs);
+        for (std::uint8_t k = 0; k < natlvs; ++k) {
+          AddressTlv t;
+          t.type = mr.get_u8();
+          t.index_start = mr.get_u8();
+          t.index_stop = mr.get_u8();
+          std::uint16_t len = mr.get_u16();
+          t.value = mr.get_bytes(len);
+          if (!b.addrs.empty() &&
+              (t.index_start >= b.addrs.size() ||
+               t.index_stop >= b.addrs.size() || t.index_start > t.index_stop)) {
+            return Result<Packet>::fail("address tlv index out of range");
+          }
+          b.tlvs.push_back(std::move(t));
+        }
+        m.addr_blocks.push_back(std::move(b));
+      }
+      if (!mr.at_end()) {
+        return Result<Packet>::fail("trailing bytes inside message");
+      }
+      p.messages.push_back(std::move(m));
+    }
+    if (!r.at_end()) {
+      return Result<Packet>::fail("trailing bytes after packet");
+    }
+    return Result<Packet>::ok(std::move(p));
+  } catch (const BufferUnderflow&) {
+    return Result<Packet>::fail("truncated packet");
+  }
+}
+
+std::string addr_to_string(Addr a) {
+  return std::to_string((a >> 24) & 0xFF) + "." + std::to_string((a >> 16) & 0xFF) +
+         "." + std::to_string((a >> 8) & 0xFF) + "." + std::to_string(a & 0xFF);
+}
+
+}  // namespace mk::pbb

@@ -1,0 +1,123 @@
+// Generalized MANET packet/message format in the style of RFC 5444
+// (draft-ietf-manet-packetbb), which the paper adopts as the basis of
+// MANETKit's event structure (§4.2).
+//
+// A Packet carries packet-level TLVs plus a sequence of Messages. A Message
+// has an optional originator / hop fields / sequence number, message-level
+// TLVs, and Address Blocks; TLVs can be attached to address ranges within a
+// block. All protocol control traffic (OLSR HELLO/TC, DYMO RM/RERR, AODV
+// RREQ/RREP/RERR) is framed in this format, so a single parser and a single
+// generator component are shared by every protocol — a major source of the
+// paper's code-reuse numbers (Table 3).
+//
+// Wire format (big-endian, simplified relative to RFC 5444 — no address
+// prefix compression; uniform across all protocols in this repo):
+//   packet  := u8 version | u8 flags(bit0:seqnum) | [u16 seqnum]
+//              | u8 ntlvs | tlv* | u8 nmsgs | message*
+//   tlv     := u8 type | u16 length | byte*
+//   message := u8 type | u8 flags(bit0:orig,bit1:hops,bit2:seqnum)
+//              | u16 size (whole message, incl. header)
+//              | [u32 originator] | [u8 hop_limit | u8 hop_count]
+//              | [u16 seqnum] | u8 ntlvs | tlv* | u8 nblocks | addrblock*
+//   addrblock := u8 naddrs | u32*naddrs | u8 ntlvs | addrtlv*
+//   addrtlv := u8 type | u8 index_start | u8 index_stop | u16 length | byte*
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mk::pbb {
+
+/// Node address. IPv4-like 32-bit identifier (the simulator hands them out
+/// as 10.0.0.x).
+using Addr = std::uint32_t;
+
+struct Tlv {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> value;
+
+  static Tlv u8(std::uint8_t type, std::uint8_t v);
+  static Tlv u16(std::uint8_t type, std::uint16_t v);
+  static Tlv u32(std::uint8_t type, std::uint32_t v);
+  static Tlv empty(std::uint8_t type) { return Tlv{type, {}}; }
+
+  std::uint8_t as_u8() const;
+  std::uint16_t as_u16() const;
+  std::uint32_t as_u32() const;
+
+  bool operator==(const Tlv&) const = default;
+};
+
+/// TLV attached to the address index range [index_start, index_stop].
+struct AddressTlv {
+  std::uint8_t type = 0;
+  std::uint8_t index_start = 0;
+  std::uint8_t index_stop = 0;
+  std::vector<std::uint8_t> value;
+
+  std::uint8_t as_u8() const;
+  std::uint32_t as_u32() const;
+
+  bool covers(std::size_t index) const {
+    return index >= index_start && index <= index_stop;
+  }
+
+  bool operator==(const AddressTlv&) const = default;
+};
+
+struct AddressBlock {
+  std::vector<Addr> addrs;
+  std::vector<AddressTlv> tlvs;
+
+  /// Appends an address with a single u8-valued TLV attached to it.
+  void add_with_u8(Addr a, std::uint8_t tlv_type, std::uint8_t v);
+  void add_with_u32(Addr a, std::uint8_t tlv_type, std::uint32_t v);
+
+  /// First TLV of `type` covering address index `i` (nullptr if none).
+  const AddressTlv* tlv_for(std::size_t i, std::uint8_t type) const;
+
+  bool operator==(const AddressBlock&) const = default;
+};
+
+struct Message {
+  std::uint8_t type = 0;
+  std::optional<Addr> originator;
+  bool has_hops = false;
+  std::uint8_t hop_limit = 0;
+  std::uint8_t hop_count = 0;
+  std::optional<std::uint16_t> seqnum;
+  std::vector<Tlv> tlvs;
+  std::vector<AddressBlock> addr_blocks;
+
+  const Tlv* find_tlv(std::uint8_t type) const;
+  void set_tlv(Tlv tlv);  // replaces existing TLV of same type
+
+  bool operator==(const Message&) const = default;
+};
+
+struct Packet {
+  std::uint8_t version = 0;
+  std::optional<std::uint16_t> seqnum;
+  std::vector<Tlv> tlvs;
+  std::vector<Message> messages;
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Serializes to the wire format above. Never fails for well-formed inputs
+/// (asserts on count overflows, which indicate a protocol bug).
+std::vector<std::uint8_t> serialize(const Packet& packet);
+
+/// Parses an untrusted byte string; returns an error (never throws, never
+/// crashes) on malformed input.
+Result<Packet> parse(std::span<const std::uint8_t> data);
+
+/// Address pretty-printer ("10.0.0.7" style).
+std::string addr_to_string(Addr a);
+
+}  // namespace mk::pbb

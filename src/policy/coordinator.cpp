@@ -1,0 +1,182 @@
+#include "policy/coordinator.hpp"
+
+#include <deque>
+#include <map>
+
+#include "protocols/wire.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::policy {
+
+namespace {
+
+constexpr std::uint8_t kMsgReconfig = 40;
+constexpr std::uint8_t kTlvActionName = 11;
+constexpr std::uint8_t kFloodHopLimit = 16;
+constexpr std::size_t kDupWindow = 256;
+
+/// S element: registered actions, duplicate window, counters.
+class ReconfigState final : public oc::Component, public core::IState {
+ public:
+  ReconfigState() : oc::Component("policy.ReconfigState") {
+    set_instance_name("State");
+    provide("IState", static_cast<core::IState*>(this));
+  }
+
+  std::map<std::string, CoordinatedAction> actions;
+  core::Manetkit* kit = nullptr;
+  std::uint16_t epoch = 0;
+  std::uint64_t executed = 0;
+
+  bool seen(net::Addr origin, std::uint16_t ep) {
+    auto key = std::make_pair(origin, ep);
+    for (const auto& k : window_) {
+      if (k == key) return true;
+    }
+    window_.push_back(key);
+    if (window_.size() > kDupWindow) window_.pop_front();
+    return false;
+  }
+
+  std::string describe() const override {
+    return "reconfig actions: " + std::to_string(actions.size()) +
+           " executed: " + std::to_string(executed);
+  }
+
+ private:
+  std::deque<std::pair<net::Addr, std::uint16_t>> window_;
+};
+
+ReconfigState& state_of(core::ProtocolContext& ctx) {
+  auto* s = dynamic_cast<ReconfigState*>(ctx.state());
+  MK_ASSERT(s != nullptr, "coordinator has no ReconfigState");
+  return *s;
+}
+
+pbb::Message build_command(net::Addr self, std::uint16_t epoch,
+                           const std::string& action) {
+  pbb::Message m;
+  m.type = kMsgReconfig;
+  m.originator = self;
+  m.seqnum = epoch;
+  m.has_hops = true;
+  m.hop_limit = kFloodHopLimit;
+  m.hop_count = 0;
+  pbb::Tlv name_tlv;
+  name_tlv.type = kTlvActionName;
+  name_tlv.value.assign(action.begin(), action.end());
+  m.tlvs.push_back(std::move(name_tlv));
+  return m;
+}
+
+class ReconfigHandler final : public core::EventHandler {
+ public:
+  explicit ReconfigHandler(core::Manetkit& kit)
+      : core::EventHandler("policy.ReconfigHandler", {"RECONFIG_IN"}),
+        kit_(kit) {
+    set_instance_name("ReconfigHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (!event.msg || !event.msg->originator || !event.msg->seqnum) return;
+    const pbb::Message& msg = *event.msg;
+    if (*msg.originator == ctx.self()) return;
+
+    ReconfigState& st = state_of(ctx);
+    if (st.seen(*msg.originator, *msg.seqnum)) return;
+
+    const auto* name_tlv = msg.find_tlv(kTlvActionName);
+    if (name_tlv == nullptr) return;
+    std::string name(name_tlv->value.begin(), name_tlv->value.end());
+
+    // Relay first ("make before break": keep the campaign spreading even if
+    // our own enactment rewires this node's stack).
+    if (msg.has_hops && msg.hop_limit > 1) {
+      ev::Event out(ev::etype("RECONFIG_OUT"));
+      out.msg = msg;
+      out.msg->hop_limit -= 1;
+      out.msg->hop_count += 1;
+      ctx.emit(std::move(out));
+    }
+
+    auto it = st.actions.find(name);
+    if (it == st.actions.end()) {
+      MK_WARN("reconfig", "unknown coordinated action '", name, "' from ",
+              pbb::addr_to_string(*msg.originator));
+      return;
+    }
+    MK_INFO("reconfig", "executing coordinated action '", name, "' (epoch ",
+            *msg.seqnum, ")");
+    ++st.executed;
+    it->second(kit_);
+  }
+
+ private:
+  core::Manetkit& kit_;
+};
+
+}  // namespace
+
+core::ManetProtocolCf* deploy_coordinator(core::Manetkit& kit) {
+  if (auto* existing = kit.protocol("reconfig")) return existing;
+  if (!kit.has_builder("reconfig")) {
+    kit.register_protocol("reconfig", /*layer=*/30, [](core::Manetkit& k) {
+      k.system().register_message(kMsgReconfig, "RECONFIG");
+      auto cf = std::make_unique<core::ManetProtocolCf>(
+          k.kernel(), "reconfig", k.scheduler(), k.self(),
+          &k.system().sys_state());
+      auto state = std::make_unique<ReconfigState>();
+      state->kit = &k;
+      cf->set_state(std::move(state));
+      cf->add_handler(std::make_unique<ReconfigHandler>(k));
+      cf->declare_events({"RECONFIG_IN"}, {"RECONFIG_OUT"});
+      return cf;
+    });
+  }
+  return kit.deploy("reconfig");
+}
+
+void register_action(core::ManetProtocolCf& coordinator, std::string name,
+                     CoordinatedAction action) {
+  MK_ASSERT(action != nullptr);
+  auto lock = coordinator.quiesce();
+  state_of(coordinator.context()).actions[std::move(name)] =
+      std::move(action);
+}
+
+std::uint16_t initiate(core::ManetProtocolCf& coordinator,
+                       const std::string& action_name) {
+  CoordinatedAction local;
+  std::uint16_t epoch = 0;
+  core::Manetkit* kit = nullptr;
+  {
+    auto lock = coordinator.quiesce();
+    auto& ctx = coordinator.context();
+    ReconfigState& st = state_of(ctx);
+    auto it = st.actions.find(action_name);
+    MK_ENSURE(it != st.actions.end(),
+              "unknown coordinated action: " + action_name);
+    local = it->second;
+    kit = st.kit;
+    epoch = ++st.epoch;
+    st.seen(ctx.self(), epoch);  // don't re-execute our own flood
+    ++st.executed;
+
+    ev::Event out(ev::etype("RECONFIG_OUT"));
+    out.msg = build_command(ctx.self(), epoch, action_name);
+    ctx.emit(std::move(out));
+  }
+  // Run the local enactment outside the coordinator's lock: the action may
+  // itself quiesce other CFs and re-enter the manager.
+  MK_ASSERT(kit != nullptr);
+  local(*kit);
+  return epoch;
+}
+
+std::uint64_t commands_executed(core::ManetProtocolCf& coordinator) {
+  auto lock = coordinator.quiesce();
+  return state_of(coordinator.context()).executed;
+}
+
+}  // namespace mk::policy

@@ -1,0 +1,44 @@
+// Coordinated distributed reconfiguration (the paper's closing future-work
+// item: "coordinated distributed dynamic reconfiguration as well as merely
+// per-node reconfiguration").
+//
+// A small ManetProtocol CF ("reconfig") floods RECONFIG commands network-
+// wide (duplicate-suppressed, hop-limited). Each node registers named
+// actions ("switch-to-dymo", "apply-power-aware", ...); when a command
+// arrives — locally initiated or relayed — the matching action runs against
+// the local MANETKit instance. Commands carry an epoch so late/duplicate
+// floods of older campaigns are ignored.
+//
+//   auto* coord = policy::deploy_coordinator(kit);
+//   policy::register_action(*coord, "go-reactive", [](core::Manetkit& k) {
+//     if (k.is_deployed("olsr")) k.switch_protocol("olsr", "dymo", false);
+//   });
+//   policy::initiate(*coord, "go-reactive");   // this node + whole network
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/manet_protocol.hpp"
+#include "core/manetkit.hpp"
+
+namespace mk::policy {
+
+using CoordinatedAction = std::function<void(core::Manetkit&)>;
+
+/// Deploys (idempotently) the "reconfig" coordination CF on a kit.
+core::ManetProtocolCf* deploy_coordinator(core::Manetkit& kit);
+
+/// Registers/overwrites a named action on a deployed coordinator.
+void register_action(core::ManetProtocolCf& coordinator, std::string name,
+                     CoordinatedAction action);
+
+/// Runs the action locally and floods the command to the network. Returns
+/// the campaign epoch used.
+std::uint16_t initiate(core::ManetProtocolCf& coordinator,
+                       const std::string& action_name);
+
+/// Number of commands executed on this node (local + remote initiations).
+std::uint64_t commands_executed(core::ManetProtocolCf& coordinator);
+
+}  // namespace mk::policy

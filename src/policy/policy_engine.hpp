@@ -1,0 +1,114 @@
+// Policy-driven reconfiguration (the paper's §4.5 closed loop, with the
+// decision-making element it delegated to higher-level software [13]).
+//
+// MANETKit supplies (i) context monitoring — the Framework Manager's
+// concentrator plus polled IContext values — and (iii) reconfiguration
+// enactment. This engine adds (ii): event-condition-action rules evaluated
+// over a ContextView; matching rules fire enactment actions (deploy /
+// switch / apply variant ...) with per-rule cooldowns so oscillating context
+// does not thrash the configuration.
+//
+//   policy::Engine engine(kit);
+//   engine.add_rule({
+//     .name = "grow-to-reactive",
+//     .condition = [](const policy::ContextView& c) {
+//       return c.neighbor_count >= 6 && c.deployed("olsr"); },
+//     .action = [](core::Manetkit& kit) {
+//       kit.switch_protocol("olsr", "dymo", false); },
+//     .cooldown = mk::sec(30)});
+//   engine.start(mk::sec(2));   // evaluation period
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/manetkit.hpp"
+#include "util/timer.hpp"
+
+namespace mk::policy {
+
+/// Snapshot of node context a rule condition can inspect.
+struct ContextView {
+  double battery = 1.0;
+  std::size_t neighbor_count = 0;
+  std::size_t kernel_routes = 0;
+  /// Latest value per context-event attribute stream (e.g. POWER_STATUS).
+  std::map<std::string, double> signals;
+  std::set<std::string> deployed_protocols;
+  /// True while the power-aware OLSR variant is applied.
+  bool power_aware = false;
+  TimePoint now{};
+
+  bool deployed(const std::string& name) const {
+    return deployed_protocols.count(name) > 0;
+  }
+  double signal(const std::string& key, double fallback = 0.0) const {
+    auto it = signals.find(key);
+    return it == signals.end() ? fallback : it->second;
+  }
+};
+
+struct Rule {
+  std::string name;
+  std::function<bool(const ContextView&)> condition;
+  std::function<void(core::Manetkit&)> action;
+  /// Minimum spacing between firings of this rule.
+  Duration cooldown = sec(30);
+  /// Condition must hold for this many consecutive evaluations (debounce).
+  int sustain = 1;
+};
+
+class Engine {
+ public:
+  explicit Engine(core::Manetkit& kit);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  void add_rule(Rule rule);
+
+  /// Starts periodic evaluation. Also subscribes to context events so
+  /// `signals` carries the latest pushed values.
+  void start(Duration period = sec(2));
+  void stop();
+  bool running() const { return timer_ != nullptr; }
+
+  /// One synchronous evaluation pass (also used by the timer). Returns the
+  /// names of the rules that fired.
+  std::vector<std::string> evaluate();
+
+  /// Builds the current context snapshot (exposed for tests).
+  ContextView snapshot() const;
+
+  std::uint64_t evaluations() const { return evaluations_; }
+  const std::map<std::string, std::uint64_t>& firings() const {
+    return firings_;
+  }
+
+ private:
+  struct RuleState {
+    Rule rule;
+    TimePoint last_fired{-1'000'000'000};
+    int held = 0;
+  };
+
+  core::Manetkit& kit_;
+  std::vector<RuleState> rules_;
+  std::map<std::string, double> signals_;
+  std::unique_ptr<PeriodicTimer> timer_;
+  std::uint64_t evaluations_ = 0;
+  std::map<std::string, std::uint64_t> firings_;
+};
+
+/// The paper-motivated default policy set: proactive for small stable
+/// networks, reactive when the neighbourhood grows; power-aware OLSR while
+/// any node reports low energy. Returns the rules so callers can tweak.
+std::vector<Rule> default_adaptive_rules(std::size_t reactive_threshold = 6,
+                                         double low_battery = 0.3);
+
+}  // namespace mk::policy

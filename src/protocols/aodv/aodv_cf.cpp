@@ -1,0 +1,504 @@
+#include "protocols/aodv/aodv_cf.hpp"
+
+#include "core/attrs.hpp"
+#include "protocols/neighbor/neighbor_cf.hpp"
+#include "protocols/wire.hpp"
+#include "util/assert.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mk::proto {
+
+namespace {
+
+using core::attrs::kDest;
+using core::attrs::kNeighbor;
+using core::attrs::kNextHop;
+using core::attrs::kUnicastTo;
+using core::attrs::kUp;
+
+AodvState& aodv_state_of(core::ProtocolContext& ctx) {
+  auto* s = dynamic_cast<AodvState*>(ctx.state());
+  MK_ASSERT(s != nullptr, "AODV CF has no AodvState S element");
+  return *s;
+}
+
+void install_route(core::ProtocolContext& ctx, net::Addr dest,
+                   net::Addr next_hop, std::uint8_t hops) {
+  if (ctx.sys() == nullptr) return;
+  net::RouteEntry entry;
+  entry.dest = dest;
+  entry.next_hop = next_hop;
+  entry.metric = hops;
+  entry.installed_at = ctx.now();
+  ctx.sys()->kernel_table().set_route(entry);
+}
+
+void remove_route(core::ProtocolContext& ctx, net::Addr dest) {
+  if (ctx.sys() != nullptr) ctx.sys()->kernel_table().remove_route(dest);
+}
+
+void emit_route_found(core::ProtocolContext& ctx, net::Addr dest) {
+  ev::Event e(ev::types::ROUTE_FOUND);
+  e.set_int(kDest, dest);
+  ctx.emit(std::move(e));
+}
+
+pbb::Message build_rreq(AodvState& st, net::Addr self, net::Addr target,
+                        const AodvParams& params) {
+  pbb::Message m;
+  m.type = wire::kMsgAodvRreq;
+  m.originator = self;
+  m.seqnum = st.bump_seq();
+  m.has_hops = true;
+  m.hop_limit = params.net_diameter;
+  m.hop_count = 0;
+  m.tlvs.push_back(pbb::Tlv::u32(wire::kTlvRreqId, st.next_rreq_id()));
+  pbb::AddressBlock block;
+  auto known = st.route_to(target);
+  if (known && known->seq_valid) {
+    block.add_with_u32(target, wire::kAtlvSeqnum, known->dest_seq);
+  } else {
+    block.addrs.push_back(target);
+  }
+  m.addr_blocks.push_back(std::move(block));
+  return m;
+}
+
+pbb::Message build_rrep(net::Addr dest, std::uint16_t dest_seq,
+                        net::Addr rreq_origin, std::uint8_t initial_hops,
+                        const AodvParams& params) {
+  pbb::Message m;
+  m.type = wire::kMsgAodvRrep;
+  m.originator = dest;
+  m.seqnum = dest_seq;
+  m.has_hops = true;
+  m.hop_limit = params.net_diameter;
+  m.hop_count = initial_hops;
+  pbb::AddressBlock block;
+  block.addrs.push_back(rreq_origin);
+  m.addr_blocks.push_back(std::move(block));
+  return m;
+}
+
+pbb::Message build_rerr(
+    const std::vector<std::pair<net::Addr, std::uint16_t>>& unreachable) {
+  pbb::Message m;
+  m.type = wire::kMsgAodvRerr;
+  m.has_hops = true;
+  m.hop_limit = 1;  // RFC 3561: RERRs travel hop-by-hop via precursors
+  m.hop_count = 0;
+  pbb::AddressBlock block;
+  for (const auto& [dest, seq] : unreachable) {
+    block.add_with_u32(dest, wire::kAtlvSeqnum, seq);
+  }
+  m.addr_blocks.push_back(std::move(block));
+  return m;
+}
+
+void send_rreq_for(core::ProtocolContext& ctx, net::Addr target,
+                   const AodvParams& params) {
+  AodvState& st = aodv_state_of(ctx);
+  ev::Event e(ev::etype(ev::types::AODV_OUT));
+  e.msg = build_rreq(st, ctx.self(), target, params);
+  ctx.emit(std::move(e));
+}
+
+/// RREQ / RREP / RERR processing, demultiplexed on the PacketBB type.
+class AodvHandler final : public core::EventHandler {
+ public:
+  explicit AodvHandler(AodvParams params)
+      : core::EventHandler("aodv.AodvHandler", {ev::types::AODV_IN}),
+        params_(params) {
+    set_instance_name("AodvHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (!event.msg) return;
+    switch (event.msg->type) {
+      case wire::kMsgAodvRreq:
+        on_rreq(event, ctx);
+        break;
+      case wire::kMsgAodvRrep:
+        on_rrep(event, ctx);
+        break;
+      case wire::kMsgAodvRerr:
+        on_rerr(event, ctx);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void learn(core::ProtocolContext& ctx, net::Addr dest, std::uint16_t seq,
+             bool seq_valid, net::Addr next_hop, std::uint8_t hops) {
+    if (dest == ctx.self()) return;
+    AodvState& st = aodv_state_of(ctx);
+    if (st.update_route(dest, seq, seq_valid, next_hop, hops, ctx.now(),
+                        params_.active_route_timeout)) {
+      install_route(ctx, dest, next_hop, hops);
+      st.finish_pending(dest);
+      emit_route_found(ctx, dest);
+    }
+  }
+
+  void on_rreq(const ev::Event& event, core::ProtocolContext& ctx) {
+    const pbb::Message& msg = *event.msg;
+    if (!msg.originator || !msg.seqnum || !msg.has_hops) return;
+    if (*msg.originator == ctx.self()) return;
+    const auto* id_tlv = msg.find_tlv(wire::kTlvRreqId);
+    if (id_tlv == nullptr || msg.addr_blocks.empty() ||
+        msg.addr_blocks[0].addrs.empty()) {
+      return;
+    }
+    AodvState& st = aodv_state_of(ctx);
+
+    // Reverse route to the originator.
+    learn(ctx, *msg.originator, *msg.seqnum, true, event.from,
+          static_cast<std::uint8_t>(msg.hop_count + 1));
+
+    if (st.check_rreq_seen(*msg.originator, id_tlv->as_u32(), ctx.now())) {
+      return;
+    }
+
+    net::Addr target = msg.addr_blocks[0].addrs[0];
+    const auto* want_seq = msg.addr_blocks[0].tlv_for(0, wire::kAtlvSeqnum);
+
+    if (target == ctx.self()) {
+      // RFC 3561 §6.6.1: our seq must be at least the requested one.
+      if (want_seq != nullptr) {
+        auto wanted = static_cast<std::uint16_t>(want_seq->as_u32());
+        while (static_cast<std::int16_t>(st.own_seq() - wanted) < 0) {
+          st.bump_seq();
+        }
+      }
+      st.bump_seq();
+      ev::Event out(ev::etype(ev::types::AODV_OUT));
+      out.msg = build_rrep(ctx.self(), st.own_seq(), *msg.originator, 0,
+                           params_);
+      out.set_int(kUnicastTo, event.from);
+      ctx.emit(std::move(out));
+      return;
+    }
+
+    // Intermediate reply: answer from our own table when fresh enough.
+    auto route = st.route_to(target);
+    if (route && route->valid && route->seq_valid && want_seq != nullptr &&
+        static_cast<std::int16_t>(
+            route->dest_seq -
+            static_cast<std::uint16_t>(want_seq->as_u32())) >= 0) {
+      st.add_precursor(target, event.from);
+      ev::Event out(ev::etype(ev::types::AODV_OUT));
+      out.msg =
+          build_rrep(target, route->dest_seq, *msg.originator, route->hops,
+                     params_);
+      out.set_int(kUnicastTo, event.from);
+      ctx.emit(std::move(out));
+      return;
+    }
+
+    if (msg.hop_limit <= 1) return;
+    ev::Event out(ev::etype(ev::types::AODV_OUT));
+    out.msg = msg;
+    out.msg->hop_limit -= 1;
+    out.msg->hop_count += 1;
+    ctx.emit(std::move(out));
+  }
+
+  void on_rrep(const ev::Event& event, core::ProtocolContext& ctx) {
+    const pbb::Message& msg = *event.msg;
+    if (!msg.originator || !msg.seqnum || !msg.has_hops) return;
+    if (msg.addr_blocks.empty() || msg.addr_blocks[0].addrs.empty()) return;
+
+    // Forward route to the destination that answered.
+    learn(ctx, *msg.originator, *msg.seqnum, true, event.from,
+          static_cast<std::uint8_t>(msg.hop_count + 1));
+
+    net::Addr rreq_origin = msg.addr_blocks[0].addrs[0];
+    if (rreq_origin == ctx.self()) return;  // discovery complete
+
+    AodvState& st = aodv_state_of(ctx);
+    auto reverse = st.route_to(rreq_origin);
+    if (!reverse || !reverse->valid) return;
+    st.add_precursor(*msg.originator, reverse->next_hop);
+    st.add_precursor(rreq_origin, event.from);
+
+    if (msg.hop_limit <= 1) return;
+    ev::Event out(ev::etype(ev::types::AODV_OUT));
+    out.msg = msg;
+    out.msg->hop_limit -= 1;
+    out.msg->hop_count += 1;
+    out.set_int(kUnicastTo, reverse->next_hop);
+    ctx.emit(std::move(out));
+  }
+
+  void on_rerr(const ev::Event& event, core::ProtocolContext& ctx) {
+    const pbb::Message& msg = *event.msg;
+    AodvState& st = aodv_state_of(ctx);
+    std::vector<std::pair<net::Addr, std::uint16_t>> propagate;
+    for (const auto& block : msg.addr_blocks) {
+      for (std::size_t i = 0; i < block.addrs.size(); ++i) {
+        net::Addr dest = block.addrs[i];
+        auto route = st.route_to(dest);
+        if (!route || !route->valid || route->next_hop != event.from) continue;
+        if (auto seq = st.invalidate(dest)) {
+          remove_route(ctx, dest);
+          propagate.emplace_back(dest, *seq);
+        }
+      }
+    }
+    if (!propagate.empty()) {
+      ev::Event out(ev::etype(ev::types::AODV_OUT));
+      out.msg = build_rerr(propagate);
+      ctx.emit(std::move(out));
+    }
+  }
+
+  AodvParams params_;
+};
+
+class AodvNoRouteHandler final : public core::EventHandler {
+ public:
+  explicit AodvNoRouteHandler(AodvParams params)
+      : core::EventHandler("aodv.NoRouteHandler", {ev::types::NO_ROUTE}),
+        params_(params) {
+    set_instance_name("NoRouteHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    auto dest = static_cast<net::Addr>(event.get_int(kDest));
+    if (dest == net::kNoAddr) return;
+    AodvState& st = aodv_state_of(ctx);
+    auto route = st.route_to(dest);
+    if (route && route->valid) {
+      emit_route_found(ctx, dest);
+      return;
+    }
+    if (st.has_pending(dest)) return;
+    st.start_pending(dest, ctx.now(), params_.rreq_wait);
+    send_rreq_for(ctx, dest, params_);
+  }
+
+ private:
+  AodvParams params_;
+};
+
+class AodvRouteUpdateHandler final : public core::EventHandler {
+ public:
+  explicit AodvRouteUpdateHandler(AodvParams params)
+      : core::EventHandler("aodv.RouteUpdateHandler",
+                           {ev::types::ROUTE_UPDATE}),
+        params_(params) {
+    set_instance_name("RouteUpdateHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    auto dest = static_cast<net::Addr>(event.get_int(kDest));
+    aodv_state_of(ctx).extend_lifetime(dest, ctx.now(),
+                                       params_.active_route_timeout);
+  }
+
+ private:
+  AodvParams params_;
+};
+
+class AodvInvalidationHandler final : public core::EventHandler {
+ public:
+  explicit AodvInvalidationHandler(AodvParams params)
+      : core::EventHandler("aodv.InvalidationHandler",
+                           {ev::types::SEND_ROUTE_ERR, ev::types::NHOOD_CHANGE}),
+        params_(params) {
+    set_instance_name("InvalidationHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    net::Addr hop = net::kNoAddr;
+    if (event.type() == ev::etype(ev::types::SEND_ROUTE_ERR)) {
+      hop = static_cast<net::Addr>(event.get_int(kNextHop));
+    } else {
+      if (event.get_int(kUp, 1) != 0) return;
+      hop = static_cast<net::Addr>(event.get_int(kNeighbor));
+    }
+    if (hop == net::kNoAddr) return;
+    AodvState& st = aodv_state_of(ctx);
+    auto unreachable = st.invalidate_via(hop);
+    for (const auto& [dest, _] : unreachable) remove_route(ctx, dest);
+    if (!unreachable.empty()) {
+      ev::Event out(ev::etype(ev::types::AODV_OUT));
+      out.msg = build_rerr(unreachable);
+      ctx.emit(std::move(out));
+    }
+  }
+
+ private:
+  AodvParams params_;
+};
+
+class AodvMaintenance final : public core::EventSource {
+ public:
+  explicit AodvMaintenance(AodvParams params)
+      : core::EventSource("aodv.Maintenance"), params_(params) {
+    set_instance_name("Maintenance");
+  }
+
+  void start(core::ProtocolContext& ctx) override {
+    ctx_ = &ctx;
+    timer_ = std::make_unique<PeriodicTimer>(
+        ctx.scheduler(), params_.sweep_interval, [this] { fire(); },
+        /*jitter=*/0.0, /*seed=*/ctx.self() + 5);
+    timer_->start();
+  }
+
+  void stop() override { timer_.reset(); }
+
+ private:
+  void fire() {
+    AodvState& st = aodv_state_of(*ctx_);
+    TimePoint now = ctx_->now();
+    for (net::Addr dest : st.expire(now)) remove_route(*ctx_, dest);
+    std::vector<net::Addr> gave_up;
+    for (net::Addr dest : st.due_retries(now, gave_up)) {
+      send_rreq_for(*ctx_, dest, params_);
+    }
+    st.expire_rreq_cache(now, params_.rreq_id_hold);
+  }
+
+  AodvParams params_;
+  core::ProtocolContext* ctx_ = nullptr;
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+/// The §4.3 piggybacking example: advertise a few routing-table entries in
+/// each HELLO so neighbours learn routes without discovery. A bridge
+/// component ties the provider/observer lifetime to the AODV CF.
+class PiggybackBridge final : public oc::Component {
+ public:
+  static constexpr std::size_t kMaxAdvertised = 5;
+
+  PiggybackBridge(core::ManetProtocolCf& aodv, NeighborTable& table,
+                  AodvParams params)
+      : oc::Component("aodv.PiggybackBridge"),
+        alive_(std::make_shared<bool>(true)) {
+    set_instance_name("PiggybackBridge");
+    auto alive = alive_;
+    core::ManetProtocolCf* proto = &aodv;
+
+    table.add_piggyback_provider([alive, proto]() -> std::optional<pbb::Tlv> {
+      if (!*alive) return std::nullopt;
+      auto* st = dynamic_cast<AodvState*>(proto->state_component());
+      if (st == nullptr || st->route_count() == 0) return std::nullopt;
+      ByteWriter w;
+      std::size_t n = 0;
+      for (const auto& [dest, r] : st->all_routes()) {
+        if (n >= kMaxAdvertised) break;
+        if (!r.valid) continue;
+        w.put_u32(dest);
+        w.put_u32(r.next_hop);  // split horizon: receivers skip routes via themselves
+        w.put_u16(r.dest_seq);
+        w.put_u8(r.hops);
+        ++n;
+      }
+      if (n == 0) return std::nullopt;
+      if (n == 0) return std::nullopt;
+      return pbb::Tlv{wire::kTlvPiggyback, w.take()};
+    });
+
+    AodvParams params_copy = params;
+    table.add_piggyback_observer(
+        [alive, proto, params_copy](net::Addr from, const pbb::Tlv& tlv) {
+          if (!*alive || tlv.type != wire::kTlvPiggyback) return;
+          auto* st = dynamic_cast<AodvState*>(proto->state_component());
+          if (st == nullptr) return;
+          auto& ctx = proto->context();
+          ByteReader r(tlv.value);
+          try {
+            while (r.remaining() >= 11) {
+              net::Addr dest = r.get_u32();
+              net::Addr via = r.get_u32();
+              std::uint16_t seq = r.get_u16();
+              std::uint8_t hops = r.get_u8();
+              if (dest == ctx.self()) continue;
+              // Split horizon: the advertised route runs through us — using
+              // it back through the advertiser would form a 2-node loop.
+              if (via == ctx.self()) continue;
+              if (st->update_route(dest, seq, true, from,
+                                   static_cast<std::uint8_t>(hops + 1),
+                                   ctx.now(), params_copy.active_route_timeout)) {
+                install_route(ctx, dest, from,
+                              static_cast<std::uint8_t>(hops + 1));
+              }
+            }
+          } catch (const BufferUnderflow&) {
+            // malformed advert from a buggy neighbour: ignore
+          }
+        });
+  }
+
+  ~PiggybackBridge() override { *alive_ = false; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::ManetProtocolCf> build_aodv_cf(core::Manetkit& kit,
+                                                     AodvParams params) {
+  core::ManetProtocolCf* neighbor = kit.deploy("neighbor");
+  kit.system().ensure_netlink();
+  kit.system().register_message(wire::kMsgAodvRreq, "AODV");
+  kit.system().register_message(wire::kMsgAodvRrep, "AODV");
+  kit.system().register_message(wire::kMsgAodvRerr, "AODV");
+
+  auto cf = std::make_unique<core::ManetProtocolCf>(
+      kit.kernel(), "aodv", kit.scheduler(), kit.self(),
+      &kit.system().sys_state());
+
+  cf->set_state(std::make_unique<AodvState>());
+  cf->add_handler(std::make_unique<AodvHandler>(params));
+  cf->add_handler(std::make_unique<AodvNoRouteHandler>(params));
+  cf->add_handler(std::make_unique<AodvRouteUpdateHandler>(params));
+  cf->add_handler(std::make_unique<AodvInvalidationHandler>(params));
+  cf->add_source(std::make_unique<AodvMaintenance>(params));
+
+  if (params.piggyback_routes) {
+    if (auto* table =
+            dynamic_cast<NeighborTable*>(neighbor->state_component())) {
+      cf->insert(std::make_unique<PiggybackBridge>(*cf, *table, params));
+    }
+  }
+
+  cf->declare_events(
+      /*required=*/{ev::types::AODV_IN, ev::types::NO_ROUTE,
+                    ev::types::ROUTE_UPDATE, ev::types::SEND_ROUTE_ERR,
+                    ev::types::NHOOD_CHANGE},
+      /*provided=*/{ev::types::AODV_OUT, ev::types::ROUTE_FOUND},
+      /*exclusive=*/{ev::types::NO_ROUTE});
+  return cf;
+}
+
+void register_aodv(core::Manetkit& kit, AodvParams params) {
+  if (!kit.has_builder("neighbor")) register_neighbor(kit);
+  kit.register_protocol(
+      "aodv", /*layer=*/20,
+      [params](core::Manetkit& k) { return build_aodv_cf(k, params); },
+      /*category=*/"reactive");
+}
+
+AodvState* aodv_state(core::ManetProtocolCf& cf) {
+  return dynamic_cast<AodvState*>(cf.state_component());
+}
+
+void aodv_discover(core::ManetProtocolCf& cf, net::Addr target,
+                   AodvParams params) {
+  auto lock = cf.quiesce();
+  auto& ctx = cf.context();
+  AodvState& st = aodv_state_of(ctx);
+  if (st.has_pending(target)) return;
+  st.start_pending(target, ctx.now(), params.rreq_wait);
+  send_rreq_for(ctx, target, params);
+}
+
+}  // namespace mk::proto

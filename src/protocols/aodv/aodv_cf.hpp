@@ -1,0 +1,47 @@
+// The AODV CF — the protocol the paper's original (Java) MANETKit
+// proof-of-concept implemented [WWASN 2008]. RFC 3561 core: expanding
+// route discovery with RREQ-IDs and destination sequence numbers, unicast
+// RREP along the reverse route, precursor-aware RERR, plus the paper's
+// §4.3 example of piggybacking routing-table entries on the Neighbour
+// Detection CF's HELLOs so neighbours learn routes for free.
+//
+// Event tuple:
+//   required = {AODV_IN, NO_ROUTE, ROUTE_UPDATE, SEND_ROUTE_ERR,
+//               NHOOD_CHANGE}   (NO_ROUTE exclusively)
+//   provided = {AODV_OUT, ROUTE_FOUND}
+//
+// All three AODV message kinds (RREQ / RREP / RERR) flow through the single
+// AODV_IN/AODV_OUT pair, demultiplexed by PacketBB message type inside the
+// handlers — demonstrating that the framework does not force one event type
+// per message kind.
+#pragma once
+
+#include <memory>
+
+#include "core/manet_protocol.hpp"
+#include "core/manetkit.hpp"
+#include "protocols/aodv/aodv_state.hpp"
+
+namespace mk::proto {
+
+struct AodvParams {
+  Duration active_route_timeout = sec(3);
+  Duration rreq_wait = sec(1);
+  Duration rreq_id_hold = sec(6);
+  Duration sweep_interval = msec(500);
+  std::uint8_t net_diameter = 35;  // RREQ hop limit
+  bool piggyback_routes = true;    // advertise routes in HELLOs
+};
+
+std::unique_ptr<core::ManetProtocolCf> build_aodv_cf(core::Manetkit& kit,
+                                                     AodvParams params = {});
+
+/// Registers "aodv" (layer 20, category "reactive").
+void register_aodv(core::Manetkit& kit, AodvParams params = {});
+
+AodvState* aodv_state(core::ManetProtocolCf& cf);
+
+void aodv_discover(core::ManetProtocolCf& cf, net::Addr target,
+                   AodvParams params = {});
+
+}  // namespace mk::proto

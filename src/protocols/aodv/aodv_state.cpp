@@ -1,0 +1,168 @@
+#include "protocols/aodv/aodv_state.hpp"
+
+#include <sstream>
+
+namespace mk::proto {
+
+namespace {
+
+bool seq_newer(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(a - b) > 0;
+}
+
+}  // namespace
+
+AodvState::AodvState() : oc::Component("aodv.AodvState") {
+  set_instance_name("State");
+  provide("IAodvState", static_cast<IAodvState*>(this));
+  provide("IState", static_cast<core::IState*>(this));
+}
+
+bool AodvState::update_route(net::Addr dest, std::uint16_t seq, bool seq_valid,
+                             net::Addr next_hop, std::uint8_t hops,
+                             TimePoint now, Duration lifetime) {
+  auto it = routes_.find(dest);
+  if (it != routes_.end()) {
+    const AodvRoute& r = it->second;
+    bool accept = !r.seq_valid || (seq_valid && seq_newer(seq, r.dest_seq)) ||
+                  (seq_valid && seq == r.dest_seq &&
+                   (!r.valid || hops < r.hops));
+    if (!accept) {
+      if (r.valid && r.next_hop == next_hop) {
+        it->second.expires = now + lifetime;
+      }
+      return false;
+    }
+  }
+  AodvRoute r;
+  if (it != routes_.end()) r.precursors = it->second.precursors;
+  r.dest = dest;
+  r.next_hop = next_hop;
+  r.dest_seq = seq;
+  r.seq_valid = seq_valid;
+  r.hops = hops;
+  r.valid = true;
+  r.expires = now + lifetime;
+  routes_[dest] = std::move(r);
+  return true;
+}
+
+void AodvState::add_precursor(net::Addr dest, net::Addr precursor) {
+  auto it = routes_.find(dest);
+  if (it != routes_.end()) it->second.precursors.insert(precursor);
+}
+
+std::vector<std::pair<net::Addr, std::uint16_t>> AodvState::invalidate_via(
+    net::Addr next_hop) {
+  std::vector<std::pair<net::Addr, std::uint16_t>> out;
+  for (auto& [dest, r] : routes_) {
+    if (r.valid && r.next_hop == next_hop) {
+      r.valid = false;
+      ++r.dest_seq;  // RFC 3561 §6.11: increment on invalidation
+      out.emplace_back(dest, r.dest_seq);
+    }
+  }
+  return out;
+}
+
+std::optional<std::uint16_t> AodvState::invalidate(net::Addr dest) {
+  auto it = routes_.find(dest);
+  if (it == routes_.end() || !it->second.valid) return std::nullopt;
+  it->second.valid = false;
+  ++it->second.dest_seq;
+  return it->second.dest_seq;
+}
+
+void AodvState::extend_lifetime(net::Addr dest, TimePoint now,
+                                Duration lifetime) {
+  auto it = routes_.find(dest);
+  if (it != routes_.end() && it->second.valid) {
+    it->second.expires = now + lifetime;
+  }
+}
+
+std::vector<net::Addr> AodvState::expire(TimePoint now) {
+  std::vector<net::Addr> out;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    AodvRoute& r = it->second;
+    if (r.expires >= now) {
+      ++it;
+      continue;
+    }
+    if (r.valid) {
+      // Phase 1: stop using it, keep the seqnum memory for DELETE_PERIOD.
+      r.valid = false;
+      ++r.dest_seq;
+      r.expires = now + kAodvDeletePeriod;
+      out.push_back(it->first);
+      ++it;
+    } else {
+      it = routes_.erase(it);
+    }
+  }
+  return out;
+}
+
+std::optional<AodvRoute> AodvState::route_to(net::Addr dest) const {
+  auto it = routes_.find(dest);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AodvState::check_rreq_seen(net::Addr origin, std::uint32_t rreq_id,
+                                TimePoint now) {
+  auto [it, inserted] = rreq_seen_.emplace(std::make_pair(origin, rreq_id), now);
+  if (!inserted) {
+    it->second = now;
+    return true;
+  }
+  return false;
+}
+
+void AodvState::expire_rreq_cache(TimePoint now, Duration hold) {
+  for (auto it = rreq_seen_.begin(); it != rreq_seen_.end();) {
+    it = (now - it->second > hold) ? rreq_seen_.erase(it) : std::next(it);
+  }
+}
+
+bool AodvState::has_pending(net::Addr dest) const {
+  return pending_.find(dest) != pending_.end();
+}
+
+void AodvState::start_pending(net::Addr dest, TimePoint now, Duration wait) {
+  pending_[dest] = Pending{1, now + wait, wait};
+}
+
+std::vector<net::Addr> AodvState::due_retries(TimePoint now,
+                                              std::vector<net::Addr>& gave_up) {
+  std::vector<net::Addr> retry;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = it->second;
+    if (p.next_retry > now) {
+      ++it;
+      continue;
+    }
+    if (p.tries >= kMaxTries) {
+      gave_up.push_back(it->first);
+      it = pending_.erase(it);
+      continue;
+    }
+    ++p.tries;
+    p.backoff = p.backoff * 2;
+    p.next_retry = now + p.backoff;
+    retry.push_back(it->first);
+    ++it;
+  }
+  return retry;
+}
+
+void AodvState::finish_pending(net::Addr dest) { pending_.erase(dest); }
+
+std::string AodvState::describe() const {
+  std::ostringstream os;
+  os << "aodv routes: " << routes_.size() << " seq: " << own_seq_
+     << " rreq-id: " << rreq_id_;
+  return os.str();
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,97 @@
+// S element of the AODV CF (RFC 3561 core): routing table with destination
+// sequence numbers and precursor lists, RREQ-ID duplicate cache, and the
+// pending-discovery table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/ifaces.hpp"
+#include "net/address.hpp"
+#include "opencom/component.hpp"
+#include "util/time.hpp"
+
+namespace mk::proto {
+
+struct AodvRoute {
+  net::Addr dest = net::kNoAddr;
+  net::Addr next_hop = net::kNoAddr;
+  std::uint16_t dest_seq = 0;
+  bool seq_valid = false;
+  std::uint8_t hops = 0;
+  bool valid = true;
+  TimePoint expires{};
+  std::set<net::Addr> precursors;
+};
+
+/// How long an expired/invalidated entry is retained (sequence-number
+/// memory) before deletion — RFC 3561's DELETE_PERIOD. Forgetting too early
+/// lets stale same-sequence adverts re-form loops.
+inline constexpr Duration kAodvDeletePeriod = sec(15);
+
+struct IAodvState : oc::Interface {
+  virtual std::optional<AodvRoute> route_to(net::Addr dest) const = 0;
+  virtual std::size_t route_count() const = 0;
+};
+
+class AodvState : public oc::Component, public core::IState, public IAodvState {
+ public:
+  AodvState();
+
+  /// Standard AODV acceptance rule (newer seq, or equal seq with fewer
+  /// hops, or unknown seq on the existing entry).
+  bool update_route(net::Addr dest, std::uint16_t seq, bool seq_valid,
+                    net::Addr next_hop, std::uint8_t hops, TimePoint now,
+                    Duration lifetime);
+
+  void add_precursor(net::Addr dest, net::Addr precursor);
+
+  std::vector<std::pair<net::Addr, std::uint16_t>> invalidate_via(
+      net::Addr next_hop);
+  std::optional<std::uint16_t> invalidate(net::Addr dest);
+  void extend_lifetime(net::Addr dest, TimePoint now, Duration lifetime);
+
+  /// Two-phase expiry (RFC 3561): lapsed *valid* routes become invalid (and
+  /// are returned for kernel-route removal, with their seqnum memory kept);
+  /// entries invalid for longer than kAodvDeletePeriod are finally deleted.
+  std::vector<net::Addr> expire(TimePoint now);
+
+  std::optional<AodvRoute> route_to(net::Addr dest) const override;
+  std::size_t route_count() const override { return routes_.size(); }
+  const std::map<net::Addr, AodvRoute>& all_routes() const { return routes_; }
+
+  std::uint16_t own_seq() const { return own_seq_; }
+  std::uint16_t bump_seq() { return ++own_seq_; }
+  std::uint32_t next_rreq_id() { return ++rreq_id_; }
+
+  /// RREQ duplicate cache keyed by (originator, rreq id).
+  bool check_rreq_seen(net::Addr origin, std::uint32_t rreq_id, TimePoint now);
+  void expire_rreq_cache(TimePoint now, Duration hold);
+
+  // -- pending discoveries (same discipline as DYMO) ---------------------------
+  static constexpr std::uint8_t kMaxTries = 2;  // RREQ_RETRIES in RFC 3561
+  bool has_pending(net::Addr dest) const;
+  void start_pending(net::Addr dest, TimePoint now, Duration wait);
+  std::vector<net::Addr> due_retries(TimePoint now,
+                                     std::vector<net::Addr>& gave_up);
+  void finish_pending(net::Addr dest);
+
+  std::string describe() const override;
+
+ private:
+  struct Pending {
+    std::uint8_t tries = 1;
+    TimePoint next_retry{};
+    Duration backoff{};
+  };
+  std::map<net::Addr, AodvRoute> routes_;
+  std::uint16_t own_seq_ = 1;
+  std::uint32_t rreq_id_ = 0;
+  std::map<std::pair<net::Addr, std::uint32_t>, TimePoint> rreq_seen_;
+  std::map<net::Addr, Pending> pending_;
+};
+
+}  // namespace mk::proto

@@ -1,0 +1,192 @@
+#include "protocols/dymo/dymo_state.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mk::proto {
+
+namespace {
+
+bool seq_newer(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(a - b) > 0;
+}
+
+}  // namespace
+
+DymoState::DymoState() : oc::Component("dymo.DymoState") {
+  set_instance_name("State");
+  provide("IDymoState", static_cast<IDymoState*>(this));
+  provide("IState", static_cast<core::IState*>(this));
+}
+
+bool DymoState::update_route(net::Addr dest, std::uint16_t seq,
+                             net::Addr next_hop, std::uint8_t hops,
+                             TimePoint now, Duration lifetime) {
+  auto it = routes_.find(dest);
+  if (it != routes_.end()) {
+    const DymoRoute& r = it->second;
+    bool improves = seq_newer(seq, r.seqnum) ||
+                    (seq == r.seqnum && !r.valid) ||
+                    (seq == r.seqnum && r.active() != nullptr &&
+                     hops < r.active()->hops);
+    if (!improves) {
+      // Same info; still refresh the lifetime if it matches the active path.
+      if (seq == r.seqnum && r.valid && r.active() != nullptr &&
+          r.active()->next_hop == next_hop) {
+        it->second.expires = now + lifetime;
+      }
+      return false;
+    }
+  }
+  DymoRoute r;
+  r.dest = dest;
+  r.seqnum = seq;
+  r.valid = true;
+  r.expires = now + lifetime;
+  r.paths = {DymoPath{next_hop, hops}};
+  routes_[dest] = std::move(r);
+  return true;
+}
+
+std::vector<std::pair<net::Addr, std::uint16_t>> DymoState::invalidate_via(
+    net::Addr next_hop) {
+  std::vector<std::pair<net::Addr, std::uint16_t>> out;
+  for (auto& [dest, r] : routes_) {
+    if (r.valid && r.active() != nullptr && r.active()->next_hop == next_hop) {
+      r.valid = false;
+      out.emplace_back(dest, r.seqnum);
+    }
+  }
+  return out;
+}
+
+std::optional<std::uint16_t> DymoState::invalidate(net::Addr dest) {
+  auto it = routes_.find(dest);
+  if (it == routes_.end() || !it->second.valid) return std::nullopt;
+  it->second.valid = false;
+  return it->second.seqnum;
+}
+
+void DymoState::extend_lifetime(net::Addr dest, TimePoint now,
+                                Duration lifetime) {
+  auto it = routes_.find(dest);
+  if (it != routes_.end() && it->second.valid) {
+    it->second.expires = now + lifetime;
+  }
+}
+
+std::vector<net::Addr> DymoState::expire(TimePoint now) {
+  std::vector<net::Addr> out;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second.expires < now) {
+      out.push_back(it->first);
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::optional<DymoRoute> DymoState::route_to(net::Addr dest) const {
+  auto it = routes_.find(dest);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+DymoRoute* DymoState::mutable_route(net::Addr dest) {
+  auto it = routes_.find(dest);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+bool DymoState::has_pending(net::Addr dest) const {
+  return pending_.find(dest) != pending_.end();
+}
+
+void DymoState::start_pending(net::Addr dest, TimePoint now, Duration wait) {
+  pending_[dest] = Pending{1, now + wait, wait};
+}
+
+std::vector<net::Addr> DymoState::due_retries(TimePoint now,
+                                              std::vector<net::Addr>& gave_up) {
+  std::vector<net::Addr> retry;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = it->second;
+    if (p.next_retry > now) {
+      ++it;
+      continue;
+    }
+    if (p.tries >= kMaxTries) {
+      gave_up.push_back(it->first);
+      it = pending_.erase(it);
+      continue;
+    }
+    ++p.tries;
+    p.backoff = p.backoff * 2;  // binary exponential backoff
+    p.next_retry = now + p.backoff;
+    retry.push_back(it->first);
+    ++it;
+  }
+  return retry;
+}
+
+void DymoState::finish_pending(net::Addr dest) { pending_.erase(dest); }
+
+bool DymoState::check_duplicate(net::Addr origin, std::uint16_t seq,
+                                TimePoint now) {
+  auto key = std::make_pair(origin, seq);
+  auto [it, inserted] = duplicates_.emplace(key, now);
+  if (!inserted) {
+    it->second = now;
+    return true;
+  }
+  return false;
+}
+
+void DymoState::expire_duplicates(TimePoint now, Duration hold) {
+  for (auto it = duplicates_.begin(); it != duplicates_.end();) {
+    it = (now - it->second > hold) ? duplicates_.erase(it) : std::next(it);
+  }
+}
+
+std::string DymoState::describe() const {
+  std::ostringstream os;
+  os << "dymo routes: " << routes_.size() << " pending: " << pending_.size()
+     << " seq: " << own_seq_;
+  return os.str();
+}
+
+MultipathDymoState::MultipathDymoState(const DymoState& base) {
+  // State transfer: carry the route table (the other tables are transient).
+  routes_ = base.all_routes();
+}
+
+bool MultipathDymoState::add_alternate_path(net::Addr dest, net::Addr next_hop,
+                                            std::uint8_t hops) {
+  DymoRoute* r = mutable_route(dest);
+  if (r == nullptr || !r->valid) return false;
+  if (r->paths.size() >= kMaxPaths) return false;
+  for (const DymoPath& p : r->paths) {
+    if (p.next_hop == next_hop) return false;  // not link-disjoint
+  }
+  r->paths.push_back(DymoPath{next_hop, hops});
+  return true;
+}
+
+std::optional<DymoPath> MultipathDymoState::fail_over(net::Addr dest) {
+  DymoRoute* r = mutable_route(dest);
+  if (r == nullptr || r->paths.empty()) return std::nullopt;
+  r->paths.erase(r->paths.begin());
+  if (r->paths.empty()) {
+    r->valid = false;
+    return std::nullopt;
+  }
+  return r->paths.front();
+}
+
+std::size_t MultipathDymoState::path_count(net::Addr dest) const {
+  auto r = route_to(dest);
+  return r.has_value() ? r->paths.size() : 0;
+}
+
+}  // namespace mk::proto

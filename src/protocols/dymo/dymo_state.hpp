@@ -1,0 +1,133 @@
+// S element of the DYMO CF: the reactive routing table (with sequence
+// numbers and lifetimes), the pending route-discovery (RREQ) table with
+// binary exponential backoff, and the RREQ duplicate set.
+//
+// The route representation carries a *path list* so the multipath variant
+// can replace the S component with one that accommodates multiple
+// link-disjoint paths per destination (§5.2) while sharing this base.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ifaces.hpp"
+#include "net/address.hpp"
+#include "opencom/component.hpp"
+#include "util/time.hpp"
+
+namespace mk::proto {
+
+struct DymoPath {
+  net::Addr next_hop = net::kNoAddr;
+  std::uint8_t hops = 0;
+};
+
+struct DymoRoute {
+  net::Addr dest = net::kNoAddr;
+  std::uint16_t seqnum = 0;
+  bool valid = true;
+  TimePoint expires{};
+  std::vector<DymoPath> paths;  // [0] is the active path
+
+  const DymoPath* active() const { return paths.empty() ? nullptr : &paths[0]; }
+};
+
+struct IDymoState : oc::Interface {
+  virtual std::optional<DymoRoute> route_to(net::Addr dest) const = 0;
+  virtual std::size_t route_count() const = 0;
+};
+
+class DymoState : public oc::Component, public core::IState, public IDymoState {
+ public:
+  DymoState();
+
+  // -- routing table ------------------------------------------------------------
+  /// Applies learned routing information. Accepted (returns true) if the
+  /// destination is unknown, the seqnum is newer, or seqnum ties and the hop
+  /// count improves (loop-freedom rule). Resets the path list to the single
+  /// new path and refreshes the lifetime.
+  bool update_route(net::Addr dest, std::uint16_t seq, net::Addr next_hop,
+                    std::uint8_t hops, TimePoint now, Duration lifetime);
+
+  /// Invalidates all valid routes whose *active* path uses `next_hop`;
+  /// returns (dest, seq) pairs for the RERR.
+  std::vector<std::pair<net::Addr, std::uint16_t>> invalidate_via(
+      net::Addr next_hop);
+
+  /// Invalidates one destination; returns its seq if a valid route existed.
+  std::optional<std::uint16_t> invalidate(net::Addr dest);
+
+  void extend_lifetime(net::Addr dest, TimePoint now, Duration lifetime);
+
+  /// Drops expired routes; returns their destinations (for kernel cleanup).
+  std::vector<net::Addr> expire(TimePoint now);
+
+  std::optional<DymoRoute> route_to(net::Addr dest) const override;
+  DymoRoute* mutable_route(net::Addr dest);
+  std::size_t route_count() const override { return routes_.size(); }
+  const std::map<net::Addr, DymoRoute>& all_routes() const { return routes_; }
+
+  // -- sequence number --------------------------------------------------------------
+  std::uint16_t own_seq() const { return own_seq_; }
+  std::uint16_t bump_seq() { return ++own_seq_; }
+
+  // -- pending discoveries --------------------------------------------------------------
+  static constexpr std::uint8_t kMaxTries = 3;
+
+  bool has_pending(net::Addr dest) const;
+  void start_pending(net::Addr dest, TimePoint now, Duration wait);
+  /// Destinations whose retry timer elapsed; bumps their try-counter and
+  /// doubles the backoff. Entries past kMaxTries are dropped and reported in
+  /// `gave_up`.
+  std::vector<net::Addr> due_retries(TimePoint now,
+                                     std::vector<net::Addr>& gave_up);
+  void finish_pending(net::Addr dest);
+  std::size_t pending_count() const { return pending_.size(); }
+
+  // -- RREQ duplicate set ------------------------------------------------------------------
+  bool check_duplicate(net::Addr origin, std::uint16_t seq, TimePoint now);
+  void expire_duplicates(TimePoint now, Duration hold);
+
+  std::string describe() const override;
+
+ protected:
+  std::map<net::Addr, DymoRoute> routes_;
+
+ private:
+  struct Pending {
+    std::uint8_t tries = 1;
+    TimePoint next_retry{};
+    Duration backoff{};
+  };
+  std::uint16_t own_seq_ = 1;
+  std::map<net::Addr, Pending> pending_;
+  std::map<std::pair<net::Addr, std::uint16_t>, TimePoint> duplicates_;
+};
+
+/// Multipath S component: same tables, plus alternate link-disjoint paths.
+class MultipathDymoState final : public DymoState {
+ public:
+  MultipathDymoState() = default;
+
+  /// State transfer from the standard S component (route table carried over).
+  explicit MultipathDymoState(const DymoState& base);
+
+  static constexpr std::size_t kMaxPaths = 3;
+
+  /// Records an alternate path if its next hop is disjoint from every
+  /// existing path's next hop. Returns true if added.
+  bool add_alternate_path(net::Addr dest, net::Addr next_hop,
+                          std::uint8_t hops);
+
+  /// Drops the active path and promotes the next alternate; returns the new
+  /// active path, or nullopt if none remain (route becomes invalid).
+  std::optional<DymoPath> fail_over(net::Addr dest);
+
+  std::size_t path_count(net::Addr dest) const;
+};
+
+}  // namespace mk::proto

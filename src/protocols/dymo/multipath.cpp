@@ -1,0 +1,155 @@
+#include "protocols/dymo/multipath.hpp"
+
+#include "core/attrs.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::proto {
+
+namespace {
+
+using core::attrs::kDest;
+
+MultipathDymoState& mp_state_of(core::ProtocolContext& ctx) {
+  auto* s = dynamic_cast<MultipathDymoState*>(ctx.state());
+  MK_ASSERT(s != nullptr, "multipath DYMO has no MultipathDymoState");
+  return *s;
+}
+
+/// RE handler mining duplicates for link-disjoint paths.
+class MultipathReHandler final : public ReHandler {
+ public:
+  explicit MultipathReHandler(DymoParams params)
+      : ReHandler("dymo.MultipathReHandler", params) {}
+
+ protected:
+  /// Duplicate RREQ at the target: answer it too (bounded by kMaxPaths), so
+  /// the originator learns one RREP per disjoint approach direction.
+  void on_duplicate_rreq_at_target(const ev::Event& event,
+                                   core::ProtocolContext& ctx) override {
+    MultipathDymoState& st = mp_state_of(ctx);
+    net::Addr orig = *event.msg->originator;
+    // Record the alternate reverse path first, then reply along it.
+    bool added = st.add_alternate_path(
+        orig, event.from, static_cast<std::uint8_t>(event.msg->hop_count + 1));
+    // Reply with the *same* sequence number as the first RREP so the
+    // originator treats this as an equal-freshness alternative path.
+    if (added) send_rrep(event, ctx, /*bump_seq=*/false);
+  }
+
+  /// Duplicate RREQ at an intermediate node: keep the alternate reverse
+  /// path, do not rebroadcast (the first copy already did).
+  void on_duplicate_rreq(const ev::Event& event,
+                         core::ProtocolContext& ctx) override {
+    mp_state_of(ctx).add_alternate_path(
+        *event.msg->originator, event.from,
+        static_cast<std::uint8_t>(event.msg->hop_count + 1));
+  }
+
+  /// RREP at the discovery originator: later copies arriving via a different
+  /// first hop contribute alternate forward paths.
+  void on_rrep_at_origin(const ev::Event& event,
+                         core::ProtocolContext& ctx) override {
+    MultipathDymoState& st = mp_state_of(ctx);
+    net::Addr dest = *event.msg->originator;  // the RREP sender == target
+    st.add_alternate_path(
+        dest, event.from, static_cast<std::uint8_t>(event.msg->hop_count + 1));
+    st.finish_pending(dest);
+  }
+
+ private:
+};
+
+/// Route-error handler that fails over before reporting.
+class MultipathInvalidationHandler final : public RouteInvalidationHandler {
+ public:
+  explicit MultipathInvalidationHandler(DymoParams params)
+      : RouteInvalidationHandler("dymo.MultipathInvalidationHandler", params) {}
+
+ protected:
+  std::vector<std::pair<net::Addr, std::uint16_t>> fail_via(
+      net::Addr hop, core::ProtocolContext& ctx) override {
+    MultipathDymoState& st = mp_state_of(ctx);
+    std::vector<std::pair<net::Addr, std::uint16_t>> unreachable;
+
+    // Collect destinations whose *active* path uses the broken hop, then try
+    // alternates before declaring them unreachable.
+    std::vector<net::Addr> affected;
+    for (const auto& [dest, route] : st.all_routes()) {
+      if (route.valid && route.active() != nullptr &&
+          route.active()->next_hop == hop) {
+        affected.push_back(dest);
+      }
+    }
+    for (net::Addr dest : affected) {
+      if (auto alt = st.fail_over(dest)) {
+        dymo_install_kernel_route(ctx, dest, alt->next_hop, alt->hops);
+        // Flush anything NetLink buffered meanwhile.
+        ev::Event e(ev::types::ROUTE_FOUND);
+        e.set_int(kDest, dest);
+        ctx.emit(std::move(e));
+        MK_DEBUG("dymo", "failed over ", pbb::addr_to_string(dest), " to ",
+                 pbb::addr_to_string(alt->next_hop));
+      } else {
+        auto route = st.route_to(dest);
+        dymo_remove_kernel_route(ctx, dest);
+        unreachable.emplace_back(dest, route ? route->seqnum : 0);
+      }
+    }
+    return unreachable;
+  }
+};
+
+}  // namespace
+
+void apply_multipath_dymo(core::Manetkit& kit, DymoParams params) {
+  core::ManetProtocolCf* dymo = kit.protocol("dymo");
+  MK_ENSURE(dymo != nullptr, "multipath variant requires deployed dymo");
+  if (is_multipath_dymo(kit)) return;
+
+  auto lock = dymo->quiesce();
+
+  // 1. S component: new format, state carried over.
+  auto* old_state = dymo_state(*dymo);
+  MK_ASSERT(old_state != nullptr);
+  auto new_state = std::make_unique<MultipathDymoState>(*old_state);
+  dymo->set_state(std::move(new_state));
+
+  // 2 & 3. Handler replacements.
+  dymo->replace_handler("ReHandler",
+                        std::make_unique<MultipathReHandler>(params));
+  dymo->replace_handler("RouteErrHandler",
+                        std::make_unique<MultipathInvalidationHandler>(params));
+}
+
+void remove_multipath_dymo(core::Manetkit& kit, DymoParams params) {
+  core::ManetProtocolCf* dymo = kit.protocol("dymo");
+  MK_ENSURE(dymo != nullptr, "dymo not deployed");
+  if (!is_multipath_dymo(kit)) return;
+
+  auto lock = dymo->quiesce();
+  auto* old_state = dymo_state(*dymo);
+  auto new_state = std::make_unique<DymoState>();
+  // Carry routes back, truncating each to its active path.
+  if (old_state != nullptr) {
+    for (const auto& [dest, route] : old_state->all_routes()) {
+      if (route.valid && route.active() != nullptr) {
+        new_state->update_route(dest, route.seqnum, route.active()->next_hop,
+                                route.active()->hops,
+                                dymo->context().now(), params.route_lifetime);
+      }
+    }
+  }
+  dymo->set_state(std::move(new_state));
+  dymo->replace_handler("ReHandler", std::make_unique<ReHandler>(params));
+  dymo->replace_handler("RouteErrHandler",
+                        std::make_unique<RouteInvalidationHandler>(params));
+}
+
+bool is_multipath_dymo(core::Manetkit& kit) {
+  core::ManetProtocolCf* dymo = kit.protocol("dymo");
+  if (dymo == nullptr) return false;
+  return dynamic_cast<MultipathDymoState*>(dymo->state_component()) != nullptr;
+}
+
+}  // namespace mk::proto

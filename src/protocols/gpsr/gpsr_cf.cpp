@@ -1,0 +1,322 @@
+#include "protocols/gpsr/gpsr_cf.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/attrs.hpp"
+#include "protocols/neighbor/neighbor_cf.hpp"
+#include "protocols/wire.hpp"
+#include "util/assert.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mk::proto {
+
+namespace {
+
+constexpr std::uint8_t kTlvPosition = 12;  // 2 x u32 fixed-point (cm)
+
+using core::attrs::kDest;
+using core::attrs::kNeighbor;
+using core::attrs::kUp;
+
+double dist(net::Position a, net::Position b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+GpsrState& state_of(core::ProtocolContext& ctx) {
+  auto* s = dynamic_cast<GpsrState*>(ctx.state());
+  MK_ASSERT(s != nullptr, "GPSR CF has no GpsrState S element");
+  return *s;
+}
+
+pbb::Tlv encode_position(net::Position p) {
+  ByteWriter w;
+  w.put_u32(static_cast<std::uint32_t>(p.x * 100.0 + 0.5));
+  w.put_u32(static_cast<std::uint32_t>(p.y * 100.0 + 0.5));
+  return pbb::Tlv{kTlvPosition, w.take()};
+}
+
+std::optional<net::Position> decode_position(const pbb::Tlv& tlv) {
+  if (tlv.type != kTlvPosition || tlv.value.size() != 8) return std::nullopt;
+  ByteReader r(tlv.value);
+  net::Position p;
+  p.x = static_cast<double>(r.get_u32()) / 100.0;
+  p.y = static_cast<double>(r.get_u32()) / 100.0;
+  return p;
+}
+
+/// Bridges position beaconing onto the Neighbour Detection CF's HELLOs.
+class PositionBeacon final : public oc::Component {
+ public:
+  PositionBeacon(core::ManetProtocolCf& gpsr, NeighborTable& table,
+                 net::SimNode& node)
+      : oc::Component("gpsr.PositionBeacon"),
+        alive_(std::make_shared<bool>(true)) {
+    set_instance_name("PositionBeacon");
+    auto alive = alive_;
+    net::SimNode* n = &node;
+    core::ManetProtocolCf* proto = &gpsr;
+
+    table.add_piggyback_provider([alive, n]() -> std::optional<pbb::Tlv> {
+      if (!*alive) return std::nullopt;
+      return encode_position(n->position());
+    });
+    table.add_piggyback_observer(
+        [alive, proto](net::Addr from, const pbb::Tlv& tlv) {
+          if (!*alive) return;
+          auto pos = decode_position(tlv);
+          if (!pos) return;
+          auto* st = dynamic_cast<GpsrState*>(proto->state_component());
+          if (st == nullptr) return;
+          st->note_position(from, *pos, proto->context().now());
+        });
+  }
+
+  ~PositionBeacon() override { *alive_ = false; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+/// Computes and installs greedy routes on demand.
+class GreedyRouteHandler final : public core::EventHandler {
+ public:
+  GreedyRouteHandler(GpsrParams params, LocationService locate,
+                     core::ManetProtocolCf* neighbor_cf, net::SimNode& node)
+      : core::EventHandler("gpsr.GreedyRouteHandler", {ev::types::NO_ROUTE}),
+        params_(params),
+        locate_(std::move(locate)),
+        neighbor_cf_(neighbor_cf),
+        node_(node) {
+    set_instance_name("GreedyRouteHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    auto dest = static_cast<net::Addr>(event.get_int(kDest));
+    if (dest == net::kNoAddr) return;
+    if (try_install(dest, ctx)) {
+      ev::Event found(ev::types::ROUTE_FOUND);
+      found.set_int(kDest, dest);
+      ctx.emit(std::move(found));
+    }
+    // On a local minimum the packet stays in the NetLink buffer until the
+    // topology changes or the buffer times out (greedy-only semantics).
+  }
+
+  /// Greedy step; installs the kernel route on success.
+  bool try_install(net::Addr dest, core::ProtocolContext& ctx) {
+    auto dest_pos = locate_(dest);
+    if (!dest_pos) {
+      MK_TRACE("gpsr", "no location for ", pbb::addr_to_string(dest));
+      return false;
+    }
+    INeighborState* ns = neighbor_state(*neighbor_cf_);
+    if (ns == nullptr) return false;
+
+    GpsrState& st = state_of(ctx);
+    net::Addr hop =
+        greedy_next_hop(st, node_.position(), *dest_pos, ns->sym_neighbors());
+    if (dest != net::kNoAddr && ns->is_sym_neighbor(dest)) hop = dest;
+    if (hop == net::kNoAddr) return false;
+
+    net::RouteEntry entry;
+    entry.dest = dest;
+    entry.next_hop = hop;
+    entry.metric = 1;  // geographic routing has no hop-count estimate
+    entry.installed_at = ctx.now();
+    ctx.sys()->kernel_table().set_route(entry);
+    st.active_dests()[dest] = ctx.now() + params_.route_lifetime;
+    return true;
+  }
+
+ private:
+  GpsrParams params_;
+  LocationService locate_;
+  core::ManetProtocolCf* neighbor_cf_;
+  net::SimNode& node_;
+};
+
+/// Refreshes active routes (mobility!), drops lost-neighbour routes.
+class GpsrMaintenance final : public core::EventSource {
+ public:
+  GpsrMaintenance(GpsrParams params, GreedyRouteHandler* greedy)
+      : core::EventSource("gpsr.Maintenance"),
+        params_(params),
+        greedy_(greedy) {
+    set_instance_name("Maintenance");
+  }
+
+  void start(core::ProtocolContext& ctx) override {
+    ctx_ = &ctx;
+    timer_ = std::make_unique<PeriodicTimer>(
+        ctx.scheduler(), params_.sweep_interval, [this] { fire(); },
+        /*jitter=*/0.0, /*seed=*/ctx.self() + 9);
+    timer_->start();
+  }
+
+  void stop() override { timer_.reset(); }
+
+ private:
+  void fire() {
+    GpsrState& st = state_of(*ctx_);
+    TimePoint now = ctx_->now();
+    st.expire(now, params_.position_hold);
+
+    // Re-evaluate greedy choices for destinations still in use; drop stale.
+    for (auto it = st.active_dests().begin(); it != st.active_dests().end();) {
+      if (it->second < now) {
+        if (ctx_->sys() != nullptr) {
+          ctx_->sys()->kernel_table().remove_route(it->first);
+        }
+        it = st.active_dests().erase(it);
+      } else {
+        greedy_->try_install(it->first, *ctx_);
+        ++it;
+      }
+    }
+  }
+
+  GpsrParams params_;
+  GreedyRouteHandler* greedy_;
+  core::ProtocolContext* ctx_ = nullptr;
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+/// ROUTE_UPDATE keeps a destination "active"; NHOOD_CHANGE(down) tears down
+/// routes through the lost neighbour immediately.
+class GpsrEventHandler final : public core::EventHandler {
+ public:
+  explicit GpsrEventHandler(GpsrParams params)
+      : core::EventHandler("gpsr.EventHandler",
+                           {ev::types::ROUTE_UPDATE, ev::types::NHOOD_CHANGE}),
+        params_(params) {
+    set_instance_name("EventHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    GpsrState& st = state_of(ctx);
+    if (event.type() == ev::etype(ev::types::ROUTE_UPDATE)) {
+      auto dest = static_cast<net::Addr>(event.get_int(kDest));
+      auto it = st.active_dests().find(dest);
+      if (it != st.active_dests().end()) {
+        it->second = ctx.now() + params_.route_lifetime;
+      }
+      return;
+    }
+    if (event.get_int(kUp, 1) != 0) return;
+    auto lost = static_cast<net::Addr>(event.get_int(kNeighbor));
+    if (ctx.sys() == nullptr) return;
+    for (net::Addr dest : ctx.sys()->kernel_table().dests_via(lost)) {
+      ctx.sys()->kernel_table().remove_route(dest);
+      st.active_dests().erase(dest);
+    }
+  }
+
+ private:
+  GpsrParams params_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- GpsrState
+
+GpsrState::GpsrState() : oc::Component("gpsr.GpsrState") {
+  set_instance_name("State");
+  provide("IGpsrState", static_cast<IGpsrState*>(this));
+  provide("IState", static_cast<core::IState*>(this));
+}
+
+void GpsrState::note_position(net::Addr a, net::Position p, TimePoint now) {
+  positions_[a] = Entry{p, now};
+}
+
+void GpsrState::expire(TimePoint now, Duration hold) {
+  for (auto it = positions_.begin(); it != positions_.end();) {
+    it = (now - it->second.heard > hold) ? positions_.erase(it)
+                                         : std::next(it);
+  }
+}
+
+std::optional<net::Position> GpsrState::position_of(net::Addr a) const {
+  auto it = positions_.find(a);
+  if (it == positions_.end()) return std::nullopt;
+  return it->second.pos;
+}
+
+std::string GpsrState::describe() const {
+  std::ostringstream os;
+  os << "gpsr positions: " << positions_.size()
+     << " active dests: " << active_.size();
+  return os.str();
+}
+
+net::Addr greedy_next_hop(const IGpsrState& st, net::Position self,
+                          net::Position dest,
+                          const std::vector<net::Addr>& neighbors) {
+  double best = dist(self, dest);
+  net::Addr best_hop = net::kNoAddr;
+  for (net::Addr n : neighbors) {
+    auto pos = st.position_of(n);
+    if (!pos) continue;
+    double d = dist(*pos, dest);
+    if (d < best - 1e-9) {
+      best = d;
+      best_hop = n;
+    }
+  }
+  return best_hop;
+}
+
+// ------------------------------------------------------------------- builder
+
+std::unique_ptr<core::ManetProtocolCf> build_gpsr_cf(core::Manetkit& kit,
+                                                     LocationService locate,
+                                                     GpsrParams params) {
+  MK_ASSERT(locate != nullptr, "gpsr needs a location service");
+  core::ManetProtocolCf* neighbor = kit.deploy("neighbor");
+  kit.system().ensure_netlink();
+
+  auto cf = std::make_unique<core::ManetProtocolCf>(
+      kit.kernel(), "gpsr", kit.scheduler(), kit.self(),
+      &kit.system().sys_state());
+  cf->set_state(std::make_unique<GpsrState>());
+
+  auto greedy = std::make_unique<GreedyRouteHandler>(
+      params, std::move(locate), neighbor, kit.node());
+  GreedyRouteHandler* greedy_raw = greedy.get();
+  cf->add_handler(std::move(greedy));
+  cf->add_handler(std::make_unique<GpsrEventHandler>(params));
+  cf->add_source(std::make_unique<GpsrMaintenance>(params, greedy_raw));
+
+  if (auto* table = dynamic_cast<NeighborTable*>(neighbor->state_component())) {
+    cf->insert(std::make_unique<PositionBeacon>(*cf, *table, kit.node()));
+  }
+
+  cf->declare_events(
+      /*required=*/{ev::types::NO_ROUTE, ev::types::ROUTE_UPDATE,
+                    ev::types::NHOOD_CHANGE},
+      /*provided=*/{ev::types::ROUTE_FOUND},
+      /*exclusive=*/{ev::types::NO_ROUTE});
+  return cf;
+}
+
+void register_gpsr(core::Manetkit& kit, LocationService locate,
+                   GpsrParams params) {
+  if (!kit.has_builder("neighbor")) register_neighbor(kit);
+  kit.register_protocol(
+      "gpsr", /*layer=*/20,
+      [locate, params](core::Manetkit& k) {
+        return build_gpsr_cf(k, locate, params);
+      },
+      /*category=*/"reactive");  // owns the NO_ROUTE slot
+}
+
+GpsrState* gpsr_state(core::ManetProtocolCf& cf) {
+  return dynamic_cast<GpsrState*>(cf.state_component());
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,88 @@
+// HELLO message build/parse helpers, shared by the Neighbour Detection CF and
+// the MPR CF (one of the paper's reused PacketGenerator/PacketParser pieces).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/address.hpp"
+#include "packetbb/packetbb.hpp"
+#include "protocols/wire.hpp"
+
+namespace mk::proto::hello {
+
+struct Link {
+  net::Addr addr = net::kNoAddr;
+  wire::LinkCode code = wire::LinkCode::kAsym;
+};
+
+/// Builds a HELLO message: hop_limit 1 (never forwarded), link list with
+/// per-address link-code TLVs, willingness and optional piggyback TLVs.
+inline pbb::Message build(net::Addr self, std::uint16_t seq,
+                          const std::vector<Link>& links,
+                          std::uint8_t willingness,
+                          std::vector<pbb::Tlv> piggyback = {}) {
+  pbb::Message m;
+  m.type = wire::kMsgHello;
+  m.originator = self;
+  m.seqnum = seq;
+  m.has_hops = true;
+  m.hop_limit = 1;
+  m.hop_count = 0;
+  m.tlvs.push_back(pbb::Tlv::u8(wire::kTlvWillingness, willingness));
+  for (auto& t : piggyback) m.tlvs.push_back(std::move(t));
+  pbb::AddressBlock block;
+  for (const Link& l : links) {
+    block.add_with_u8(l.addr, wire::kAtlvLinkCode,
+                      static_cast<std::uint8_t>(l.code));
+  }
+  m.addr_blocks.push_back(std::move(block));
+  return m;
+}
+
+/// Extracts the link list of a received HELLO.
+inline std::vector<Link> links(const pbb::Message& m) {
+  std::vector<Link> out;
+  for (const auto& block : m.addr_blocks) {
+    for (std::size_t i = 0; i < block.addrs.size(); ++i) {
+      Link l;
+      l.addr = block.addrs[i];
+      if (const auto* t = block.tlv_for(i, wire::kAtlvLinkCode)) {
+        l.code = static_cast<wire::LinkCode>(t->as_u8());
+      }
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+/// Link code the sender advertises for `addr` (nullopt if unlisted).
+inline std::optional<wire::LinkCode> code_for(const pbb::Message& m,
+                                              net::Addr addr) {
+  for (const Link& l : links(m)) {
+    if (l.addr == addr) return l.code;
+  }
+  return std::nullopt;
+}
+
+inline std::uint8_t willingness(const pbb::Message& m) {
+  const auto* t = m.find_tlv(wire::kTlvWillingness);
+  return t == nullptr ? wire::kWillDefault : t->as_u8();
+}
+
+/// Everything except the HELLO's own control TLVs rides as piggyback
+/// payload (battery adverts, position beacons, route adverts, ...).
+inline std::vector<pbb::Tlv> piggyback(const pbb::Message& m) {
+  std::vector<pbb::Tlv> out;
+  for (const auto& t : m.tlvs) {
+    if (t.type == wire::kTlvWillingness || t.type == wire::kTlvMprAware) {
+      continue;
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace mk::proto::hello

@@ -1,0 +1,21 @@
+#include "protocols/install.hpp"
+
+#include "protocols/aodv/aodv_cf.hpp"
+#include "protocols/dymo/dymo_cf.hpp"
+#include "protocols/mpr/mpr_cf.hpp"
+#include "protocols/neighbor/neighbor_cf.hpp"
+#include "protocols/olsr/olsr_cf.hpp"
+#include "protocols/zrp/zrp_cf.hpp"
+
+namespace mk::proto {
+
+void install_all(core::Manetkit& kit) {
+  register_neighbor(kit);
+  register_mpr(kit);
+  register_olsr(kit);
+  register_dymo(kit);
+  register_aodv(kit);
+  register_zrp(kit);
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,15 @@
+// One-stop registration of every built-in protocol builder on a MANETKit
+// instance.
+#pragma once
+
+#include "core/manetkit.hpp"
+
+namespace mk::proto {
+
+struct InstallParams;  // forward (defaults below)
+
+/// Registers neighbor, mpr, olsr, dymo and aodv builders with their default
+/// parameters. Nothing is deployed.
+void install_all(core::Manetkit& kit);
+
+}  // namespace mk::proto

@@ -1,0 +1,105 @@
+#include "protocols/mpr/mpr_calculator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace mk::proto {
+
+MprCalculator::MprCalculator() : oc::Component("mpr.MprCalculator") {
+  set_instance_name("MprCalculator");
+  provide("IMprCalculator", static_cast<IMprCalculator*>(this));
+}
+
+MprCalculator::MprCalculator(std::string type_name)
+    : oc::Component(std::move(type_name)) {
+  set_instance_name("MprCalculator");
+  provide("IMprCalculator", static_cast<IMprCalculator*>(this));
+}
+
+bool MprCalculator::prefer(const MprState& state, net::Addr a, net::Addr b,
+                           std::size_t cover_a, std::size_t cover_b) const {
+  if (cover_a != cover_b) return cover_a > cover_b;
+  std::uint8_t wa = state.willingness_of(a);
+  std::uint8_t wb = state.willingness_of(b);
+  if (wa != wb) return wa > wb;
+  std::size_t da = state.two_hop_via(a).size();
+  std::size_t db = state.two_hop_via(b).size();
+  if (da != db) return da > db;
+  return a < b;  // deterministic tiebreak
+}
+
+std::set<net::Addr> MprCalculator::compute(const MprState& state,
+                                           net::Addr self) const {
+  std::set<net::Addr> mprs;
+
+  // Candidate neighbours (willingness > NEVER) and their 2-hop coverage.
+  std::map<net::Addr, std::set<net::Addr>> coverage;
+  for (net::Addr n : state.sym_neighbors()) {
+    if (state.willingness_of(n) == wire::kWillNever) continue;
+    std::set<net::Addr> covers;
+    for (net::Addr t : state.two_hop_via(n)) {
+      if (t != self && !state.is_sym_neighbor(t)) covers.insert(t);
+    }
+    coverage[n] = std::move(covers);
+    if (state.willingness_of(n) == wire::kWillAlways) mprs.insert(n);
+  }
+
+  std::set<net::Addr> uncovered = state.strict_two_hop(self);
+  for (net::Addr m : mprs) {
+    for (net::Addr t : coverage[m]) uncovered.erase(t);
+  }
+
+  // Neighbours that are the *only* path to some 2-hop node.
+  std::map<net::Addr, std::size_t> reach_count;
+  for (net::Addr t : uncovered) {
+    net::Addr sole = net::kNoAddr;
+    std::size_t n_paths = 0;
+    for (const auto& [n, covers] : coverage) {
+      if (covers.count(t) > 0) {
+        ++n_paths;
+        sole = n;
+      }
+    }
+    if (n_paths == 1) mprs.insert(sole);
+  }
+  for (net::Addr m : mprs) {
+    for (net::Addr t : coverage[m]) uncovered.erase(t);
+  }
+
+  // Greedy cover of the remainder.
+  while (!uncovered.empty()) {
+    net::Addr best = net::kNoAddr;
+    std::size_t best_cover = 0;
+    for (const auto& [n, covers] : coverage) {
+      if (mprs.count(n) > 0) continue;
+      std::size_t c = 0;
+      for (net::Addr t : covers) {
+        if (uncovered.count(t) > 0) ++c;
+      }
+      if (c == 0) continue;
+      if (best == net::kNoAddr || prefer(state, n, best, c, best_cover)) {
+        best = n;
+        best_cover = c;
+      }
+    }
+    if (best == net::kNoAddr) break;  // some 2-hop nodes are unreachable
+    mprs.insert(best);
+    for (net::Addr t : coverage[best]) uncovered.erase(t);
+  }
+  return mprs;
+}
+
+EnergyMprCalculator::EnergyMprCalculator()
+    : MprCalculator("mpr.EnergyMprCalculator") {}
+
+bool EnergyMprCalculator::prefer(const MprState& state, net::Addr a,
+                                 net::Addr b, std::size_t cover_a,
+                                 std::size_t cover_b) const {
+  std::uint8_t wa = state.willingness_of(a);
+  std::uint8_t wb = state.willingness_of(b);
+  if (wa != wb) return wa > wb;  // energy first
+  return MprCalculator::prefer(state, a, b, cover_a, cover_b);
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,50 @@
+// MPR selection (RFC 3626 §8.3.1 greedy heuristic), as a replaceable
+// component — the power-aware OLSR variant swaps in EnergyMprCalculator,
+// which prefers high-willingness (high-battery) relays.
+#pragma once
+
+#include <set>
+
+#include "net/address.hpp"
+#include "opencom/component.hpp"
+#include "protocols/mpr/mpr_state.hpp"
+
+namespace mk::proto {
+
+struct IMprCalculator : oc::Interface {
+  /// Computes the MPR set covering every strict 2-hop neighbour.
+  virtual std::set<net::Addr> compute(const MprState& state,
+                                      net::Addr self) const = 0;
+};
+
+/// Standard greedy cover: WILL_ALWAYS first, then sole-cover neighbours,
+/// then repeatedly the neighbour covering the most uncovered 2-hop nodes
+/// (ties: higher willingness, then higher reachability/degree).
+class MprCalculator : public oc::Component, public IMprCalculator {
+ public:
+  MprCalculator();
+  std::set<net::Addr> compute(const MprState& state,
+                              net::Addr self) const override;
+
+ protected:
+  explicit MprCalculator(std::string type_name);
+
+  /// Selection preference between candidates covering the same number of
+  /// uncovered nodes. Overridden by the energy-aware variant.
+  virtual bool prefer(const MprState& state, net::Addr a, net::Addr b,
+                      std::size_t cover_a, std::size_t cover_b) const;
+};
+
+/// Power-aware variant [Mahfoudh & Minet 2008 flavour]: willingness (derived
+/// from residual battery) dominates the choice so low-energy nodes are
+/// relieved of relaying duty.
+class EnergyMprCalculator final : public MprCalculator {
+ public:
+  EnergyMprCalculator();
+
+ protected:
+  bool prefer(const MprState& state, net::Addr a, net::Addr b,
+              std::size_t cover_a, std::size_t cover_b) const override;
+};
+
+}  // namespace mk::proto

@@ -1,0 +1,316 @@
+#include "protocols/mpr/mpr_cf.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/attrs.hpp"
+#include "protocols/hello_codec.hpp"
+#include "protocols/mpr/mpr_handlers.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mk::proto {
+
+namespace {
+
+using core::attrs::kBattery;
+
+/// Periodic HELLO emission, advertising link codes (SYM / ASYM / MPR) and
+/// this node's willingness.
+class MprHelloSource final : public core::EventSource {
+ public:
+  explicit MprHelloSource(MprParams params)
+      : core::EventSource("mpr.HelloSource"), params_(params) {
+    set_instance_name("HelloSource");
+  }
+
+  void start(core::ProtocolContext& ctx) override {
+    ctx_ = &ctx;
+    timer_ = std::make_unique<PeriodicTimer>(
+        ctx.scheduler(), params_.hello_interval, [this] { fire(); },
+        /*jitter=*/0.1, /*seed=*/ctx.self());
+    timer_->start();
+  }
+
+  void stop() override { timer_.reset(); }
+
+ private:
+  void fire() {
+    MprState& st = mpr_state_of(*ctx_);
+    std::vector<hello::Link> links;
+    for (net::Addr a : st.heard_neighbors()) {
+      wire::LinkCode code = wire::LinkCode::kAsym;
+      if (st.is_sym_neighbor(a)) {
+        code = st.is_mpr(a) ? wire::LinkCode::kMpr : wire::LinkCode::kSym;
+      }
+      links.push_back(hello::Link{a, code});
+    }
+    ev::Event e(ev::types::HELLO_OUT);
+    e.msg = hello::build(ctx_->self(), seq_++, links, st.own_willingness(),
+                         st.collect_piggyback());
+    e.msg->tlvs.push_back(pbb::Tlv::empty(wire::kTlvMprAware));
+    ctx_->emit(std::move(e));
+  }
+
+  MprParams params_;
+  core::ProtocolContext* ctx_ = nullptr;
+  std::unique_ptr<PeriodicTimer> timer_;
+  std::uint16_t seq_ = 1;
+};
+
+/// POWER_STATUS context events drive this node's advertised willingness —
+/// the paper's example of context-informed relay selection.
+class PowerStatusHandler final : public core::EventHandler {
+ public:
+  PowerStatusHandler()
+      : core::EventHandler("mpr.PowerStatusHandler",
+                           {ev::types::POWER_STATUS}) {
+    set_instance_name("PowerStatusHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    MprState& st = mpr_state_of(ctx);
+    auto w = willingness_from_battery(event.get_double(kBattery, 1.0));
+    if (w != st.own_willingness()) {
+      st.set_own_willingness(w);
+    }
+  }
+};
+
+/// Outbound leg of the flooding service: protocols above emit <base>_OUT;
+/// this handler stamps the duplicate set (so the node's own flood is never
+/// re-relayed) and passes the message down towards the System CF.
+class FloodOutHandler final : public core::EventHandler {
+ public:
+  explicit FloodOutHandler(const std::vector<std::string>& bases)
+      : core::EventHandler("mpr.FloodOutHandler", out_names(bases)) {
+    set_instance_name("FloodOut");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (!event.msg) return;
+    ev::Event out = event;
+    pbb::Message& msg = *out.msg;
+    MK_ASSERT(msg.originator.has_value() && msg.seqnum.has_value(),
+              "flooded messages need originator + seqnum");
+    if (!msg.has_hops) {
+      msg.has_hops = true;
+      msg.hop_limit = 255;
+      msg.hop_count = 0;
+    }
+    mpr_state_of(ctx).check_duplicate(*msg.originator, *msg.seqnum, ctx.now());
+    ctx.emit(std::move(out));
+  }
+
+  static std::vector<std::string> out_names(
+      const std::vector<std::string>& bases) {
+    std::vector<std::string> out;
+    for (const auto& b : bases) out.push_back(b + "_OUT");
+    return out;
+  }
+};
+
+/// Inbound leg: retransmits a received flood message iff the previous hop
+/// selected this node as one of its MPRs (and TTL allows), after duplicate
+/// suppression. This is what curbs flooding overhead in dense networks.
+class FloodRelayHandler final : public core::EventHandler {
+ public:
+  explicit FloodRelayHandler(const std::vector<std::string>& bases)
+      : core::EventHandler("mpr.FloodRelayHandler", in_names(bases)) {
+    set_instance_name("FloodRelay");
+    for (const auto& b : bases) {
+      out_for_in_[ev::etype(b + "_IN")] = ev::etype(b + "_OUT");
+    }
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (!event.msg) return;
+    const pbb::Message& msg = *event.msg;
+    if (!msg.originator || !msg.seqnum) return;
+    if (*msg.originator == ctx.self()) return;
+
+    MprState& st = mpr_state_of(ctx);
+    if (st.check_duplicate(*msg.originator, *msg.seqnum, ctx.now())) return;
+    if (!st.is_mpr_selector(event.from)) return;  // we are not its relay
+    if (msg.has_hops && msg.hop_limit <= 1) return;
+
+    ev::Event out(out_for_in_.at(event.type()));
+    out.msg = msg;
+    if (out.msg->has_hops) {
+      out.msg->hop_limit -= 1;
+      out.msg->hop_count += 1;
+    }
+    ctx.emit(std::move(out));
+  }
+
+  static std::vector<std::string> in_names(
+      const std::vector<std::string>& bases) {
+    std::vector<std::string> out;
+    for (const auto& b : bases) out.push_back(b + "_IN");
+    return out;
+  }
+
+ private:
+  std::map<ev::EventTypeId, ev::EventTypeId> out_for_in_;
+};
+
+/// Direct-call flooding service (the F element), for callers holding an
+/// IForward receptacle to this CF.
+class MprForward final : public oc::Component, public core::IForward {
+ public:
+  explicit MprForward(core::ManetProtocolCf& cf)
+      : oc::Component("mpr.Forward"), cf_(cf) {
+    set_instance_name("Forward");
+    provide("IForward", static_cast<core::IForward*>(this));
+  }
+
+  void forward(const ev::Event& event) override { cf_.deliver(event); }
+
+ private:
+  core::ManetProtocolCf& cf_;
+};
+
+/// Periodic housekeeping: neighbour/selector/duplicate expiry, hysteresis
+/// decay, MPR recalculation.
+class MprMaintenance final : public core::EventSource {
+ public:
+  explicit MprMaintenance(MprParams params)
+      : core::EventSource("mpr.Maintenance"), params_(params) {
+    set_instance_name("Maintenance");
+  }
+
+  void start(core::ProtocolContext& ctx) override {
+    ctx_ = &ctx;
+    timer_ = std::make_unique<PeriodicTimer>(
+        ctx.scheduler(), params_.hello_interval, [this] { fire(); },
+        /*jitter=*/0.0, /*seed=*/ctx.self() + 1);
+    timer_->start();
+  }
+
+  void stop() override { timer_.reset(); }
+
+ private:
+  void fire() {
+    MprState& st = mpr_state_of(*ctx_);
+    TimePoint now = ctx_->now();
+
+    if (auto* hyst_comp = ctx_->protocol().find("Hysteresis")) {
+      if (auto* hyst = hyst_comp->interface_as<IHysteresis>("IHysteresis")) {
+        for (net::Addr a : st.heard_neighbors()) hyst->on_interval(a);
+      }
+    }
+
+    bool changed = false;
+    for (net::Addr lost : st.expire(now, params_.hold_time)) {
+      emit_nhood_change(*ctx_, lost, false);
+      st.drop_selector(lost);
+      changed = true;
+    }
+    auto selectors_before = st.mpr_selectors();
+    st.expire_selectors(now, params_.selector_hold);
+    if (st.mpr_selectors() != selectors_before) {
+      ctx_->emit(ev::Event(ev::types::MPR_CHANGE));
+    }
+    st.expire_duplicates(now, params_.duplicate_hold);
+    if (changed) recompute_mprs(*ctx_);
+  }
+
+  MprParams params_;
+  core::ProtocolContext* ctx_ = nullptr;
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+void apply_tuple(core::ManetProtocolCf& cf,
+                 const std::vector<std::string>& bases) {
+  std::vector<std::string> required = {ev::types::HELLO_IN,
+                                       ev::types::POWER_STATUS};
+  std::vector<std::string> provided = {ev::types::HELLO_OUT,
+                                       ev::types::NHOOD_CHANGE,
+                                       ev::types::MPR_CHANGE};
+  for (const auto& b : bases) {
+    required.push_back(b + "_IN");
+    required.push_back(b + "_OUT");
+    provided.push_back(b + "_OUT");
+  }
+  cf.declare_events(required, provided);
+}
+
+}  // namespace
+
+std::unique_ptr<core::ManetProtocolCf> build_mpr_cf(core::Manetkit& kit,
+                                                    MprParams params) {
+  kit.system().register_message(wire::kMsgHello, "HELLO");
+  kit.system().register_message(wire::kMsgTc, "TC");
+  kit.system().ensure_power_status();
+
+  auto cf = std::make_unique<core::ManetProtocolCf>(
+      kit.kernel(), "mpr", kit.scheduler(), kit.self(),
+      &kit.system().sys_state());
+
+  // Integrity: exactly one MPR-calculation strategy at a time.
+  cf->add_integrity_rule([](const oc::CfView& view, std::string& err) {
+    if (view.count_providing("IMprCalculator") > 1) {
+      err = "MPR CF admits a single IMprCalculator plug-in";
+      return false;
+    }
+    return true;
+  });
+
+  cf->set_state(std::make_unique<MprState>());
+  cf->insert(std::make_unique<MprCalculator>());
+  if (params.use_hysteresis) cf->insert(std::make_unique<Hysteresis>());
+  cf->set_forward(std::make_unique<MprForward>(*cf));
+
+  std::vector<std::string> bases = {"TC"};
+  cf->add_handler(std::make_unique<MprHelloHandler>());
+  cf->add_handler(std::make_unique<PowerStatusHandler>());
+  cf->add_handler(std::make_unique<FloodOutHandler>(bases));
+  cf->add_handler(std::make_unique<FloodRelayHandler>(bases));
+  cf->add_source(std::make_unique<MprHelloSource>(params));
+  cf->add_source(std::make_unique<MprMaintenance>(params));
+
+  apply_tuple(*cf, bases);
+  return cf;
+}
+
+void register_mpr(core::Manetkit& kit, MprParams params) {
+  kit.register_protocol(
+      "mpr", /*layer=*/10,
+      [params](core::Manetkit& k) { return build_mpr_cf(k, params); });
+}
+
+void mpr_add_flood_type(core::Manetkit& kit, core::ManetProtocolCf& mpr_cf,
+                        const std::string& base, std::uint8_t msg_type) {
+  kit.system().register_message(msg_type, base);
+
+  auto lock = mpr_cf.quiesce();
+  // Recover the current flood bases from the FloodRelay handler's
+  // subscriptions, then rebuild both handlers with the widened set.
+  std::vector<std::string> bases;
+  if (auto* relay = dynamic_cast<core::EventHandler*>(
+          mpr_cf.control().find("FloodRelay"))) {
+    for (ev::EventTypeId t : relay->handles()) {
+      std::string name = ev::EventTypeRegistry::instance().name(t);
+      bases.push_back(name.substr(0, name.size() - 3));  // strip "_IN"
+    }
+  }
+  if (std::find(bases.begin(), bases.end(), base) != bases.end()) return;
+  bases.push_back(base);
+
+  mpr_cf.replace_handler("FloodOut", std::make_unique<FloodOutHandler>(bases));
+  mpr_cf.replace_handler("FloodRelay",
+                         std::make_unique<FloodRelayHandler>(bases));
+  apply_tuple(mpr_cf, bases);
+}
+
+MprState* mpr_state(core::ManetProtocolCf& cf) {
+  return dynamic_cast<MprState*>(cf.state_component());
+}
+
+void recompute_mprs(core::ManetProtocolCf& cf) {
+  auto lock = cf.quiesce();
+  recompute_mprs(cf.context());
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,40 @@
+// Public handler classes and helpers of the MPR CF that variant code
+// subclasses or replaces (the power-aware OLSR variant replaces the Hello
+// Handler and the MPR Calculator, §5.1).
+#pragma once
+
+#include <string>
+
+#include "core/manet_protocol.hpp"
+#include "protocols/mpr/mpr_state.hpp"
+
+namespace mk::proto {
+
+/// The MPR CF's S element, asserted present.
+MprState& mpr_state_of(core::ProtocolContext& ctx);
+
+void emit_nhood_change(core::ProtocolContext& ctx, net::Addr neighbor, bool up);
+
+/// Recomputes MPRs via the protocol's IMprCalculator plug-in; emits
+/// MPR_CHANGE on change.
+void recompute_mprs(core::ProtocolContext& ctx);
+
+std::uint8_t willingness_from_battery(double level);
+
+/// Link sensing + willingness tracking + MPR-selector detection.
+class MprHelloHandler : public core::EventHandler {
+ public:
+  MprHelloHandler();
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override;
+
+ protected:
+  explicit MprHelloHandler(std::string type_name);
+
+  /// Willingness attributed to the sender. The power-aware variant derives
+  /// it from the advertised residual battery (transmission-power cost).
+  virtual std::uint8_t effective_willingness(const pbb::Message& msg,
+                                             core::ProtocolContext& ctx);
+};
+
+}  // namespace mk::proto

@@ -1,0 +1,103 @@
+#include "protocols/mpr/mpr_state.hpp"
+
+#include <sstream>
+
+namespace mk::proto {
+
+MprState::MprState() {
+  set_instance_name("State");
+  provide("IMprState", static_cast<IMprState*>(this));
+}
+
+void MprState::set_willingness_of(net::Addr a, std::uint8_t w) {
+  willingness_[a] = w;
+}
+
+std::uint8_t MprState::willingness_of(net::Addr a) const {
+  auto it = willingness_.find(a);
+  return it == willingness_.end() ? wire::kWillDefault : it->second;
+}
+
+bool MprState::set_mprs(std::set<net::Addr> mprs) {
+  if (mprs == mprs_) return false;
+  mprs_ = std::move(mprs);
+  return true;
+}
+
+void MprState::note_selector(net::Addr a, TimePoint now) { selectors_[a] = now; }
+
+void MprState::drop_selector(net::Addr a) { selectors_.erase(a); }
+
+void MprState::expire_selectors(TimePoint now, Duration hold) {
+  for (auto it = selectors_.begin(); it != selectors_.end();) {
+    it = (now - it->second > hold) ? selectors_.erase(it) : std::next(it);
+  }
+}
+
+std::set<net::Addr> MprState::mpr_selectors() const {
+  std::set<net::Addr> out;
+  for (const auto& [a, _] : selectors_) out.insert(a);
+  return out;
+}
+
+bool MprState::is_mpr_selector(net::Addr a) const {
+  return selectors_.find(a) != selectors_.end();
+}
+
+bool MprState::check_duplicate(net::Addr origin, std::uint16_t seq,
+                               TimePoint now) {
+  auto key = std::make_pair(origin, seq);
+  auto [it, inserted] = duplicates_.emplace(key, now);
+  if (!inserted) {
+    it->second = now;
+    return true;
+  }
+  return false;
+}
+
+void MprState::expire_duplicates(TimePoint now, Duration hold) {
+  for (auto it = duplicates_.begin(); it != duplicates_.end();) {
+    it = (now - it->second > hold) ? duplicates_.erase(it) : std::next(it);
+  }
+}
+
+std::string MprState::describe() const {
+  std::ostringstream os;
+  os << NeighborTable::describe() << " mprs: " << mprs_.size()
+     << " selectors: " << selectors_.size();
+  return os.str();
+}
+
+Hysteresis::Hysteresis(double scaling, double thresh_high, double thresh_low)
+    : oc::Component("mpr.Hysteresis"),
+      scaling_(scaling),
+      high_(thresh_high),
+      low_(thresh_low) {
+  set_instance_name("Hysteresis");
+  provide("IHysteresis", static_cast<IHysteresis*>(this));
+}
+
+void Hysteresis::on_hello(net::Addr from) {
+  Link& l = links_[from];
+  l.quality = (1.0 - scaling_) * l.quality + scaling_;
+  if (l.quality > high_) l.pending = false;
+}
+
+void Hysteresis::on_interval(net::Addr from) {
+  auto it = links_.find(from);
+  if (it == links_.end()) return;
+  it->second.quality *= (1.0 - scaling_);
+  if (it->second.quality < low_) it->second.pending = true;
+}
+
+bool Hysteresis::pending(net::Addr from) const {
+  auto it = links_.find(from);
+  return it == links_.end() ? true : it->second.pending;
+}
+
+double Hysteresis::quality(net::Addr from) const {
+  auto it = links_.find(from);
+  return it == links_.end() ? 0.0 : it->second.quality;
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,190 @@
+#include "protocols/neighbor/neighbor_cf.hpp"
+
+#include <memory>
+
+#include "core/attrs.hpp"
+#include "protocols/hello_codec.hpp"
+#include "protocols/wire.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mk::proto {
+
+namespace {
+
+using core::attrs::kNeighbor;
+using core::attrs::kUp;
+
+NeighborTable* table_of(core::ProtocolContext& ctx) {
+  auto* t = dynamic_cast<NeighborTable*>(ctx.state());
+  MK_ASSERT(t != nullptr, "neighbor CF has no NeighborTable S element");
+  return t;
+}
+
+void emit_nhood_change(core::ProtocolContext& ctx, net::Addr neighbor, bool up) {
+  ev::Event e(ev::types::NHOOD_CHANGE);
+  e.set_int(kNeighbor, neighbor);
+  e.set_int(kUp, up ? 1 : 0);
+  ctx.emit(std::move(e));
+}
+
+/// Periodic HELLO emission + neighbour expiry sweep.
+class HelloSource final : public core::EventSource {
+ public:
+  explicit HelloSource(NeighborParams params)
+      : core::EventSource("neighbor.HelloSource"), params_(params) {
+    set_instance_name("HelloSource");
+  }
+
+  void start(core::ProtocolContext& ctx) override {
+    ctx_ = &ctx;
+    timer_ = std::make_unique<PeriodicTimer>(
+        ctx.scheduler(), params_.hello_interval, [this] { fire(); },
+        /*jitter=*/0.1, /*seed=*/ctx.self());
+    timer_->start();
+  }
+
+  void stop() override { timer_.reset(); }
+
+ private:
+  void fire() {
+    NeighborTable* nt = table_of(*ctx_);
+
+    for (net::Addr lost : nt->expire(ctx_->now(), params_.hold_time)) {
+      emit_nhood_change(*ctx_, lost, false);
+    }
+
+    std::vector<hello::Link> links;
+    for (net::Addr a : nt->heard_neighbors()) {
+      links.push_back(hello::Link{
+          a, nt->is_sym_neighbor(a) ? wire::LinkCode::kSym
+                                    : wire::LinkCode::kAsym});
+    }
+
+    ev::Event e(ev::types::HELLO_OUT);
+    e.msg = hello::build(ctx_->self(), seq_++, links, wire::kWillDefault,
+                         nt->collect_piggyback());
+    ctx_->emit(std::move(e));
+  }
+
+  NeighborParams params_;
+  core::ProtocolContext* ctx_ = nullptr;
+  std::unique_ptr<PeriodicTimer> timer_;
+  std::uint16_t seq_ = 1;
+};
+
+/// Link sensing from received HELLOs.
+class HelloHandler final : public core::EventHandler {
+ public:
+  HelloHandler()
+      : core::EventHandler("neighbor.HelloHandler", {ev::types::HELLO_IN}) {
+    set_instance_name("HelloHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (!event.msg) return;
+    const pbb::Message& msg = *event.msg;
+    net::Addr from = event.from;
+    if (from == ctx.self()) return;
+
+    NeighborTable* nt = table_of(ctx);
+    nt->note_heard(from, ctx.now());
+
+    // Symmetry: the sender lists every neighbour it hears; if we are listed
+    // (and not LOST) the link is bidirectional.
+    auto our_code = hello::code_for(msg, ctx.self());
+    bool sym = our_code.has_value() && *our_code != wire::LinkCode::kLost;
+    if (our_code.has_value() && *our_code == wire::LinkCode::kLost) {
+      if (nt->remove(from)) emit_nhood_change(ctx, from, false);
+    } else if (nt->set_symmetric(from, sym)) {
+      emit_nhood_change(ctx, from, sym);
+    }
+
+    // 2-hop information: the sender's symmetric neighbours.
+    std::set<net::Addr> two_hop;
+    for (const hello::Link& l : hello::links(msg)) {
+      if (l.code == wire::LinkCode::kSym && l.addr != ctx.self()) {
+        two_hop.insert(l.addr);
+      }
+    }
+    nt->set_two_hop(from, std::move(two_hop));
+
+    for (const pbb::Tlv& t : hello::piggyback(msg)) {
+      nt->dispatch_piggyback(from, t);
+    }
+  }
+};
+
+/// Alternative sensing mechanism: link-layer feedback straight from the
+/// driver (the simulated medium's link notifications).
+class LinkLayerFeedback final : public oc::Component {
+ public:
+  LinkLayerFeedback(core::Manetkit& kit, core::ManetProtocolCf& cf)
+      : oc::Component("neighbor.LinkLayerFeedback"),
+        alive_(std::make_shared<bool>(true)) {
+    set_instance_name("LinkLayerFeedback");
+    net::Addr self = kit.self();
+    auto alive = alive_;
+    core::ManetProtocolCf* proto = &cf;
+    kit.node().medium().add_link_observer(
+        [alive, self, proto](net::Addr a, net::Addr b, bool up) {
+          if (!*alive) return;
+          if (a != self && b != self) return;
+          net::Addr other = (a == self) ? b : a;
+          auto& ctx = proto->context();
+          auto* nt = dynamic_cast<NeighborTable*>(proto->state_component());
+          if (nt == nullptr) return;
+          bool changed;
+          if (up) {
+            nt->note_heard(other, ctx.now());
+            changed = nt->set_symmetric(other, true);
+          } else {
+            changed = nt->remove(other);
+          }
+          if (changed) emit_nhood_change(ctx, other, up);
+        });
+  }
+
+  ~LinkLayerFeedback() override { *alive_ = false; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::ManetProtocolCf> build_neighbor_cf(core::Manetkit& kit,
+                                                         NeighborParams params) {
+  kit.system().register_message(wire::kMsgHello, "HELLO");
+
+  auto cf = std::make_unique<core::ManetProtocolCf>(
+      kit.kernel(), "neighbor", kit.scheduler(), kit.self(),
+      &kit.system().sys_state());
+  cf->set_state(std::make_unique<NeighborTable>());
+  cf->add_handler(std::make_unique<HelloHandler>());
+  cf->add_source(std::make_unique<HelloSource>(params));
+  cf->declare_events({ev::types::HELLO_IN},
+                     {ev::types::HELLO_OUT, ev::types::NHOOD_CHANGE});
+  return cf;
+}
+
+void register_neighbor(core::Manetkit& kit, NeighborParams params) {
+  kit.register_protocol(
+      "neighbor", /*layer=*/10,
+      [params](core::Manetkit& k) { return build_neighbor_cf(k, params); });
+}
+
+void enable_link_layer_feedback(core::Manetkit& kit,
+                                core::ManetProtocolCf& neighbor_cf) {
+  auto lock = neighbor_cf.quiesce();
+  neighbor_cf.remove_handler("HelloHandler");
+  neighbor_cf.insert(std::make_unique<LinkLayerFeedback>(kit, neighbor_cf));
+}
+
+INeighborState* neighbor_state(core::ManetProtocolCf& cf) {
+  oc::Component* s = cf.state_component();
+  return s == nullptr ? nullptr : s->interface_as<INeighborState>("INeighborState");
+}
+
+}  // namespace mk::proto

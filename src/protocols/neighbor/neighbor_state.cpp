@@ -1,0 +1,114 @@
+#include "protocols/neighbor/neighbor_state.hpp"
+
+#include <sstream>
+
+namespace mk::proto {
+
+NeighborTable::NeighborTable() : oc::Component("neighbor.NeighborTable") {
+  provide("INeighborState", static_cast<INeighborState*>(this));
+  provide("IState", static_cast<core::IState*>(this));
+}
+
+void NeighborTable::note_heard(net::Addr a, TimePoint now) {
+  entries_[a].last_heard = now;
+}
+
+bool NeighborTable::set_symmetric(net::Addr a, bool sym) {
+  auto& e = entries_[a];
+  if (e.symmetric == sym) return false;
+  e.symmetric = sym;
+  return true;
+}
+
+void NeighborTable::set_two_hop(net::Addr a, std::set<net::Addr> nbrs) {
+  entries_[a].two_hop = std::move(nbrs);
+}
+
+std::vector<net::Addr> NeighborTable::expire(TimePoint now, Duration hold) {
+  std::vector<net::Addr> lost;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_heard > hold) {
+      if (it->second.symmetric) lost.push_back(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return lost;
+}
+
+bool NeighborTable::remove(net::Addr a) {
+  auto it = entries_.find(a);
+  if (it == entries_.end()) return false;
+  bool was_sym = it->second.symmetric;
+  entries_.erase(it);
+  return was_sym;
+}
+
+bool NeighborTable::is_sym_neighbor(net::Addr a) const {
+  auto it = entries_.find(a);
+  return it != entries_.end() && it->second.symmetric;
+}
+
+std::vector<net::Addr> NeighborTable::sym_neighbors() const {
+  std::vector<net::Addr> out;
+  for (const auto& [a, e] : entries_) {
+    if (e.symmetric) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<net::Addr> NeighborTable::heard_neighbors() const {
+  std::vector<net::Addr> out;
+  out.reserve(entries_.size());
+  for (const auto& [a, _] : entries_) out.push_back(a);
+  return out;
+}
+
+std::set<net::Addr> NeighborTable::two_hop_via(net::Addr n) const {
+  auto it = entries_.find(n);
+  return it == entries_.end() ? std::set<net::Addr>{} : it->second.two_hop;
+}
+
+std::set<net::Addr> NeighborTable::strict_two_hop(net::Addr self) const {
+  std::set<net::Addr> out;
+  for (const auto& [a, e] : entries_) {
+    if (!e.symmetric) continue;
+    for (net::Addr t : e.two_hop) {
+      if (t == self) continue;
+      if (is_sym_neighbor(t)) continue;
+      out.insert(t);
+    }
+  }
+  return out;
+}
+
+std::string NeighborTable::describe() const {
+  std::ostringstream os;
+  os << "neighbors: " << entries_.size()
+     << " (sym: " << sym_neighbors().size() << ")";
+  return os.str();
+}
+
+void NeighborTable::add_piggyback_provider(PiggybackProvider p) {
+  providers_.push_back(std::move(p));
+}
+
+std::vector<pbb::Tlv> NeighborTable::collect_piggyback() const {
+  std::vector<pbb::Tlv> out;
+  for (const auto& p : providers_) {
+    if (auto tlv = p()) out.push_back(std::move(*tlv));
+  }
+  return out;
+}
+
+void NeighborTable::add_piggyback_observer(PiggybackObserver o) {
+  observers_.push_back(std::move(o));
+}
+
+void NeighborTable::dispatch_piggyback(net::Addr from,
+                                       const pbb::Tlv& tlv) const {
+  for (const auto& o : observers_) o(from, tlv);
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,81 @@
+// S element of the Neighbour Detection CF: 1-hop and 2-hop neighbour
+// information gathered from HELLO exchange, plus the piggyback registry
+// (§4.3 — "a useful means of disseminating information periodically to
+// neighbours via piggybacking").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ifaces.hpp"
+#include "net/address.hpp"
+#include "opencom/component.hpp"
+#include "packetbb/packetbb.hpp"
+#include "util/time.hpp"
+
+namespace mk::proto {
+
+struct INeighborState : core::IState {
+  virtual bool is_sym_neighbor(net::Addr a) const = 0;
+  virtual std::vector<net::Addr> sym_neighbors() const = 0;
+  virtual std::vector<net::Addr> heard_neighbors() const = 0;
+  /// Symmetric neighbours of neighbour `n` (as reported in its HELLOs).
+  virtual std::set<net::Addr> two_hop_via(net::Addr n) const = 0;
+  /// Nodes exactly two hops away (reachable via some sym neighbour, not
+  /// neighbours themselves, not us).
+  virtual std::set<net::Addr> strict_two_hop(net::Addr self) const = 0;
+};
+
+class NeighborTable : public oc::Component, public INeighborState {
+ public:
+  NeighborTable();
+
+  // -- updates (from the HELLO handler) -----------------------------------------
+  void note_heard(net::Addr a, TimePoint now);
+  /// Returns true if the symmetric status changed.
+  bool set_symmetric(net::Addr a, bool sym);
+  void set_two_hop(net::Addr a, std::set<net::Addr> nbrs);
+
+  /// Removes entries not heard within `hold`; returns the lost symmetric
+  /// neighbours (for NHOOD_CHANGE down-notifications).
+  std::vector<net::Addr> expire(TimePoint now, Duration hold);
+
+  /// Forced removal (LOST link code); returns true if it was symmetric.
+  bool remove(net::Addr a);
+
+  // -- INeighborState ---------------------------------------------------------------
+  bool is_sym_neighbor(net::Addr a) const override;
+  std::vector<net::Addr> sym_neighbors() const override;
+  std::vector<net::Addr> heard_neighbors() const override;
+  std::set<net::Addr> two_hop_via(net::Addr n) const override;
+  std::set<net::Addr> strict_two_hop(net::Addr self) const override;
+  std::string describe() const override;
+
+  // -- piggybacking ---------------------------------------------------------------
+  /// Provider called at each HELLO emission; a returned TLV rides along.
+  using PiggybackProvider = std::function<std::optional<pbb::Tlv>()>;
+  void add_piggyback_provider(PiggybackProvider p);
+  void clear_piggyback_providers() { providers_.clear(); }
+  std::vector<pbb::Tlv> collect_piggyback() const;
+
+  /// Observer of piggyback TLVs found in received HELLOs.
+  using PiggybackObserver = std::function<void(net::Addr from, const pbb::Tlv&)>;
+  void add_piggyback_observer(PiggybackObserver o);
+  void dispatch_piggyback(net::Addr from, const pbb::Tlv& tlv) const;
+
+ private:
+  struct Entry {
+    TimePoint last_heard{};
+    bool symmetric = false;
+    std::set<net::Addr> two_hop;
+  };
+  std::map<net::Addr, Entry> entries_;
+  std::vector<PiggybackProvider> providers_;
+  std::vector<PiggybackObserver> observers_;
+};
+
+}  // namespace mk::proto

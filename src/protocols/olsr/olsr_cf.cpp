@@ -1,0 +1,232 @@
+#include "protocols/olsr/olsr_cf.hpp"
+
+#include "protocols/mpr/mpr_cf.hpp"
+#include "protocols/olsr/route_calculator.hpp"
+#include "protocols/wire.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mk::proto {
+
+namespace tc {
+
+pbb::Message build(net::Addr self, std::uint16_t seq, std::uint16_t ansn,
+                   const std::set<net::Addr>& advertised) {
+  pbb::Message m;
+  m.type = wire::kMsgTc;
+  m.originator = self;
+  m.seqnum = seq;
+  m.has_hops = true;
+  m.hop_limit = 255;
+  m.hop_count = 0;
+  m.tlvs.push_back(pbb::Tlv::u16(wire::kTlvAnsn, ansn));
+  pbb::AddressBlock block;
+  block.addrs.assign(advertised.begin(), advertised.end());
+  m.addr_blocks.push_back(std::move(block));
+  return m;
+}
+
+}  // namespace tc
+
+namespace {
+
+OlsrState& olsr_state_of(core::ProtocolContext& ctx) {
+  auto* s = dynamic_cast<OlsrState*>(ctx.state());
+  MK_ASSERT(s != nullptr, "OLSR CF has no OlsrState S element");
+  return *s;
+}
+
+/// Builds and emits this node's TC (advertising its MPR-selector set),
+/// bumping the ANSN when the advertised set changed. Shared by the periodic
+/// generator and the triggered path. Returns false when there is nothing to
+/// advertise (and nothing was previously advertised).
+bool emit_tc(core::ProtocolContext& ctx, core::ManetProtocolCf* mpr_cf) {
+  OlsrState& st = olsr_state_of(ctx);
+  auto* mpr = mpr_state(*mpr_cf);
+  if (mpr == nullptr) return false;
+  std::set<net::Addr> selectors = mpr->mpr_selectors();
+  if (selectors.empty() && st.last_advertised().empty()) return false;
+
+  if (selectors != st.last_advertised()) {
+    st.bump_ansn();
+    st.set_last_advertised(selectors);
+  }
+  ev::Event e(ev::types::TC_OUT);
+  e.msg = tc::build(ctx.self(), st.next_msg_seq(), st.ansn(), selectors);
+  ctx.emit(std::move(e));
+  return true;
+}
+
+void recompute_routes(core::ProtocolContext& ctx) {
+  auto* comp = ctx.protocol().find("RouteCalculator");
+  if (comp == nullptr) return;
+  if (auto* calc = comp->interface_as<IRouteCalculator>("IRouteCalculator")) {
+    calc->recompute(ctx);
+  }
+}
+
+/// Periodically diffuses this node's Topology Change message (advertising
+/// its MPR-selector set) and expires stale topology entries.
+class TcGenerator final : public core::EventSource {
+ public:
+  TcGenerator(OlsrParams params, core::ManetProtocolCf* mpr_cf)
+      : core::EventSource("olsr.TcGenerator"),
+        params_(params),
+        mpr_cf_(mpr_cf) {
+    set_instance_name("TcGenerator");
+  }
+
+  void start(core::ProtocolContext& ctx) override {
+    ctx_ = &ctx;
+    timer_ = std::make_unique<PeriodicTimer>(
+        ctx.scheduler(), params_.tc_interval, [this] { fire(); },
+        /*jitter=*/0.1, /*seed=*/ctx.self() + 2);
+    timer_->start();
+  }
+
+  void stop() override { timer_.reset(); }
+
+ private:
+  void fire() {
+    OlsrState& st = olsr_state_of(*ctx_);
+    if (st.expire_topology(ctx_->now())) recompute_routes(*ctx_);
+    emit_tc(*ctx_, mpr_cf_);
+  }
+
+  OlsrParams params_;
+  core::ManetProtocolCf* mpr_cf_;
+  core::ProtocolContext* ctx_ = nullptr;
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+/// Applies received Topology Change messages to the topology set.
+class TcHandler final : public core::EventHandler {
+ public:
+  TcHandler(OlsrParams params, core::ManetProtocolCf* mpr_cf)
+      : core::EventHandler("olsr.TcHandler", {ev::types::TC_IN}),
+        params_(params),
+        mpr_cf_(mpr_cf) {
+    set_instance_name("TcHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (!event.msg) return;
+    const pbb::Message& msg = *event.msg;
+    if (!msg.originator || !msg.seqnum) return;
+    if (*msg.originator == ctx.self()) return;
+
+    // RFC 3626: process TCs only from symmetric neighbours.
+    auto* mpr = mpr_state(*mpr_cf_);
+    if (mpr != nullptr && !mpr->is_sym_neighbor(event.from)) return;
+
+    const auto* ansn_tlv = msg.find_tlv(wire::kTlvAnsn);
+    if (ansn_tlv == nullptr) return;
+
+    std::set<net::Addr> advertised;
+    for (const auto& block : msg.addr_blocks) {
+      advertised.insert(block.addrs.begin(), block.addrs.end());
+    }
+    OlsrState& st = olsr_state_of(ctx);
+    if (st.update_topology(*msg.originator, ansn_tlv->as_u16(), advertised,
+                           ctx.now(), params_.topology_hold)) {
+      recompute_routes(ctx);
+    }
+  }
+
+ private:
+  OlsrParams params_;
+  core::ManetProtocolCf* mpr_cf_;
+};
+
+/// Neighbourhood / relay-selection changes invalidate routes immediately;
+/// an MPR_CHANGE additionally triggers an early TC (RFC 3626 §9.3's
+/// triggered message), rate-limited so churn cannot flood the network.
+/// Each trigger is followed by one delayed re-emission after the next HELLO
+/// round: the first copy updates 1-hop neighbours at once, the second is
+/// relayed properly once the HELLO advertising the new relay selection has
+/// propagated (a triggered TC otherwise races its own relays).
+class TopologyChangeHandler final : public core::EventHandler {
+ public:
+  static constexpr Duration kMinTriggeredGap = sec(1);
+  static constexpr Duration kReemitDelay = sec(3);  // > one HELLO interval
+
+  TopologyChangeHandler(core::ManetProtocolCf* mpr_cf, Scheduler& sched)
+      : core::EventHandler("olsr.TopologyChangeHandler",
+                           {ev::types::NHOOD_CHANGE, ev::types::MPR_CHANGE}),
+        mpr_cf_(mpr_cf),
+        reemit_(sched) {
+    set_instance_name("TopologyChangeHandler");
+  }
+
+  void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    recompute_routes(ctx);
+    if (event.type() != ev::etype(ev::types::MPR_CHANGE)) return;
+    if (ctx.now() - last_triggered_ >= kMinTriggeredGap) {
+      if (emit_tc(ctx, mpr_cf_)) last_triggered_ = ctx.now();
+    }
+    // Coalesced follow-up re-emission (safe: the protocol CF outlives its
+    // handlers only across replace, which cancels via OneShotTimer's dtor).
+    core::ManetProtocolCf* proto = &ctx.protocol();
+    core::ManetProtocolCf* mpr = mpr_cf_;
+    reemit_.schedule(kReemitDelay, [proto, mpr] {
+      auto lock = proto->quiesce();
+      emit_tc(proto->context(), mpr);
+    });
+  }
+
+ private:
+  core::ManetProtocolCf* mpr_cf_;
+  TimePoint last_triggered_{-10'000'000};
+  OneShotTimer reemit_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::ManetProtocolCf> build_olsr_cf(core::Manetkit& kit,
+                                                     OlsrParams params) {
+  core::ManetProtocolCf* mpr_cf = kit.deploy("mpr");
+
+  auto cf = std::make_unique<core::ManetProtocolCf>(
+      kit.kernel(), "olsr", kit.scheduler(), kit.self(),
+      &kit.system().sys_state());
+
+  cf->add_integrity_rule([](const oc::CfView& view, std::string& err) {
+    if (view.count_providing("IRouteCalculator") > 1) {
+      err = "OLSR CF admits a single IRouteCalculator plug-in";
+      return false;
+    }
+    return true;
+  });
+
+  cf->set_state(std::make_unique<OlsrState>());
+  cf->insert(std::make_unique<RouteCalculator>(mpr_cf));
+  cf->add_handler(std::make_unique<TcHandler>(params, mpr_cf));
+  cf->add_handler(
+      std::make_unique<TopologyChangeHandler>(mpr_cf, kit.scheduler()));
+  cf->add_source(std::make_unique<TcGenerator>(params, mpr_cf));
+
+  cf->declare_events(
+      {ev::types::TC_IN, ev::types::NHOOD_CHANGE, ev::types::MPR_CHANGE},
+      {ev::types::TC_OUT});
+  return cf;
+}
+
+void register_olsr(core::Manetkit& kit, OlsrParams params) {
+  if (!kit.has_builder("mpr")) register_mpr(kit);
+  kit.register_protocol(
+      "olsr", /*layer=*/20,
+      [params](core::Manetkit& k) { return build_olsr_cf(k, params); },
+      /*category=*/"proactive");
+}
+
+OlsrState* olsr_state(core::ManetProtocolCf& cf) {
+  return dynamic_cast<OlsrState*>(cf.state_component());
+}
+
+void olsr_recompute_routes(core::ManetProtocolCf& cf) {
+  auto lock = cf.quiesce();
+  recompute_routes(cf.context());
+}
+
+}  // namespace mk::proto

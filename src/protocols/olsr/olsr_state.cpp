@@ -1,0 +1,70 @@
+#include "protocols/olsr/olsr_state.hpp"
+
+#include <sstream>
+
+namespace mk::proto {
+
+namespace {
+
+/// RFC 3626 §19: sequence-number comparison with wraparound.
+bool seq_newer(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(a - b) > 0;
+}
+
+}  // namespace
+
+OlsrState::OlsrState() : oc::Component("olsr.OlsrState") {
+  set_instance_name("State");
+  provide("IOlsrState", static_cast<IOlsrState*>(this));
+  provide("IState", static_cast<core::IState*>(this));
+}
+
+bool OlsrState::update_topology(net::Addr origin, std::uint16_t ansn,
+                                const std::set<net::Addr>& advertised,
+                                TimePoint now, Duration hold) {
+  auto it = topology_.find(origin);
+  if (it != topology_.end() && seq_newer(it->second.ansn, ansn)) {
+    return false;  // stale information
+  }
+  TopologyEntry entry;
+  entry.ansn = ansn;
+  entry.advertised = advertised;
+  entry.expires = now + hold;
+  topology_[origin] = std::move(entry);
+  return true;
+}
+
+bool OlsrState::expire_topology(TimePoint now) {
+  bool changed = false;
+  for (auto it = topology_.begin(); it != topology_.end();) {
+    if (it->second.expires < now) {
+      it = topology_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+std::vector<std::pair<net::Addr, net::Addr>> OlsrState::topology_edges() const {
+  std::vector<std::pair<net::Addr, net::Addr>> out;
+  for (const auto& [origin, e] : topology_) {
+    for (net::Addr d : e.advertised) out.emplace_back(origin, d);
+  }
+  return out;
+}
+
+double OlsrState::energy_of(net::Addr node) const {
+  auto it = energy_.find(node);
+  return it == energy_.end() ? 1.0 : it->second;
+}
+
+std::string OlsrState::describe() const {
+  std::ostringstream os;
+  os << "topology entries: " << topology_.size() << " ansn: " << ansn_
+     << " installed routes: " << installed_.size();
+  return os.str();
+}
+
+}  // namespace mk::proto

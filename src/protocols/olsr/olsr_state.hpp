@@ -1,0 +1,80 @@
+// S element of the OLSR CF: the topology set learned from TC flooding, the
+// ANSN counter, route bookkeeping, and (for the power-aware variant) the
+// per-node residual-energy map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ifaces.hpp"
+#include "net/address.hpp"
+#include "opencom/component.hpp"
+#include "util/time.hpp"
+
+namespace mk::proto {
+
+struct IOlsrState : oc::Interface {
+  /// Directed topology edges (origin -> advertised neighbour).
+  virtual std::vector<std::pair<net::Addr, net::Addr>> topology_edges() const = 0;
+  virtual std::size_t topology_size() const = 0;
+};
+
+class OlsrState : public oc::Component, public core::IState, public IOlsrState {
+ public:
+  OlsrState();
+
+  // -- topology set -----------------------------------------------------------
+  /// Applies a TC: rejected (returns false) if `ansn` is older than the
+  /// newest seen from `origin`. On acceptance replaces origin's advertised
+  /// set and refreshes its validity.
+  bool update_topology(net::Addr origin, std::uint16_t ansn,
+                       const std::set<net::Addr>& advertised, TimePoint now,
+                       Duration hold);
+
+  /// Removes expired entries; returns true if anything was removed.
+  bool expire_topology(TimePoint now);
+
+  std::vector<std::pair<net::Addr, net::Addr>> topology_edges() const override;
+  std::size_t topology_size() const override { return topology_.size(); }
+
+  // -- sequence numbers ---------------------------------------------------------
+  std::uint16_t next_msg_seq() { return msg_seq_++; }
+  std::uint16_t ansn() const { return ansn_; }
+  void bump_ansn() { ++ansn_; }
+
+  /// Last advertised selector set (to detect when ANSN must change).
+  const std::set<net::Addr>& last_advertised() const { return last_advertised_; }
+  void set_last_advertised(std::set<net::Addr> s) {
+    last_advertised_ = std::move(s);
+  }
+
+  // -- installed kernel routes owned by OLSR ---------------------------------------
+  std::set<net::Addr>& installed_dests() { return installed_; }
+
+  // -- residual energy (power-aware variant) -----------------------------------------
+  void set_energy(net::Addr node, double level) { energy_[node] = level; }
+  double energy_of(net::Addr node) const;
+  void set_own_battery(double level) { own_battery_ = level; }
+  double own_battery() const { return own_battery_; }
+
+  std::string describe() const override;
+
+ private:
+  struct TopologyEntry {
+    std::uint16_t ansn = 0;
+    std::set<net::Addr> advertised;
+    TimePoint expires{};
+  };
+  std::map<net::Addr, TopologyEntry> topology_;
+  std::uint16_t msg_seq_ = 1;
+  std::uint16_t ansn_ = 1;
+  std::set<net::Addr> last_advertised_;
+  std::set<net::Addr> installed_;
+  std::map<net::Addr, double> energy_;
+  double own_battery_ = 1.0;
+};
+
+}  // namespace mk::proto

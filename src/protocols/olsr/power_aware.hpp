@@ -1,0 +1,30 @@
+// Power-aware OLSR variant (§5.1) [Mahfoudh & Minet 2008 flavour]: maximises
+// route lifetime by steering both relay selection and path selection away
+// from low-battery nodes.
+//
+// Enactment (exactly the paper's recipe):
+//  * the MPR CF's Hello Handler and MPR Calculator are *replaced* by
+//    power-aware versions (link cost from advertised residual power);
+//  * a ResidualPower component is *plugged into* the OLSR CF, disseminating
+//    this node's battery level network-wide via MPR's flooding service;
+//  * OLSR's RouteCalculator is replaced by an energy-cost version.
+//
+// Both applying and removing the variant are a handful of operations on the
+// CFs' architecture meta-models.
+#pragma once
+
+#include "core/manetkit.hpp"
+
+namespace mk::proto {
+
+/// Applies the variant to the deployed "olsr" + "mpr" CFs.
+/// Throws std::logic_error if OLSR is not deployed.
+void apply_power_aware(core::Manetkit& kit);
+
+/// Reverts to standard OLSR routing (the variant "becomes a hindrance" when
+/// no application needs the long-lifetime QoS emphasis).
+void remove_power_aware(core::Manetkit& kit);
+
+bool is_power_aware(core::Manetkit& kit);
+
+}  // namespace mk::proto

@@ -1,0 +1,119 @@
+#include "protocols/olsr/route_calculator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "core/manet_protocol.hpp"
+#include "protocols/mpr/mpr_state.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::proto {
+
+RouteCalculator::RouteCalculator(core::ManetProtocolCf* mpr_cf)
+    : RouteCalculator("olsr.RouteCalculator", mpr_cf) {}
+
+RouteCalculator::RouteCalculator(std::string type_name,
+                                 core::ManetProtocolCf* mpr_cf)
+    : oc::Component(std::move(type_name)), mpr_cf_(mpr_cf) {
+  set_instance_name("RouteCalculator");
+  provide("IRouteCalculator", static_cast<IRouteCalculator*>(this));
+}
+
+double RouteCalculator::node_cost(const OlsrState&, net::Addr) const {
+  return 1.0;
+}
+
+void RouteCalculator::recompute(core::ProtocolContext& ctx) {
+  auto* st = dynamic_cast<OlsrState*>(ctx.state());
+  if (st == nullptr || ctx.sys() == nullptr || mpr_cf_ == nullptr) return;
+
+  auto* nbr =
+      mpr_cf_->state_component() == nullptr
+          ? nullptr
+          : mpr_cf_->state_component()->interface_as<INeighborState>(
+                "INeighborState");
+  if (nbr == nullptr) return;
+
+  net::Addr self = ctx.self();
+
+  // Build the adjacency view: symmetric 1-hop links, 2-hop links learned
+  // from HELLOs, and TC-advertised links (all treated bidirectionally).
+  std::map<net::Addr, std::set<net::Addr>> adj;
+  auto add_edge = [&adj](net::Addr a, net::Addr b) {
+    adj[a].insert(b);
+    adj[b].insert(a);
+  };
+  for (net::Addr n : nbr->sym_neighbors()) {
+    add_edge(self, n);
+    for (net::Addr t : nbr->two_hop_via(n)) {
+      if (t != self) add_edge(n, t);
+    }
+  }
+  for (const auto& [origin, dest] : st->topology_edges()) {
+    add_edge(origin, dest);
+  }
+
+  // Dijkstra from self; edge weight = node_cost(entered node).
+  std::map<net::Addr, double> dist;
+  std::map<net::Addr, net::Addr> parent;
+  std::map<net::Addr, std::uint32_t> hops;
+  using QItem = std::pair<double, net::Addr>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[self] = 0.0;
+  hops[self] = 0;
+  pq.emplace(0.0, self);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (net::Addr v : it->second) {
+      double w = node_cost(*st, v);
+      double nd = d + w;
+      auto dit = dist.find(v);
+      if (dit == dist.end() || nd < dit->second - 1e-12) {
+        dist[v] = nd;
+        parent[v] = u;
+        hops[v] = hops[u] + 1;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+
+  // Resolve next hops and sync the kernel table.
+  net::KernelRouteTable& kernel = ctx.sys()->kernel_table();
+  std::set<net::Addr> fresh;
+  for (const auto& [dest, _] : dist) {
+    if (dest == self) continue;
+    net::Addr hop = dest;
+    while (parent.count(hop) > 0 && parent[hop] != self) hop = parent[hop];
+    if (parent.count(hop) == 0) continue;  // unreachable glitch
+    net::RouteEntry entry;
+    entry.dest = dest;
+    entry.next_hop = hop;
+    entry.metric = hops[dest];
+    entry.installed_at = ctx.now();
+    kernel.set_route(entry);
+    fresh.insert(dest);
+  }
+  for (net::Addr old_dest : st->installed_dests()) {
+    if (fresh.count(old_dest) == 0) kernel.remove_route(old_dest);
+  }
+  st->installed_dests() = std::move(fresh);
+}
+
+EnergyRouteCalculator::EnergyRouteCalculator(core::ManetProtocolCf* mpr_cf)
+    : RouteCalculator("olsr.EnergyRouteCalculator", mpr_cf) {}
+
+double EnergyRouteCalculator::node_cost(const OlsrState& st,
+                                        net::Addr via) const {
+  // Residual-energy cost: a relay at full charge costs ~1 hop; a nearly
+  // drained relay costs ~20, steering routes around it.
+  return 1.0 / std::max(0.05, st.energy_of(via));
+}
+
+}  // namespace mk::proto

@@ -1,0 +1,51 @@
+// OLSR routing-table calculation, as a replaceable component: the default
+// computes min-hop shortest paths (Dijkstra) over 1-hop/2-hop neighbourhood
+// plus the TC-learned topology set, and installs host routes in the kernel
+// table. The power-aware variant substitutes an energy-cost metric
+// (maximise route lifetime by avoiding low-battery relays).
+#pragma once
+
+#include <string>
+
+#include "core/cfs.hpp"
+#include "net/address.hpp"
+#include "opencom/component.hpp"
+#include "protocols/olsr/olsr_state.hpp"
+
+namespace mk::proto {
+
+struct IRouteCalculator : oc::Interface {
+  /// Recomputes all routes and syncs the kernel table (adding new routes,
+  /// removing stale OLSR-owned ones).
+  virtual void recompute(core::ProtocolContext& ctx) = 0;
+};
+
+class RouteCalculator : public oc::Component, public IRouteCalculator {
+ public:
+  /// `mpr_cf` is the MPR CF instance whose S element supplies neighbourhood
+  /// information (a cross-CF direct-call binding in the paper's terms).
+  explicit RouteCalculator(core::ManetProtocolCf* mpr_cf);
+
+  void recompute(core::ProtocolContext& ctx) override;
+
+ protected:
+  RouteCalculator(std::string type_name, core::ManetProtocolCf* mpr_cf);
+
+  /// Cost of traversing intermediate node `via` (hop metric = 1.0).
+  virtual double node_cost(const OlsrState& st, net::Addr via) const;
+
+  core::ManetProtocolCf* mpr_cf_;
+};
+
+/// Energy-aware path selection: traversal cost grows steeply as the relay's
+/// advertised residual battery drops, so min-cost paths are the
+/// longest-lifetime paths.
+class EnergyRouteCalculator final : public RouteCalculator {
+ public:
+  explicit EnergyRouteCalculator(core::ManetProtocolCf* mpr_cf);
+
+ protected:
+  double node_cost(const OlsrState& st, net::Addr via) const override;
+};
+
+}  // namespace mk::proto

@@ -1,0 +1,52 @@
+// Shared wire constants for the built-in protocols: PacketBB message types,
+// TLV types and link codes. One vocabulary across protocols keeps the
+// generic PacketGenerator/PacketParser machinery reusable (Table 3).
+#pragma once
+
+#include <cstdint>
+
+namespace mk::proto::wire {
+
+// -- PacketBB message types ----------------------------------------------------
+inline constexpr std::uint8_t kMsgHello = 1;
+inline constexpr std::uint8_t kMsgTc = 2;
+inline constexpr std::uint8_t kMsgResidualPower = 3;
+inline constexpr std::uint8_t kMsgDymoRm = 10;    // RREQ/RREP (routing message)
+inline constexpr std::uint8_t kMsgDymoRerr = 11;
+inline constexpr std::uint8_t kMsgAodvRreq = 20;
+inline constexpr std::uint8_t kMsgAodvRrep = 21;
+inline constexpr std::uint8_t kMsgAodvRerr = 22;
+
+// -- message TLV types -----------------------------------------------------------
+inline constexpr std::uint8_t kTlvWillingness = 1;  // u8, 0..7
+inline constexpr std::uint8_t kTlvAnsn = 2;         // u16 (OLSR)
+inline constexpr std::uint8_t kTlvRmKind = 3;       // u8: 0 = RREQ, 1 = RREP
+inline constexpr std::uint8_t kTlvTargetSeq = 4;    // u16 (DYMO/AODV)
+inline constexpr std::uint8_t kTlvOrigSeq = 5;      // u16
+inline constexpr std::uint8_t kTlvBattery = 6;      // u8, percent
+inline constexpr std::uint8_t kTlvHopCount = 7;     // u8 (AODV)
+inline constexpr std::uint8_t kTlvRreqId = 8;       // u32 (AODV)
+inline constexpr std::uint8_t kTlvPiggyback = 9;    // opaque bytes
+/// Marks a HELLO emitted by an MPR-aware source. Plain Neighbour Detection
+/// HELLOs lack it; the MPR CF only trusts selector (MPR link-code)
+/// information in marked HELLOs, so the two sensing CFs can co-exist on one
+/// node without flapping each other's selector sets.
+inline constexpr std::uint8_t kTlvMprAware = 10;    // empty
+
+// -- address-block TLV types -------------------------------------------------------
+inline constexpr std::uint8_t kAtlvLinkCode = 1;  // u8 LinkCode
+inline constexpr std::uint8_t kAtlvSeqnum = 2;    // u32 (per-address seqnum)
+inline constexpr std::uint8_t kAtlvHops = 3;      // u8 (per-address hop count)
+
+/// HELLO link codes (RFC 3626 flavour). kMpr implies a symmetric link whose
+/// far end has been selected as a multipoint relay by the sender.
+enum class LinkCode : std::uint8_t { kAsym = 0, kSym = 1, kLost = 2, kMpr = 3 };
+
+/// OLSR willingness values.
+inline constexpr std::uint8_t kWillNever = 0;
+inline constexpr std::uint8_t kWillLow = 1;
+inline constexpr std::uint8_t kWillDefault = 3;
+inline constexpr std::uint8_t kWillHigh = 6;
+inline constexpr std::uint8_t kWillAlways = 7;
+
+}  // namespace mk::proto::wire

@@ -1,0 +1,184 @@
+#include "protocols/zrp/zrp_cf.hpp"
+
+#include "core/attrs.hpp"
+#include "protocols/neighbor/neighbor_cf.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mk::proto {
+
+namespace {
+
+/// Zone lookup against the Neighbour Detection CF's S element:
+/// distance 1 -> next hop is the destination; distance 2 -> next hop is a
+/// symmetric neighbour reporting it. Returns hops (0 = not in zone).
+std::uint8_t zone_route(core::Manetkit& kit, net::Addr dest,
+                        net::Addr& next_hop) {
+  auto* neighbor_cf = kit.protocol("neighbor");
+  if (neighbor_cf == nullptr) return 0;
+  INeighborState* ns = neighbor_state(*neighbor_cf);
+  if (ns == nullptr) return 0;
+  if (ns->is_sym_neighbor(dest)) {
+    next_hop = dest;
+    return 1;
+  }
+  for (net::Addr n : ns->sym_neighbors()) {
+    if (ns->two_hop_via(n).count(dest) > 0) {
+      next_hop = n;
+      return 2;
+    }
+  }
+  return 0;
+}
+
+/// IERP handler: DYMO's RE processing plus bordercast termination — a relay
+/// whose zone contains the target answers on its behalf instead of
+/// re-flooding the query.
+class ZoneReHandler final : public ReHandler {
+ public:
+  ZoneReHandler(DymoParams params, core::Manetkit& kit)
+      : ReHandler("zrp.ZoneReHandler", params), kit_(kit) {}
+
+ protected:
+  bool should_relay_rreq(const ev::Event& event,
+                         core::ProtocolContext& ctx) override {
+    net::Addr target = rm::target(*event.msg);
+    net::Addr hop = net::kNoAddr;
+    std::uint8_t dist = zone_route(kit_, target, hop);
+    if (dist == 0) return true;  // target beyond our zone: keep flooding
+
+    // Proxy reply: we vouch for the in-zone target. Sequence number 0
+    // (unknown) keeps any later authoritative RREP fresher.
+    auto* st = dynamic_cast<DymoState*>(ctx.state());
+    MK_ASSERT(st != nullptr);
+    pbb::Message rrep = rm::build_rrep(target, /*own_seq=*/0,
+                                       *event.msg->originator,
+                                       params_.rreq_hop_limit);
+    rrep.hop_count = dist;  // account for the zone leg we vouch for
+    ev::Event out(ev::etype("RM_OUT"));
+    out.msg = std::move(rrep);
+    out.set_int(core::attrs::kUnicastTo, event.from);
+    ctx.emit(std::move(out));
+    MK_DEBUG("zrp", "bordercast termination: answering for ",
+             pbb::addr_to_string(target), " at distance ", int{dist});
+    return false;
+  }
+
+ private:
+  core::Manetkit& kit_;
+};
+
+/// NO_ROUTE short-circuit: in-zone destinations are served proactively.
+class ZoneNoRouteHandler final : public NoRouteHandler {
+ public:
+  ZoneNoRouteHandler(DymoParams params, core::Manetkit& kit)
+      : NoRouteHandler("zrp.ZoneNoRouteHandler", params), kit_(kit) {}
+
+ protected:
+  bool try_local_knowledge(net::Addr dest,
+                           core::ProtocolContext& ctx) override {
+    net::Addr hop = net::kNoAddr;
+    std::uint8_t dist = zone_route(kit_, dest, hop);
+    if (dist == 0) return false;
+    dymo_install_kernel_route(ctx, dest, hop, dist);
+    dymo_emit_route_found(ctx, dest);
+    return true;
+  }
+
+ private:
+  core::Manetkit& kit_;
+};
+
+/// IARP: keeps kernel routes for every zone member installed and fresh.
+class ZoneMaintenance final : public core::EventSource {
+ public:
+  ZoneMaintenance(ZrpParams params, core::Manetkit& kit)
+      : core::EventSource("zrp.ZoneMaintenance"), params_(params), kit_(kit) {
+    set_instance_name("ZoneMaintenance");
+  }
+
+  void start(core::ProtocolContext& ctx) override {
+    ctx_ = &ctx;
+    timer_ = std::make_unique<PeriodicTimer>(
+        ctx.scheduler(), params_.zone_refresh, [this] { refresh(); },
+        /*jitter=*/0.1, /*seed=*/ctx.self() + 8);
+    timer_->start();
+  }
+
+  void stop() override { timer_.reset(); }
+
+ private:
+  void refresh() {
+    auto* neighbor_cf = kit_.protocol("neighbor");
+    if (neighbor_cf == nullptr || ctx_->sys() == nullptr) return;
+    INeighborState* ns = neighbor_state(*neighbor_cf);
+    if (ns == nullptr) return;
+
+    std::set<net::Addr> zone;
+    for (net::Addr n : ns->sym_neighbors()) {
+      zone.insert(n);
+      net::RouteEntry e;
+      e.dest = n;
+      e.next_hop = n;
+      e.metric = 1;
+      e.installed_at = ctx_->now();
+      ctx_->sys()->kernel_table().set_route(e);
+    }
+    for (net::Addr t : ns->strict_two_hop(ctx_->self())) {
+      net::Addr hop = net::kNoAddr;
+      std::uint8_t dist = zone_route(kit_, t, hop);
+      if (dist == 0) continue;
+      zone.insert(t);
+      net::RouteEntry e;
+      e.dest = t;
+      e.next_hop = hop;
+      e.metric = dist;
+      e.installed_at = ctx_->now();
+      ctx_->sys()->kernel_table().set_route(e);
+    }
+    // Proactive routes that left the zone are withdrawn (unless the
+    // reactive side still holds a valid route there).
+    auto* st = dynamic_cast<DymoState*>(ctx_->state());
+    for (net::Addr dest : installed_) {
+      if (zone.count(dest) > 0) continue;
+      auto reactive = st == nullptr ? std::nullopt : st->route_to(dest);
+      if (reactive && reactive->valid) continue;
+      ctx_->sys()->kernel_table().remove_route(dest);
+    }
+    installed_ = std::move(zone);
+  }
+
+  ZrpParams params_;
+  core::Manetkit& kit_;
+  core::ProtocolContext* ctx_ = nullptr;
+  std::unique_ptr<PeriodicTimer> timer_;
+  std::set<net::Addr> installed_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::ManetProtocolCf> build_zrp_cf(core::Manetkit& kit,
+                                                    ZrpParams params) {
+  // Reuse the full DYMO composition, then substitute the zone plug-ins —
+  // hybridisation as reconfiguration, exactly the paper's pitch.
+  auto cf = build_dymo_cf(kit, params.reactive);
+  cf->set_unit_name("zrp");
+  cf->replace_handler(
+      "ReHandler", std::make_unique<ZoneReHandler>(params.reactive, kit));
+  cf->replace_handler(
+      "NoRouteHandler",
+      std::make_unique<ZoneNoRouteHandler>(params.reactive, kit));
+  cf->add_source(std::make_unique<ZoneMaintenance>(params, kit));
+  return cf;
+}
+
+void register_zrp(core::Manetkit& kit, ZrpParams params) {
+  if (!kit.has_builder("neighbor")) register_neighbor(kit);
+  kit.register_protocol(
+      "zrp", /*layer=*/20,
+      [params](core::Manetkit& k) { return build_zrp_cf(k, params); },
+      /*category=*/"reactive");
+}
+
+}  // namespace mk::proto

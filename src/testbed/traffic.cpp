@@ -1,0 +1,31 @@
+#include "testbed/traffic.hpp"
+
+namespace mk::testbed {
+
+CbrFlow::CbrFlow(net::SimNode& src, net::Addr dst, Duration interval,
+                 std::uint16_t payload)
+    : src_(src),
+      dst_(dst),
+      payload_(payload),
+      timer_(src.scheduler(), interval,
+             [this] {
+               ++sent_;
+               src_.forwarding().send(dst_, payload_);
+             },
+             /*jitter=*/0.0, /*seed=*/src.addr() + 31) {}
+
+CbrFlow::~CbrFlow() { stop(); }
+
+void CbrFlow::start() { timer_.start(); }
+void CbrFlow::stop() { timer_.stop(); }
+
+DeliverySink::DeliverySink(net::SimNode& node) : node_(node) {
+  node_.set_delivery_callback([this](const net::SimNode::Delivery& d) {
+    ++received_;
+    latencies_.add(to_ms(d.at - d.hdr.sent_at));
+  });
+}
+
+DeliverySink::~DeliverySink() { node_.set_delivery_callback(nullptr); }
+
+}  // namespace mk::testbed

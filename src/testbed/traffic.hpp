@@ -1,0 +1,50 @@
+// Application traffic generation + delivery statistics (PDR, latency),
+// used by examples and the ablation benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace mk::testbed {
+
+/// Constant-bit-rate flow from one node to a destination address.
+class CbrFlow {
+ public:
+  CbrFlow(net::SimNode& src, net::Addr dst, Duration interval,
+          std::uint16_t payload = 512);
+  ~CbrFlow();
+
+  void start();
+  void stop();
+
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  net::SimNode& src_;
+  net::Addr dst_;
+  std::uint16_t payload_;
+  std::uint64_t sent_ = 0;
+  PeriodicTimer timer_;
+};
+
+/// Aggregates deliveries at a destination node: packet delivery ratio and
+/// end-to-end latency.
+class DeliverySink {
+ public:
+  explicit DeliverySink(net::SimNode& node);
+  ~DeliverySink();
+
+  std::uint64_t received() const { return received_; }
+  const Samples& latencies_ms() const { return latencies_; }
+
+ private:
+  net::SimNode& node_;
+  std::uint64_t received_ = 0;
+  Samples latencies_;
+};
+
+}  // namespace mk::testbed

@@ -1,0 +1,109 @@
+#include "testbed/world.hpp"
+
+#include "protocols/gpsr/gpsr_cf.hpp"
+#include "protocols/install.hpp"
+#include "util/assert.hpp"
+
+namespace mk::testbed {
+
+SimWorld::SimWorld(std::size_t num_nodes, std::uint64_t seed)
+    : medium_(sched_, seed) {
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<net::SimNode>(
+        static_cast<std::uint32_t>(i), medium_, sched_));
+  }
+  kits_.resize(num_nodes);
+  daemons_.resize(num_nodes * 2);  // slot per (node, daemon kind)
+}
+
+SimWorld::~SimWorld() {
+  // Kits and daemons hold timers into the scheduler; drop them first.
+  daemons_.clear();
+  kits_.clear();
+}
+
+std::vector<net::Addr> SimWorld::addrs() const {
+  std::vector<net::Addr> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->addr());
+  return out;
+}
+
+core::Manetkit& SimWorld::kit(std::size_t i) {
+  auto& slot = kits_.at(i);
+  if (slot == nullptr) {
+    slot = std::make_unique<core::Manetkit>(*nodes_.at(i));
+    proto::install_all(*slot);
+  }
+  return *slot;
+}
+
+void SimWorld::deploy_all(const std::string& proto) {
+  for (std::size_t i = 0; i < size(); ++i) kit(i).deploy(proto);
+}
+
+void SimWorld::register_gpsr_oracle() {
+  auto* nodes = &nodes_;
+  proto::LocationService oracle =
+      [nodes](net::Addr a) -> std::optional<net::Position> {
+    std::uint32_t idx = net::index_for_addr(a);
+    if (idx >= nodes->size()) return std::nullopt;
+    return (*nodes)[idx]->position();
+  };
+  for (std::size_t i = 0; i < size(); ++i) {
+    proto::register_gpsr(kit(i), oracle);
+  }
+}
+
+baseline::MonolithicOlsr& SimWorld::olsrd(std::size_t i,
+                                          baseline::OlsrdParams params) {
+  auto& slot = daemons_.at(i * 2);
+  if (slot == nullptr) {
+    slot = std::make_unique<baseline::MonolithicOlsr>(*nodes_.at(i), params);
+    slot->start();
+  }
+  auto* daemon = dynamic_cast<baseline::MonolithicOlsr*>(slot.get());
+  MK_ASSERT(daemon != nullptr);
+  return *daemon;
+}
+
+baseline::MonolithicDymo& SimWorld::dymoum(std::size_t i,
+                                           baseline::DymoumParams params) {
+  auto& slot = daemons_.at(i * 2 + 1);
+  if (slot == nullptr) {
+    slot = std::make_unique<baseline::MonolithicDymo>(*nodes_.at(i), params);
+    slot->start();
+  }
+  auto* daemon = dynamic_cast<baseline::MonolithicDymo*>(slot.get());
+  MK_ASSERT(daemon != nullptr);
+  return *daemon;
+}
+
+bool SimWorld::fully_routed() const {
+  for (const auto& a : nodes_) {
+    for (const auto& b : nodes_) {
+      if (a->addr() == b->addr()) continue;
+      if (!a->kernel_table().lookup(b->addr()).has_value()) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Duration> SimWorld::run_until_routed(Duration deadline,
+                                                   Duration step) {
+  TimePoint start = now();
+  TimePoint limit = start + deadline;
+  while (now() < limit) {
+    if (fully_routed()) return now() - start;
+    sched_.run_for(step);
+  }
+  return fully_routed() ? std::optional<Duration>(now() - start)
+                        : std::nullopt;
+}
+
+bool SimWorld::has_route(std::size_t i, net::Addr dest) const {
+  return nodes_.at(i)->kernel_table().lookup(dest).has_value();
+}
+
+}  // namespace mk::testbed

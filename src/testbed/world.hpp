@@ -1,0 +1,88 @@
+// Scenario harness: N simulated nodes on one medium, with per-node MANETKit
+// stacks (lazily created) and/or monolithic baseline daemons. Reproduces the
+// paper's testbed: 5 nodes, linear emulated topology, identical protocol
+// parameters across framework and monolithic implementations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dymoum.hpp"
+#include "baselines/olsrd.hpp"
+#include "core/manetkit.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "net/topology.hpp"
+#include "util/scheduler.hpp"
+
+namespace mk::testbed {
+
+class SimWorld {
+ public:
+  explicit SimWorld(std::size_t num_nodes, std::uint64_t seed = 42);
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  SimScheduler& scheduler() { return sched_; }
+  net::SimMedium& medium() { return medium_; }
+
+  std::size_t size() const { return nodes_.size(); }
+  net::SimNode& node(std::size_t i) { return *nodes_.at(i); }
+  net::Addr addr(std::size_t i) const { return net::addr_for_index(i); }
+  std::vector<net::Addr> addrs() const;
+
+  // -- topology ---------------------------------------------------------------
+  void linear() { net::topo::linear(medium_, addrs()); }
+  void ring() { net::topo::ring(medium_, addrs()); }
+  void grid(std::size_t cols) { net::topo::grid(medium_, addrs(), cols); }
+  void full_mesh() { net::topo::full_mesh(medium_, addrs()); }
+
+  // -- time --------------------------------------------------------------------
+  void run_for(Duration d) { sched_.run_for(d); }
+  void run_until(TimePoint t) { sched_.run_until(t); }
+  TimePoint now() const { return sched_.now(); }
+
+  // -- MANETKit stacks ------------------------------------------------------------
+  /// Lazily creates the node's MANETKit instance (with every built-in
+  /// protocol builder registered).
+  core::Manetkit& kit(std::size_t i);
+  bool has_kit(std::size_t i) const { return kits_.at(i) != nullptr; }
+
+  /// Deploys a protocol on every node.
+  void deploy_all(const std::string& proto);
+
+  /// Registers the "gpsr" builder on every kit with an oracle location
+  /// service backed by the true simulated positions (the standard GPSR
+  /// evaluation assumption; see DESIGN.md substitutions).
+  void register_gpsr_oracle();
+
+  // -- baselines -----------------------------------------------------------------
+  baseline::MonolithicOlsr& olsrd(std::size_t i,
+                                  baseline::OlsrdParams params = {});
+  baseline::MonolithicDymo& dymoum(std::size_t i,
+                                   baseline::DymoumParams params = {});
+
+  // -- convergence helpers -----------------------------------------------------------
+  /// True when every node holds a kernel route to every other node.
+  bool fully_routed() const;
+
+  /// Runs in `step` increments until fully_routed() or `deadline` sim time;
+  /// returns the sim time consumed, or nullopt on timeout.
+  std::optional<Duration> run_until_routed(Duration deadline,
+                                           Duration step = msec(10));
+
+  /// True when node i holds a valid kernel route to `dest`.
+  bool has_route(std::size_t i, net::Addr dest) const;
+
+ private:
+  SimScheduler sched_;
+  net::SimMedium medium_;
+  std::vector<std::unique_ptr<net::SimNode>> nodes_;
+  std::vector<std::unique_ptr<core::Manetkit>> kits_;
+  std::vector<std::unique_ptr<baseline::RoutingDaemon>> daemons_;
+};
+
+}  // namespace mk::testbed

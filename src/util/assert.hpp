@@ -1,0 +1,36 @@
+// Assertion macros used throughout MANETKit.
+//
+// MK_ASSERT   — internal invariant; aborts on violation (a programming error).
+// MK_ENSURE   — recoverable precondition; throws std::logic_error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mk::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "MK_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace mk::detail
+
+#define MK_ASSERT(cond, ...)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::mk::detail::assert_fail(#cond, __FILE__, __LINE__,                   \
+                                ::std::string{__VA_ARGS__});                 \
+    }                                                                        \
+  } while (false)
+
+#define MK_ENSURE(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::std::logic_error(::std::string{"MK_ENSURE failed: "} + (msg)); \
+    }                                                                        \
+  } while (false)

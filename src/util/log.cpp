@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mk::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+
+void default_sink(Level lvl, std::string_view tag, std::string_view msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", kNames[static_cast<int>(lvl)],
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+Sink& sink_slot() {
+  static Sink sink = default_sink;
+  return sink;
+}
+
+}  // namespace
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+void set_sink(Sink sink) {
+  std::scoped_lock lock(g_sink_mutex);
+  sink_slot() = std::move(sink);
+}
+
+void reset_sink() {
+  std::scoped_lock lock(g_sink_mutex);
+  sink_slot() = default_sink;
+}
+
+void write(Level lvl, std::string_view tag, std::string_view msg) {
+  std::scoped_lock lock(g_sink_mutex);
+  sink_slot()(lvl, tag, msg);
+}
+
+}  // namespace mk::log

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// Logging is tagged by subsystem (e.g. "olsr", "mpr", "sim") and filtered by a
+// global level. Output goes to stderr by default; a sink can be swapped in for
+// tests. The logger is deliberately allocation-light so it can be used on hot
+// paths at TRACE level without distorting benchmarks when disabled.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mk::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current global level; messages below it are dropped before formatting.
+Level level();
+void set_level(Level lvl);
+
+using Sink = std::function<void(Level, std::string_view tag, std::string_view msg)>;
+
+/// Replaces the output sink (default writes "[LVL tag] msg" to stderr).
+void set_sink(Sink sink);
+
+/// Restores the default stderr sink.
+void reset_sink();
+
+void write(Level lvl, std::string_view tag, std::string_view msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace mk::log
+
+#define MK_LOG_AT(lvl, tag, ...)                                         \
+  do {                                                                   \
+    if ((lvl) >= ::mk::log::level()) {                                   \
+      ::mk::log::write((lvl), (tag), ::mk::log::detail::concat(__VA_ARGS__)); \
+    }                                                                    \
+  } while (false)
+
+#define MK_TRACE(tag, ...) MK_LOG_AT(::mk::log::Level::kTrace, tag, __VA_ARGS__)
+#define MK_DEBUG(tag, ...) MK_LOG_AT(::mk::log::Level::kDebug, tag, __VA_ARGS__)
+#define MK_INFO(tag, ...) MK_LOG_AT(::mk::log::Level::kInfo, tag, __VA_ARGS__)
+#define MK_WARN(tag, ...) MK_LOG_AT(::mk::log::Level::kWarn, tag, __VA_ARGS__)
+#define MK_ERROR(tag, ...) MK_LOG_AT(::mk::log::Level::kError, tag, __VA_ARGS__)

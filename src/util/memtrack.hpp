@@ -1,0 +1,43 @@
+// Heap accounting for the Table 2 (memory footprint) reproduction.
+//
+// mk_util replaces the global operator new/delete with counting versions
+// (backed by malloc / malloc_usable_size). A Scope snapshots the live-byte
+// counter so a bench can attribute heap growth to a particular deployment:
+//
+//   memtrack::Scope scope;
+//   deploy_olsr(node);
+//   std::uint64_t footprint = scope.live_bytes_delta();
+#pragma once
+
+#include <cstdint>
+
+namespace mk::memtrack {
+
+struct Stats {
+  std::uint64_t live_bytes = 0;
+  std::uint64_t live_allocs = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_allocs = 0;
+};
+
+/// Globally consistent snapshot of the allocation counters.
+Stats snapshot();
+
+class Scope {
+ public:
+  Scope() : start_(snapshot()) {}
+
+  /// Net heap growth (bytes still allocated) since construction.
+  /// Clamped at zero: frees of pre-existing memory don't go negative.
+  std::uint64_t live_bytes_delta() const;
+
+  /// Total bytes allocated (churn) since construction.
+  std::uint64_t total_bytes_delta() const;
+
+  std::uint64_t live_allocs_delta() const;
+
+ private:
+  Stats start_;
+};
+
+}  // namespace mk::memtrack

@@ -1,0 +1,72 @@
+// Thread-safe FIFO used by the thread-per-ManetProtocol concurrency model and
+// the thread pool. Closeable so consumer threads can shut down cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mk {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueues unless the queue has been closed. Returns false if closed.
+  bool push(T value) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mk

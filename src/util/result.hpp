@@ -1,0 +1,54 @@
+// Small Result<T> for recoverable failures (parsing untrusted packets,
+// kernel-table lookups, ...). C++20 has no std::expected; this is the subset
+// we need.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace mk {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Error err) : v_(std::move(err)) {}            // NOLINT(implicit)
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result fail(std::string message) {
+    return Result(Error{std::move(message)});
+  }
+
+  bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    MK_ASSERT(has_value(), error());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    MK_ASSERT(has_value(), error());
+    return std::get<T>(v_);
+  }
+
+  const std::string& error() const {
+    static const std::string kOk = "(ok)";
+    return has_value() ? kOk : std::get<Error>(v_).message;
+  }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace mk

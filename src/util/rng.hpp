@@ -1,0 +1,42 @@
+// Seedable random source. Every stochastic element in the simulator (loss,
+// jitter, mobility, traffic) draws from an explicitly seeded Rng so whole
+// scenario runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mk {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : eng_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>{}(eng_); }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(eng_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(eng_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution{p}(eng_); }
+
+  double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(eng_);
+  }
+
+  std::uint64_t next_u64() { return eng_(); }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace mk

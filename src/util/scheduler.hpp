@@ -1,0 +1,108 @@
+// Scheduler abstraction: the only clock/timer facility protocol code may use.
+//
+// Two implementations:
+//  * SimScheduler       — deterministic discrete-event queue (canonical for
+//                         tests, examples and simulation benches).
+//  * RealTimeScheduler  — background thread against steady_clock, for live
+//                         deployments and the threaded-concurrency benches.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/time.hpp"
+
+namespace mk {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual TimePoint now() const = 0;
+
+  /// Runs `fn` at absolute time `t` (or as soon after as possible).
+  virtual TimerId schedule_at(TimePoint t, std::function<void()> fn) = 0;
+
+  /// Cancels a pending callback. Returns false if it already ran or is unknown.
+  virtual bool cancel(TimerId id) = 0;
+
+  TimerId schedule_after(Duration d, std::function<void()> fn) {
+    return schedule_at(now() + d, std::move(fn));
+  }
+};
+
+/// Deterministic discrete-event scheduler. Single-threaded: callers drive it
+/// via step()/run_until()/run_for(). Events at equal times run in FIFO order.
+class SimScheduler final : public Scheduler {
+ public:
+  TimePoint now() const override { return now_; }
+  TimerId schedule_at(TimePoint t, std::function<void()> fn) override;
+  bool cancel(TimerId id) override;
+
+  /// Runs the next pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= t, then sets now() = t.
+  void run_until(TimePoint t);
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Drains the queue (bounded by `max_events` as a runaway guard).
+  /// Returns the number of events executed.
+  std::size_t run_all(std::size_t max_events = 10'000'000);
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Key {
+    std::int64_t us;
+    std::uint64_t seq;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 1;
+  std::map<Key, std::function<void()>> queue_;
+  std::map<TimerId, Key> by_id_;
+};
+
+/// Wall-clock scheduler: one background thread fires callbacks at deadlines.
+class RealTimeScheduler final : public Scheduler {
+ public:
+  RealTimeScheduler();
+  ~RealTimeScheduler() override;
+
+  RealTimeScheduler(const RealTimeScheduler&) = delete;
+  RealTimeScheduler& operator=(const RealTimeScheduler&) = delete;
+
+  TimePoint now() const override;
+  TimerId schedule_at(TimePoint t, std::function<void()> fn) override;
+  bool cancel(TimerId id) override;
+
+ private:
+  struct Key {
+    std::int64_t us;
+    std::uint64_t seq;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  void run();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::map<Key, std::function<void()>> queue_;
+  std::map<TimerId, Key> by_id_;
+  std::thread thread_;
+};
+
+}  // namespace mk

@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mk {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " min=" << min()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+void Samples::sort() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::quantile(double q) const {
+  MK_ASSERT(q >= 0.0 && q <= 1.0);
+  if (xs_.empty()) return 0.0;
+  sort();
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(xs_.size() - 1) + 0.5);
+  return xs_[std::min(idx, xs_.size() - 1)];
+}
+
+}  // namespace mk

@@ -1,0 +1,53 @@
+// Measurement helpers for the benchmark harness and testbed metrics:
+// streaming summaries (Welford), sample-based quantiles, and counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mk {
+
+/// Streaming mean/stddev/min/max without storing samples.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample-retaining distribution for quantiles (benchmark latencies).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  double quantile(double q) const;
+  double min() const { return quantile(0.0); }
+  double median() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+  double max() const { return quantile(1.0); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void sort() const;
+};
+
+}  // namespace mk

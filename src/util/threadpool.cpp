@@ -1,0 +1,36 @@
+#include "util/threadpool.hpp"
+
+#include "util/assert.hpp"
+
+namespace mk {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  MK_ASSERT(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  MK_ASSERT(task != nullptr);
+  return tasks_.push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace mk

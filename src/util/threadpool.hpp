@@ -1,0 +1,38 @@
+// Fixed-size thread pool. Backs MANETKit's thread-per-message concurrency
+// model (the pool bounds thread-creation cost while preserving the model's
+// semantics: each shepherded event runs on its own worker).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/queue.hpp"
+
+namespace mk {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false after shutdown() has been called.
+  bool submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue and joins all workers.
+  void shutdown();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mk

@@ -1,0 +1,49 @@
+// Time primitives shared by the simulated and real-time schedulers.
+//
+// TimePoint is a microsecond tick count on an abstract timeline: the simulated
+// scheduler starts at 0 and advances discretely; the real-time scheduler maps
+// it onto std::chrono::steady_clock. Protocol code never needs to know which.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mk {
+
+using Duration = std::chrono::microseconds;
+
+inline constexpr Duration usec(std::int64_t n) { return Duration{n}; }
+inline constexpr Duration msec(std::int64_t n) { return Duration{n * 1000}; }
+inline constexpr Duration sec(std::int64_t n) { return Duration{n * 1000000}; }
+inline constexpr Duration sec(int n) { return sec(static_cast<std::int64_t>(n)); }
+inline constexpr Duration fsec(double n) {
+  return Duration{static_cast<std::int64_t>(n * 1e6)};
+}
+
+struct TimePoint {
+  std::int64_t us = 0;
+
+  friend auto operator<=>(const TimePoint&, const TimePoint&) = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.us + d.count()};
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.us - d.count()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration{a.us - b.us};
+  }
+
+  double seconds() const { return static_cast<double>(us) / 1e6; }
+};
+
+inline std::string to_string(TimePoint t) {
+  return std::to_string(t.seconds()) + "s";
+}
+
+inline double to_ms(Duration d) { return static_cast<double>(d.count()) / 1e3; }
+
+}  // namespace mk

@@ -1,0 +1,128 @@
+// Coordinated distributed reconfiguration: command flooding, epoch duplicate
+// suppression, unknown-action tolerance, and a real network-wide protocol
+// switch initiated from one node.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "policy/coordinator.hpp"
+#include "testbed/world.hpp"
+
+namespace mk::policy {
+namespace {
+
+TEST(Coordinator, DeployIsIdempotent) {
+  testbed::SimWorld world(1);
+  auto* a = deploy_coordinator(world.kit(0));
+  auto* b = deploy_coordinator(world.kit(0));
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(world.kit(0).is_deployed("reconfig"));
+}
+
+TEST(Coordinator, InitiateRunsLocallyAndFloodsChain) {
+  testbed::SimWorld world(5);
+  world.linear();
+  std::atomic<int> ran{0};
+  std::vector<core::ManetProtocolCf*> coords;
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto* c = deploy_coordinator(world.kit(i));
+    register_action(*c, "ping", [&ran](core::Manetkit&) { ++ran; });
+    coords.push_back(c);
+  }
+
+  initiate(*coords[0], "ping");
+  world.run_for(sec(1));
+  EXPECT_EQ(ran.load(), 5) << "every node must execute exactly once";
+  for (auto* c : coords) {
+    EXPECT_EQ(commands_executed(*c), 1u);
+  }
+}
+
+TEST(Coordinator, DuplicateFloodsExecuteOnce) {
+  // Diamond topology: node 3 hears the command via two paths.
+  testbed::SimWorld world(4);
+  auto a = world.addrs();
+  world.medium().set_link(a[0], a[1], true);
+  world.medium().set_link(a[0], a[2], true);
+  world.medium().set_link(a[1], a[3], true);
+  world.medium().set_link(a[2], a[3], true);
+
+  std::vector<int> ran(4, 0);
+  std::vector<core::ManetProtocolCf*> coords;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto* c = deploy_coordinator(world.kit(i));
+    register_action(*c, "ping",
+                    [&ran, i](core::Manetkit&) { ++ran[i]; });
+    coords.push_back(c);
+  }
+  initiate(*coords[0], "ping");
+  world.run_for(sec(1));
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(Coordinator, SuccessiveEpochsAllExecute) {
+  testbed::SimWorld world(2);
+  world.full_mesh();
+  std::atomic<int> ran{0};
+  std::vector<core::ManetProtocolCf*> coords;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto* c = deploy_coordinator(world.kit(i));
+    register_action(*c, "ping", [&ran](core::Manetkit&) { ++ran; });
+    coords.push_back(c);
+  }
+  auto e1 = initiate(*coords[0], "ping");
+  world.run_for(sec(1));
+  auto e2 = initiate(*coords[0], "ping");
+  world.run_for(sec(1));
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(Coordinator, UnknownActionIsToleratedByReceivers) {
+  testbed::SimWorld world(2);
+  world.full_mesh();
+  auto* c0 = deploy_coordinator(world.kit(0));
+  auto* c1 = deploy_coordinator(world.kit(1));
+  register_action(*c0, "only-here", [](core::Manetkit&) {});
+  // node 1 never registered the action: must log-and-ignore, not crash.
+  initiate(*c0, "only-here");
+  world.run_for(sec(1));
+  EXPECT_EQ(commands_executed(*c1), 0u);
+
+  EXPECT_THROW(initiate(*c1, "only-here"), std::logic_error);
+}
+
+TEST(Coordinator, NetworkWideProtocolSwitch) {
+  testbed::SimWorld world(5);
+  world.linear();
+  world.deploy_all("olsr");
+  ASSERT_TRUE(world.run_until_routed(sec(60)).has_value());
+
+  std::vector<core::ManetProtocolCf*> coords;
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto* c = deploy_coordinator(world.kit(i));
+    register_action(*c, "go-reactive", [](core::Manetkit& kit) {
+      if (kit.is_deployed("olsr")) {
+        kit.switch_protocol("olsr", "dymo", /*carry_state=*/false);
+      }
+      if (kit.is_deployed("mpr")) kit.undeploy("mpr");
+    });
+    coords.push_back(c);
+  }
+
+  // One node decides; the whole network follows.
+  initiate(*coords[2], "go-reactive");
+  world.run_for(sec(2));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(world.kit(i).is_deployed("dymo")) << "node " << i;
+    EXPECT_FALSE(world.kit(i).is_deployed("olsr")) << "node " << i;
+  }
+
+  // The switched network still routes (reactively, once old routes lapse).
+  world.node(0).forwarding().send(world.addr(4), 64);
+  world.run_for(sec(5));
+  EXPECT_GE(world.node(4).deliveries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mk::policy

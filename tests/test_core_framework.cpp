@@ -1,0 +1,259 @@
+// Framework Manager: declarative <required, provided> binding derivation —
+// fan-out to consumers, interposer chains ordered by layer, exclusive
+// delivery, loop avoidance, rebinding on tuple change — plus concurrency
+// models and the context concentrator.
+#include <gtest/gtest.h>
+
+#include "core/framework_manager.hpp"
+#include "core/manet_protocol.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "util/scheduler.hpp"
+
+namespace mk::core {
+namespace {
+
+/// Records events; optionally re-emits them under a (possibly different)
+/// type — enough to model producers, consumers and interposers.
+class RelayHandler final : public EventHandler {
+ public:
+  RelayHandler(const std::vector<std::string>& in, std::string out,
+               std::string tag, std::vector<std::string>* log)
+      : EventHandler("test.RelayHandler", in),
+        out_(std::move(out)),
+        tag_(std::move(tag)),
+        log_(log) {
+    set_instance_name("Relay:" + tag_);
+  }
+
+  void handle(const ev::Event& event, ProtocolContext& ctx) override {
+    log_->push_back(tag_ + ":" + event.type_name());
+    if (!out_.empty()) {
+      ev::Event e = event;
+      ev::Event renamed(ev::etype(out_));
+      renamed.msg = e.msg;
+      for (const auto& [k, v] : e.attrs()) {
+        // carry attributes forward
+        if (const auto* i = std::get_if<std::int64_t>(&v)) renamed.set_int(k, *i);
+      }
+      ctx.emit(std::move(renamed));
+    }
+  }
+
+ private:
+  std::string out_;
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+struct Fixture {
+  SimScheduler sched;
+  net::SimMedium medium{sched};
+  net::SimNode node{0, medium, sched};
+  oc::Kernel kernel;
+  FrameworkManager manager{kernel};
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<ManetProtocolCf>> owned;
+
+  /// Creates a unit with the given tuple; handlers log "<tag>:<event>" and
+  /// re-emit `emit_as` (if nonempty) for each required event.
+  ManetProtocolCf* unit(const std::string& tag, int layer,
+                        std::vector<std::string> required,
+                        std::vector<std::string> provided,
+                        std::string emit_as = "",
+                        std::vector<std::string> exclusive = {}) {
+    auto cf = std::make_unique<ManetProtocolCf>(kernel, tag, sched, 1, nullptr);
+    if (!required.empty()) {
+      cf->add_handler(
+          std::make_unique<RelayHandler>(required, emit_as, tag, &log));
+    }
+    ManetProtocolCf* raw = cf.get();
+    owned.push_back(std::move(cf));
+    manager.register_unit(raw, layer);
+    raw->declare_events(required, provided, exclusive);
+    return raw;
+  }
+};
+
+TEST(FrameworkManager, FanOutToAllConsumers) {
+  Fixture f;
+  auto* p = f.unit("producer", 20, {}, {"EVT_X"});
+  f.unit("c1", 10, {"EVT_X"}, {});
+  f.unit("c2", 10, {"EVT_X"}, {});
+  p->emit(ev::Event(ev::etype("EVT_X")));
+  EXPECT_EQ(f.log, (std::vector<std::string>{"c1:EVT_X", "c2:EVT_X"}));
+}
+
+TEST(FrameworkManager, ExclusiveConsumerSuppressesOthers) {
+  Fixture f;
+  auto* p = f.unit("producer", 20, {}, {"EVT_EX"});
+  f.unit("normal", 10, {"EVT_EX"}, {});
+  f.unit("greedy", 10, {"EVT_EX"}, {}, "", /*exclusive=*/{"EVT_EX"});
+  p->emit(ev::Event(ev::etype("EVT_EX")));
+  EXPECT_EQ(f.log, (std::vector<std::string>{"greedy:EVT_EX"}));
+}
+
+TEST(FrameworkManager, InterposerChainOrderedByLayerDescending) {
+  Fixture f;
+  auto* top = f.unit("top", 30, {}, {"EVT_I"});
+  f.unit("mid", 20, {"EVT_I"}, {"EVT_I"}, "EVT_I");   // interposer
+  f.unit("low", 10, {"EVT_I"}, {"EVT_I"}, "EVT_I");   // interposer
+  f.unit("sink", 0, {"EVT_I"}, {});
+  top->emit(ev::Event(ev::etype("EVT_I")));
+  EXPECT_EQ(f.log, (std::vector<std::string>{"mid:EVT_I", "low:EVT_I",
+                                             "sink:EVT_I"}));
+}
+
+TEST(FrameworkManager, LateInsertedInterposerSlotsByLayer) {
+  Fixture f;
+  auto* top = f.unit("top", 30, {}, {"EVT_J"});
+  f.unit("low", 10, {"EVT_J"}, {"EVT_J"}, "EVT_J");
+  f.unit("sink", 0, {"EVT_J"}, {});
+  // Registered last but layered between top and low (the fish-eye pattern).
+  f.unit("mid", 20, {"EVT_J"}, {"EVT_J"}, "EVT_J");
+  top->emit(ev::Event(ev::etype("EVT_J")));
+  EXPECT_EQ(f.log, (std::vector<std::string>{"mid:EVT_J", "low:EVT_J",
+                                             "sink:EVT_J"}));
+}
+
+TEST(FrameworkManager, ProviderAndRequirerOfSameTypeDoesNotLoop) {
+  Fixture f;
+  // Unit both provides and requires EVT_L; its own emission must not be
+  // delivered back to itself (loop avoidance).
+  auto* u = f.unit("loopy", 20, {"EVT_L"}, {"EVT_L"}, "");
+  u->emit(ev::Event(ev::etype("EVT_L")));
+  EXPECT_TRUE(f.log.empty());
+}
+
+TEST(FrameworkManager, RebindOnTupleChange) {
+  Fixture f;
+  auto* p = f.unit("producer", 20, {}, {"EVT_R"});
+  auto* c = f.unit("consumer", 10, {}, {});
+  p->emit(ev::Event(ev::etype("EVT_R")));
+  EXPECT_TRUE(f.log.empty());  // consumer not interested yet
+
+  // Declarative reconfiguration: consumer starts requiring EVT_R. The
+  // handler must also exist.
+  c->add_handler(std::make_unique<RelayHandler>(
+      std::vector<std::string>{"EVT_R"}, "", "consumer", &f.log));
+  c->declare_events({"EVT_R"}, {});
+  p->emit(ev::Event(ev::etype("EVT_R")));
+  EXPECT_EQ(f.log, (std::vector<std::string>{"consumer:EVT_R"}));
+}
+
+TEST(FrameworkManager, DeregisterStopsDelivery) {
+  Fixture f;
+  auto* p = f.unit("producer", 20, {}, {"EVT_D"});
+  auto* c = f.unit("consumer", 10, {"EVT_D"}, {});
+  f.manager.deregister_unit(c);
+  p->emit(ev::Event(ev::etype("EVT_D")));
+  EXPECT_TRUE(f.log.empty());
+  EXPECT_FALSE(f.manager.is_registered(c));
+}
+
+TEST(FrameworkManager, UnitRuleRejectsRegistration) {
+  Fixture f;
+  f.manager.add_unit_rule([](const std::vector<CfsUnit*>& units,
+                             std::string& err) {
+    std::size_t n = 0;
+    for (auto* u : units) {
+      if (u->category() == "reactive") ++n;
+    }
+    if (n > 1) {
+      err = "one reactive only";
+      return false;
+    }
+    return true;
+  });
+  auto make = [&](const std::string& name) {
+    auto cf = std::make_unique<ManetProtocolCf>(f.kernel, name, f.sched, 1,
+                                                nullptr);
+    cf->set_category("reactive");
+    ManetProtocolCf* raw = cf.get();
+    f.owned.push_back(std::move(cf));
+    return raw;
+  };
+  f.manager.register_unit(make("r1"), 20);
+  EXPECT_THROW(f.manager.register_unit(make("r2"), 20), std::logic_error);
+}
+
+TEST(FrameworkManager, ContextConcentratorSeesRoutedEvents) {
+  Fixture f;
+  auto* p = f.unit("producer", 20, {}, {"EVT_CTX"});
+  int seen = 0;
+  f.manager.subscribe("EVT_CTX", [&](const ev::Event&) { ++seen; });
+  p->emit(ev::Event(ev::etype("EVT_CTX")));
+  p->emit(ev::Event(ev::etype("EVT_CTX")));
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(FrameworkManager, EventsRoutedCounterAdvances) {
+  Fixture f;
+  auto* p = f.unit("producer", 20, {}, {"EVT_N"});
+  auto before = f.manager.events_routed();
+  p->emit(ev::Event(ev::etype("EVT_N")));
+  EXPECT_EQ(f.manager.events_routed(), before + 1);
+}
+
+TEST(Concurrency, ThreadedModelsDeliverEverything) {
+  for (auto model : {ConcurrencyModel::kThreadPerMessage,
+                     ConcurrencyModel::kThreadPerNMessages}) {
+    Fixture f;
+    std::atomic<int> count{0};
+
+    class CountHandler final : public EventHandler {
+     public:
+      CountHandler(std::atomic<int>& c)
+          : EventHandler("test.CountHandler", {"EVT_T"}), c_(c) {}
+      void handle(const ev::Event&, ProtocolContext&) override { ++c_; }
+      std::atomic<int>& c_;
+    };
+
+    auto cf = std::make_unique<ManetProtocolCf>(f.kernel, "counter", f.sched,
+                                                1, nullptr);
+    cf->add_handler(std::make_unique<CountHandler>(count));
+    f.manager.register_unit(cf.get(), 10);
+    cf->declare_events({"EVT_T"}, {});
+    auto* producer = f.unit("producer", 20, {}, {"EVT_T"});
+
+    f.manager.set_concurrency(model, 2, 4);
+    for (int i = 0; i < 500; ++i) {
+      producer->emit(ev::Event(ev::etype("EVT_T")));
+    }
+    f.manager.drain();
+    EXPECT_EQ(count.load(), 500) << "model " << static_cast<int>(model);
+    f.manager.deregister_unit(cf.get());
+  }
+}
+
+TEST(Concurrency, DedicatedThreadModelDeliversEverything) {
+  Fixture f;
+  std::atomic<int> count{0};
+
+  class CountHandler final : public EventHandler {
+   public:
+    CountHandler(std::atomic<int>& c)
+        : EventHandler("test.CountHandler", {"EVT_Q"}), c_(c) {}
+    void handle(const ev::Event&, ProtocolContext&) override { ++c_; }
+    std::atomic<int>& c_;
+  };
+
+  auto cf = std::make_unique<ManetProtocolCf>(f.kernel, "counter", f.sched, 1,
+                                              nullptr);
+  cf->add_handler(std::make_unique<CountHandler>(count));
+  f.manager.register_unit(cf.get(), 10);
+  cf->declare_events({"EVT_Q"}, {});
+  cf->enable_dedicated_thread();
+
+  auto* producer = f.unit("producer", 20, {}, {"EVT_Q"});
+  for (int i = 0; i < 500; ++i) {
+    producer->emit(ev::Event(ev::etype("EVT_Q")));
+  }
+  f.manager.drain();
+  EXPECT_EQ(count.load(), 500);
+  cf->disable_dedicated_thread();
+  f.manager.deregister_unit(cf.get());
+}
+
+}  // namespace
+}  // namespace mk::core

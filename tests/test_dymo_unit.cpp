@@ -1,0 +1,170 @@
+// DYMO unit tests: route-table acceptance rules (seqnum freshness, hop-count
+// improvement), lifetimes, pending-RREQ backoff, RM codec with path
+// accumulation, multipath state.
+#include <gtest/gtest.h>
+
+#include "protocols/dymo/dymo_cf.hpp"
+#include "protocols/dymo/dymo_state.hpp"
+
+namespace mk::proto {
+namespace {
+
+TEST(DymoState, FreshnessRules) {
+  DymoState st;
+  TimePoint t{0};
+  EXPECT_TRUE(st.update_route(10, 5, 20, 3, t, sec(5)));
+  // Older seq rejected.
+  EXPECT_FALSE(st.update_route(10, 4, 21, 1, t, sec(5)));
+  // Same seq, more hops rejected.
+  EXPECT_FALSE(st.update_route(10, 5, 21, 4, t, sec(5)));
+  // Same seq, fewer hops accepted.
+  EXPECT_TRUE(st.update_route(10, 5, 22, 2, t, sec(5)));
+  // Newer seq always accepted.
+  EXPECT_TRUE(st.update_route(10, 6, 23, 9, t, sec(5)));
+  EXPECT_EQ(st.route_to(10)->active()->next_hop, 23u);
+}
+
+TEST(DymoState, SeqnumWraparound) {
+  DymoState st;
+  TimePoint t{0};
+  EXPECT_TRUE(st.update_route(10, 65535, 20, 1, t, sec(5)));
+  EXPECT_TRUE(st.update_route(10, 0, 21, 1, t, sec(5)));  // 0 is newer
+}
+
+TEST(DymoState, SameInfoRefreshesLifetime) {
+  DymoState st;
+  st.update_route(10, 5, 20, 3, TimePoint{0}, sec(5));
+  // Same route repeated later: not an "update", but lifetime extends.
+  EXPECT_FALSE(st.update_route(10, 5, 20, 3, TimePoint{sec(4).count()},
+                               sec(5)));
+  EXPECT_TRUE(st.expire(TimePoint{sec(6).count()}).empty());
+  auto expired = st.expire(TimePoint{sec(10).count()});
+  EXPECT_EQ(expired, std::vector<net::Addr>{10});
+}
+
+TEST(DymoState, InvalidRouteReacceptsSameSeq) {
+  DymoState st;
+  TimePoint t{0};
+  st.update_route(10, 5, 20, 3, t, sec(5));
+  st.invalidate(10);
+  // Same seq re-learned after invalidation: accepted.
+  EXPECT_TRUE(st.update_route(10, 5, 21, 3, t, sec(5)));
+}
+
+TEST(DymoState, InvalidateViaReportsDestSeqPairs) {
+  DymoState st;
+  TimePoint t{0};
+  st.update_route(10, 5, 99, 2, t, sec(5));
+  st.update_route(11, 7, 99, 3, t, sec(5));
+  st.update_route(12, 9, 50, 1, t, sec(5));
+  auto down = st.invalidate_via(99);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_FALSE(st.route_to(10)->valid);
+  EXPECT_TRUE(st.route_to(12)->valid);
+  // Second invalidation via the same hop is empty (already invalid).
+  EXPECT_TRUE(st.invalidate_via(99).empty());
+}
+
+TEST(DymoState, PendingBackoffDoublesAndGivesUp) {
+  DymoState st;
+  st.start_pending(10, TimePoint{0}, sec(1));
+  EXPECT_TRUE(st.has_pending(10));
+
+  std::vector<net::Addr> gave_up;
+  // t=0.5s: not due yet.
+  EXPECT_TRUE(st.due_retries(TimePoint{msec(500).count()}, gave_up).empty());
+  // t=1s: first retry; backoff doubles to 2s.
+  EXPECT_EQ(st.due_retries(TimePoint{sec(1).count()}, gave_up).size(), 1u);
+  // t=2s: next retry due at 1+2=3s.
+  EXPECT_TRUE(st.due_retries(TimePoint{sec(2).count()}, gave_up).empty());
+  // t=3s: second retry (tries=3 == kMaxTries now).
+  EXPECT_EQ(st.due_retries(TimePoint{sec(3).count()}, gave_up).size(), 1u);
+  // t=7s (3+4): exhausted -> gives up.
+  EXPECT_TRUE(st.due_retries(TimePoint{sec(7).count()}, gave_up).empty());
+  EXPECT_EQ(gave_up, std::vector<net::Addr>{10});
+  EXPECT_FALSE(st.has_pending(10));
+}
+
+TEST(RmCodec, RreqRoundTripWithAccumulation) {
+  auto msg = rm::build_rreq(/*self=*/1, /*seq=*/9, /*target=*/5, 10);
+  EXPECT_EQ(rm::kind(msg), rm::Kind::kRreq);
+  EXPECT_EQ(rm::target(msg), 5u);
+
+  // Two relays append themselves.
+  msg.hop_count = 1;
+  rm::append_self(msg, 2, 100);
+  msg.hop_count = 2;
+  rm::append_self(msg, 3, 200);
+
+  pbb::Packet pkt;
+  pkt.messages.push_back(msg);
+  auto parsed = pbb::parse(pbb::serialize(pkt));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& m = parsed.value().messages[0];
+  ASSERT_EQ(m.addr_blocks.size(), 2u);
+  const auto& path = m.addr_blocks[1];
+  ASSERT_EQ(path.addrs.size(), 2u);
+  EXPECT_EQ(path.addrs[0], 2u);
+  EXPECT_EQ(path.tlv_for(0, wire::kAtlvSeqnum)->as_u32(), 100u);
+  EXPECT_EQ(path.tlv_for(0, wire::kAtlvHops)->as_u8(), 1);
+  EXPECT_EQ(path.tlv_for(1, wire::kAtlvHops)->as_u8(), 2);
+}
+
+TEST(RmCodec, RrepTargetsRreqOriginator) {
+  auto msg = rm::build_rrep(/*self=*/5, /*seq=*/11, /*rreq_origin=*/1, 10);
+  EXPECT_EQ(rm::kind(msg), rm::Kind::kRrep);
+  EXPECT_EQ(rm::target(msg), 1u);
+  EXPECT_EQ(*msg.originator, 5u);
+}
+
+TEST(RmCodec, RerrCarriesSeqPerAddress) {
+  auto msg = rm::build_rerr(7, 3, {{10, 5}, {11, 8}}, 3);
+  EXPECT_EQ(msg.type, wire::kMsgDymoRerr);
+  ASSERT_EQ(msg.addr_blocks.size(), 1u);
+  EXPECT_EQ(msg.addr_blocks[0].tlv_for(0, wire::kAtlvSeqnum)->as_u32(), 5u);
+  EXPECT_EQ(msg.addr_blocks[0].tlv_for(1, wire::kAtlvSeqnum)->as_u32(), 8u);
+}
+
+TEST(MultipathState, DisjointPathsOnly) {
+  MultipathDymoState st;
+  st.update_route(10, 5, 20, 2, TimePoint{0}, sec(5));
+  EXPECT_FALSE(st.add_alternate_path(10, 20, 3));  // same next hop
+  EXPECT_TRUE(st.add_alternate_path(10, 21, 3));
+  EXPECT_TRUE(st.add_alternate_path(10, 22, 4));
+  EXPECT_FALSE(st.add_alternate_path(10, 23, 4));  // kMaxPaths reached
+  EXPECT_EQ(st.path_count(10), 3u);
+}
+
+TEST(MultipathState, FailOverPromotesNextPath) {
+  MultipathDymoState st;
+  st.update_route(10, 5, 20, 2, TimePoint{0}, sec(5));
+  st.add_alternate_path(10, 21, 3);
+
+  auto alt = st.fail_over(10);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(alt->next_hop, 21u);
+  EXPECT_TRUE(st.route_to(10)->valid);
+
+  EXPECT_FALSE(st.fail_over(10).has_value());  // no more alternates
+  EXPECT_FALSE(st.route_to(10)->valid);
+}
+
+TEST(MultipathState, StateTransferFromBase) {
+  DymoState base;
+  base.update_route(10, 5, 20, 2, TimePoint{0}, sec(5));
+  base.update_route(11, 6, 21, 1, TimePoint{0}, sec(5));
+  MultipathDymoState mp(base);
+  EXPECT_EQ(mp.route_count(), 2u);
+  EXPECT_EQ(mp.route_to(10)->active()->next_hop, 20u);
+  EXPECT_TRUE(mp.add_alternate_path(10, 30, 4));
+}
+
+TEST(DymoState, NoAlternateOnInvalidRoute) {
+  MultipathDymoState st;
+  st.update_route(10, 5, 20, 2, TimePoint{0}, sec(5));
+  st.invalidate(10);
+  EXPECT_FALSE(st.add_alternate_path(10, 21, 3));
+}
+
+}  // namespace
+}  // namespace mk::proto

@@ -1,0 +1,72 @@
+// Event type registry (interning), Event attribute map, EventTuple.
+#include <gtest/gtest.h>
+
+#include "events/event.hpp"
+
+namespace mk::ev {
+namespace {
+
+TEST(EventRegistry, InternIsIdempotent) {
+  EventTypeId a = etype("TEST_EVENT_A");
+  EXPECT_EQ(etype("TEST_EVENT_A"), a);
+  EXPECT_NE(etype("TEST_EVENT_B"), a);
+}
+
+TEST(EventRegistry, LookupWithoutIntern) {
+  etype("TEST_EVENT_C");
+  EXPECT_NE(EventTypeRegistry::instance().lookup("TEST_EVENT_C"),
+            kInvalidEventType);
+  EXPECT_EQ(EventTypeRegistry::instance().lookup("NEVER_INTERNED_XYZ"),
+            kInvalidEventType);
+}
+
+TEST(EventRegistry, NameRoundTrip) {
+  EventTypeId id = etype("TEST_EVENT_NAMED");
+  EXPECT_EQ(EventTypeRegistry::instance().name(id), "TEST_EVENT_NAMED");
+  EXPECT_EQ(EventTypeRegistry::instance().name(999999), "?");
+}
+
+TEST(Event, TypeFromName) {
+  Event e("TEST_EVENT_D");
+  EXPECT_EQ(e.type(), etype("TEST_EVENT_D"));
+  EXPECT_EQ(e.type_name(), "TEST_EVENT_D");
+}
+
+TEST(Event, AttributeMapTypedAccess) {
+  Event e(etype("TEST_EVENT_E"));
+  e.set_int("n", 42);
+  e.set_double("x", 2.5);
+  e.set_string("s", "hi");
+  EXPECT_EQ(e.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(e.get_double("x"), 2.5);
+  EXPECT_EQ(e.get_string("s"), "hi");
+  EXPECT_TRUE(e.has_attr("n"));
+  EXPECT_FALSE(e.has_attr("missing"));
+  EXPECT_EQ(e.get_int("missing", -1), -1);
+  // double accessor coerces ints
+  EXPECT_DOUBLE_EQ(e.get_double("n"), 42.0);
+  // wrong-type access falls back
+  EXPECT_EQ(e.get_int("s", -1), -1);
+}
+
+TEST(Event, CopyIsIndependent) {
+  Event a(etype("TEST_EVENT_F"));
+  a.set_int("v", 1);
+  Event b = a;
+  b.set_int("v", 2);
+  EXPECT_EQ(a.get_int("v"), 1);
+  EXPECT_EQ(b.get_int("v"), 2);
+}
+
+TEST(EventTuple, MembershipQueries) {
+  EventTuple t;
+  t.required = EventTuple::ids({"A1", "B1"});
+  t.provided = EventTuple::ids({"C1"});
+  EXPECT_TRUE(t.requires_type(etype("A1")));
+  EXPECT_FALSE(t.requires_type(etype("C1")));
+  EXPECT_TRUE(t.provides(etype("C1")));
+  EXPECT_FALSE(t.provides(etype("A1")));
+}
+
+}  // namespace
+}  // namespace mk::ev

@@ -1,0 +1,179 @@
+// Failure injection: corrupted packets in live runs, node crashes and
+// revivals, network partitions and healing, heavy loss, and determinism of
+// whole-scenario runs.
+#include <gtest/gtest.h>
+
+#include "protocols/dymo/dymo_cf.hpp"
+#include "testbed/world.hpp"
+#include "util/rng.hpp"
+
+namespace mk {
+namespace {
+
+TEST(FailureInjection, CorruptedControlPacketsDontDerailOlsr) {
+  testbed::SimWorld world(4);
+  world.linear();
+  world.deploy_all("olsr");
+
+  // A misbehaving node squirts random garbage into the channel every 500ms.
+  Rng rng(99);
+  PeriodicTimer jammer(world.scheduler(), msec(500), [&] {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(1, 64)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    world.node(1).send_control(std::move(junk));
+  });
+  jammer.start();
+
+  ASSERT_TRUE(world.run_until_routed(sec(90)).has_value())
+      << "OLSR must converge despite garbage frames";
+  jammer.stop();
+  EXPECT_GT(world.kit(0).system().parse_errors(), 0u);
+}
+
+TEST(FailureInjection, BitFlippedRealPacketsAreSurvivable) {
+  testbed::SimWorld world(3);
+  world.linear();
+  world.deploy_all("dymo");
+  world.run_for(sec(5));
+
+  // Capture a genuine RM packet, flip bits, replay it many times.
+  world.node(0).forwarding().send(world.addr(2), 64);
+  world.run_for(sec(3));
+
+  Rng rng(7);
+  proto::DymoParams params;
+  auto msg = proto::rm::build_rreq(world.addr(0), 42, world.addr(2),
+                                   params.rreq_hop_limit);
+  pbb::Packet pkt;
+  pkt.messages.push_back(msg);
+  auto bytes = pbb::serialize(pkt);
+  for (int i = 0; i < 200; ++i) {
+    auto copy = bytes;
+    auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(copy.size()) - 1));
+    copy[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    world.node(0).send_control(std::move(copy));
+    world.run_for(msec(50));
+  }
+  // Network still functional afterwards.
+  world.node(2).clear_deliveries();
+  world.node(0).forwarding().send(world.addr(2), 64);
+  world.run_for(sec(5));
+  EXPECT_GE(world.node(2).deliveries().size(), 1u);
+}
+
+TEST(FailureInjection, NodeCrashAndReviveOlsr) {
+  testbed::SimWorld world(5);
+  world.linear();
+  world.deploy_all("olsr");
+  ASSERT_TRUE(world.run_until_routed(sec(60)).has_value());
+
+  // "Crash" node 2: device down (radios off, daemon silent).
+  world.node(2).device().set_up(false);
+  world.run_for(sec(25));
+  EXPECT_FALSE(world.has_route(0, world.addr(4)));
+  EXPECT_FALSE(world.has_route(0, world.addr(2)));
+
+  // Revive: routes re-form.
+  world.node(2).device().set_up(true);
+  bool healed = false;
+  for (int i = 0; i < 60 && !healed; ++i) {
+    world.run_for(sec(1));
+    healed = world.has_route(0, world.addr(4));
+  }
+  EXPECT_TRUE(healed);
+}
+
+TEST(FailureInjection, PartitionAndHealDymo) {
+  testbed::SimWorld world(6);
+  world.linear();
+  world.deploy_all("dymo");
+  world.run_for(sec(5));
+
+  world.node(0).forwarding().send(world.addr(5), 64);
+  world.run_for(sec(4));
+  ASSERT_EQ(world.node(5).deliveries().size(), 1u);
+
+  // Partition the network in the middle.
+  world.medium().set_link(world.addr(2), world.addr(3), false);
+  world.run_for(sec(10));
+
+  // Discovery across the partition must fail cleanly (no crash, gives up).
+  world.node(0).forwarding().send(world.addr(5), 64);
+  world.run_for(sec(15));
+  EXPECT_EQ(world.node(5).deliveries().size(), 1u);
+  auto* st = proto::dymo_state(*world.kit(0).protocol("dymo"));
+  EXPECT_EQ(st->pending_count(), 0u);
+
+  // Heal: traffic flows again.
+  world.medium().set_link(world.addr(2), world.addr(3), true);
+  world.run_for(sec(6));
+  world.node(0).forwarding().send(world.addr(5), 64);
+  world.run_for(sec(6));
+  EXPECT_EQ(world.node(5).deliveries().size(), 2u);
+}
+
+TEST(FailureInjection, OlsrConvergesUnderHeavyLoss) {
+  testbed::SimWorld world(4);
+  world.linear();
+  world.medium().set_loss_probability(0.3);
+  world.deploy_all("olsr");
+  EXPECT_TRUE(world.run_until_routed(sec(180)).has_value())
+      << "30% loss slows but must not prevent convergence";
+}
+
+TEST(FailureInjection, AsymmetricLinkNeverUsedForRouting) {
+  // 0 <-> 1 symmetric; 1 -> 2 only one-way (2 hears 1, 1 never hears 2).
+  testbed::SimWorld world(3);
+  world.medium().set_link(world.addr(0), world.addr(1), true);
+  world.medium().set_link(world.addr(1), world.addr(2), true,
+                          /*symmetric=*/false);
+  world.deploy_all("olsr");
+  world.run_for(sec(40));
+
+  // No route may ever cross the asymmetric edge.
+  EXPECT_FALSE(world.has_route(0, world.addr(2)));
+  EXPECT_FALSE(world.has_route(1, world.addr(2)));
+}
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalOutcomes) {
+  auto run = [] {
+    testbed::SimWorld world(5, /*seed=*/1234);
+    world.linear();
+    world.deploy_all("dymo");
+    world.run_for(sec(5));
+    world.node(0).forwarding().send(world.addr(4), 64);
+    world.run_for(sec(10));
+    std::vector<std::uint64_t> digest;
+    digest.push_back(world.medium().stats().control_frames);
+    digest.push_back(world.medium().stats().control_bytes);
+    digest.push_back(world.node(4).deliveries().size());
+    for (std::size_t i = 0; i < 5; ++i) {
+      digest.push_back(world.node(i).kernel_table().size());
+    }
+    return digest;
+  };
+  EXPECT_EQ(run(), run()) << "simulation must be deterministic per seed";
+}
+
+TEST(FailureInjection, UndeployUnderTrafficIsClean) {
+  testbed::SimWorld world(3);
+  world.linear();
+  world.deploy_all("dymo");
+  world.run_for(sec(5));
+
+  // Packets in flight while node 1 tears its stack down and rebuilds it.
+  world.node(0).forwarding().send(world.addr(2), 64);
+  world.kit(1).undeploy("dymo");
+  world.run_for(sec(2));
+  world.kit(1).deploy("dymo");
+  world.run_for(sec(8));
+
+  world.node(0).forwarding().send(world.addr(2), 64);
+  world.run_for(sec(6));
+  EXPECT_GE(world.node(2).deliveries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mk

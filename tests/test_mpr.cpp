@@ -1,0 +1,236 @@
+// MPR CF: state tables, the greedy MPR-selection algorithm (with a
+// randomized coverage-invariant property sweep), the energy-aware variant,
+// hysteresis, willingness from POWER_STATUS, and flood relay behaviour.
+#include <gtest/gtest.h>
+
+#include "protocols/mpr/mpr_calculator.hpp"
+#include "protocols/mpr/mpr_cf.hpp"
+#include "protocols/mpr/mpr_state.hpp"
+#include "protocols/olsr/olsr_state.hpp"
+#include "testbed/world.hpp"
+#include "util/rng.hpp"
+
+namespace mk::proto {
+namespace {
+
+constexpr net::Addr kSelf = 1;
+
+std::unique_ptr<MprState> make_state(
+    const std::vector<std::pair<net::Addr, std::set<net::Addr>>>& nbrs) {
+  auto st = std::make_unique<MprState>();
+  for (const auto& [addr, two_hop] : nbrs) {
+    st->note_heard(addr, TimePoint{0});
+    st->set_symmetric(addr, true);
+    st->set_two_hop(addr, two_hop);
+  }
+  return st;
+}
+
+TEST(MprState, SelectorLifecycle) {
+  MprState st;
+  st.note_selector(10, TimePoint{0});
+  EXPECT_TRUE(st.is_mpr_selector(10));
+  st.expire_selectors(TimePoint{sec(10).count()}, sec(6));
+  EXPECT_FALSE(st.is_mpr_selector(10));
+
+  st.note_selector(11, TimePoint{0});
+  st.drop_selector(11);
+  EXPECT_FALSE(st.is_mpr_selector(11));
+}
+
+TEST(MprState, DuplicateSet) {
+  MprState st;
+  EXPECT_FALSE(st.check_duplicate(10, 1, TimePoint{0}));
+  EXPECT_TRUE(st.check_duplicate(10, 1, TimePoint{0}));
+  EXPECT_FALSE(st.check_duplicate(10, 2, TimePoint{0}));
+  EXPECT_FALSE(st.check_duplicate(11, 1, TimePoint{0}));
+  st.expire_duplicates(TimePoint{sec(60).count()}, sec(30));
+  EXPECT_FALSE(st.check_duplicate(10, 1, TimePoint{sec(60).count()}));
+}
+
+TEST(MprCalculator, EmptyNeighborhoodYieldsEmptySet) {
+  MprState st;
+  MprCalculator calc;
+  EXPECT_TRUE(calc.compute(st, kSelf).empty());
+}
+
+TEST(MprCalculator, SoleCoverNeighborIsAlwaysChosen) {
+  auto stp = make_state({{10, {100}}, {11, {}}});
+  MprCalculator calc;
+  EXPECT_EQ(calc.compute(*stp, kSelf), (std::set<net::Addr>{10}));
+}
+
+TEST(MprCalculator, GreedyPrefersBroaderCoverage) {
+  // 10 covers {100,101,102}; 11 covers {100}; 12 covers {101}.
+  auto stp = make_state({{10, {100, 101, 102}}, {11, {100}}, {12, {101}}});
+  MprCalculator calc;
+  EXPECT_EQ(calc.compute(*stp, kSelf), (std::set<net::Addr>{10}));
+}
+
+TEST(MprCalculator, WillNeverExcluded) {
+  auto stp = make_state({{10, {100}}, {11, {100}}});
+  stp->set_willingness_of(10, wire::kWillNever);
+  MprCalculator calc;
+  EXPECT_EQ(calc.compute(*stp, kSelf), (std::set<net::Addr>{11}));
+}
+
+TEST(MprCalculator, WillAlwaysIncluded) {
+  auto stp = make_state({{10, {}}, {11, {100}}});
+  stp->set_willingness_of(10, wire::kWillAlways);
+  MprCalculator calc;
+  auto mprs = calc.compute(*stp, kSelf);
+  EXPECT_TRUE(mprs.count(10) > 0);
+  EXPECT_TRUE(mprs.count(11) > 0);
+}
+
+TEST(EnergyMprCalculatorT, PrefersHighWillingnessRelay) {
+  // Both cover the same 2-hop node; energy calculator must pick the one
+  // with higher (battery-derived) willingness.
+  auto stp = make_state({{10, {100}}, {11, {100}}});
+  stp->set_willingness_of(10, wire::kWillLow);
+  stp->set_willingness_of(11, wire::kWillHigh);
+  EnergyMprCalculator calc;
+  EXPECT_EQ(calc.compute(*stp, kSelf), (std::set<net::Addr>{11}));
+}
+
+// Property: the MPR set must cover every strict 2-hop neighbour reachable
+// through a willing neighbour, and never contain non-neighbours.
+class MprCoverageProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MprCoverageProperty, GreedySetCoversAllTwoHop) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    auto n_nbrs = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    std::vector<std::pair<net::Addr, std::set<net::Addr>>> nbrs;
+    for (std::size_t i = 0; i < n_nbrs; ++i) {
+      std::set<net::Addr> two_hop;
+      auto n2 = rng.uniform_int(0, 6);
+      for (int j = 0; j < n2; ++j) {
+        two_hop.insert(static_cast<net::Addr>(100 + rng.uniform_int(0, 20)));
+      }
+      nbrs.emplace_back(static_cast<net::Addr>(10 + i), std::move(two_hop));
+    }
+    auto stp = make_state(nbrs);
+    MprCalculator calc;
+    auto mprs = calc.compute(*stp, kSelf);
+
+    // Every MPR is a symmetric neighbour.
+    for (net::Addr m : mprs) {
+      EXPECT_TRUE(stp->is_sym_neighbor(m));
+    }
+    // Coverage invariant.
+    std::set<net::Addr> covered;
+    for (net::Addr m : mprs) {
+      for (net::Addr t : stp->two_hop_via(m)) covered.insert(t);
+    }
+    for (net::Addr t : stp->strict_two_hop(kSelf)) {
+      EXPECT_TRUE(covered.count(t) > 0)
+          << "2-hop node " << t << " uncovered (seed " << GetParam() << ")";
+    }
+  }
+}
+
+TEST_P(MprCoverageProperty, EnergyVariantAlsoCovers) {
+  Rng rng(GetParam() + 1000);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto n_nbrs = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    std::vector<std::pair<net::Addr, std::set<net::Addr>>> nbrs;
+    for (std::size_t i = 0; i < n_nbrs; ++i) {
+      std::set<net::Addr> two_hop;
+      auto n2 = rng.uniform_int(0, 5);
+      for (int j = 0; j < n2; ++j) {
+        two_hop.insert(static_cast<net::Addr>(100 + rng.uniform_int(0, 15)));
+      }
+      nbrs.emplace_back(static_cast<net::Addr>(10 + i), std::move(two_hop));
+    }
+    auto stp = make_state(nbrs);
+    for (const auto& [a, _] : nbrs) {
+      stp->set_willingness_of(
+          a, static_cast<std::uint8_t>(rng.uniform_int(1, 7)));
+    }
+    EnergyMprCalculator calc;
+    auto mprs = calc.compute(*stp, kSelf);
+    std::set<net::Addr> covered;
+    for (net::Addr m : mprs) {
+      for (net::Addr t : stp->two_hop_via(m)) covered.insert(t);
+    }
+    for (net::Addr t : stp->strict_two_hop(kSelf)) {
+      EXPECT_TRUE(covered.count(t) > 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MprCoverageProperty,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+TEST(Hysteresis, LinkMustProveItself) {
+  Hysteresis h(0.5, 0.8, 0.3);
+  EXPECT_TRUE(h.pending(10));
+  h.on_hello(10);  // q = 0.5
+  EXPECT_TRUE(h.pending(10));
+  h.on_hello(10);  // q = 0.75
+  EXPECT_TRUE(h.pending(10));
+  h.on_hello(10);  // q = 0.875 > 0.8
+  EXPECT_FALSE(h.pending(10));
+
+  // Misses decay quality until the link is pending again.
+  for (int i = 0; i < 4; ++i) h.on_interval(10);
+  EXPECT_TRUE(h.pending(10));
+}
+
+TEST(MprCf, WillingnessFollowsBattery) {
+  testbed::SimWorld world(2);
+  world.full_mesh();
+  world.deploy_all("mpr");
+  world.node(0).set_battery(0.05);  // nearly dead
+  world.run_for(sec(6));
+  auto* st = mpr_state(*world.kit(0).protocol("mpr"));
+  EXPECT_EQ(st->own_willingness(), wire::kWillNever);
+
+  world.node(0).set_battery(0.95);
+  world.run_for(sec(6));
+  EXPECT_EQ(st->own_willingness(), wire::kWillHigh);
+}
+
+TEST(MprCf, ChainSelectsMiddleAsMprAndRelaysTc) {
+  testbed::SimWorld world(3);
+  world.linear();
+  world.deploy_all("olsr");  // olsr drives TC generation over mpr
+  world.run_for(sec(30));
+
+  // Node 2 must have heard node 0's TC (relayed by node 1 as its MPR).
+  auto* olsr2 = world.kit(2).protocol("olsr");
+  auto* s2 = olsr2->state_component()->interface_as<IOlsrState>("IOlsrState");
+  ASSERT_NE(s2, nullptr);
+  bool has_edge_from_0 = false;
+  for (auto [origin, dest] : s2->topology_edges()) {
+    if (origin == world.addr(0) || dest == world.addr(0)) has_edge_from_0 = true;
+  }
+  EXPECT_TRUE(has_edge_from_0);
+}
+
+TEST(MprCf, AddFloodTypeWidensTuple) {
+  testbed::SimWorld world(1);
+  auto& kit = world.kit(0);
+  auto* mpr = kit.deploy("mpr");
+  auto before = mpr->tuple().required.size();
+  mpr_add_flood_type(kit, *mpr, "XFLOOD", 77);
+  EXPECT_GT(mpr->tuple().required.size(), before);
+  EXPECT_TRUE(mpr->tuple().provides(ev::etype("XFLOOD_OUT")));
+  // Idempotent.
+  mpr_add_flood_type(kit, *mpr, "XFLOOD", 77);
+}
+
+TEST(MprCf, DuplicateFloodsNotRelayedTwice) {
+  testbed::SimWorld world(3);
+  world.linear();
+  world.deploy_all("olsr");
+  world.run_for(sec(40));
+  // The middle node relays each unique TC at most once: total TC traffic is
+  // bounded (roughly one TC per origin per interval, each relayed once).
+  auto tc_events = world.kit(1).protocol("mpr")->events_delivered();
+  EXPECT_GT(tc_events, 0u);
+}
+
+}  // namespace
+}  // namespace mk::proto

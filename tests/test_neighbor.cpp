@@ -1,0 +1,151 @@
+// Neighbour Detection CF: HELLO-based link sensing (asym -> sym), 2-hop
+// gathering, expiry -> NHOOD_CHANGE, pluggable link-layer feedback, and
+// piggybacking.
+#include <gtest/gtest.h>
+
+#include "core/attrs.hpp"
+#include "protocols/hello_codec.hpp"
+#include "protocols/neighbor/neighbor_cf.hpp"
+#include "protocols/neighbor/neighbor_state.hpp"
+#include "testbed/world.hpp"
+
+namespace mk::proto {
+namespace {
+
+TEST(NeighborTable, SymmetryAndTwoHop) {
+  NeighborTable t;
+  t.note_heard(10, TimePoint{0});
+  EXPECT_FALSE(t.is_sym_neighbor(10));
+  EXPECT_TRUE(t.set_symmetric(10, true));
+  EXPECT_FALSE(t.set_symmetric(10, true));  // no change
+  EXPECT_TRUE(t.is_sym_neighbor(10));
+
+  t.set_two_hop(10, {20, 30});
+  EXPECT_EQ(t.two_hop_via(10), (std::set<net::Addr>{20, 30}));
+  EXPECT_EQ(t.strict_two_hop(1), (std::set<net::Addr>{20, 30}));
+
+  // A 2-hop node that is also a direct sym neighbour is not strict 2-hop.
+  t.note_heard(20, TimePoint{0});
+  t.set_symmetric(20, true);
+  EXPECT_EQ(t.strict_two_hop(1), (std::set<net::Addr>{30}));
+}
+
+TEST(NeighborTable, ExpiryReportsLostSymNeighbors) {
+  NeighborTable t;
+  t.note_heard(10, TimePoint{0});
+  t.set_symmetric(10, true);
+  t.note_heard(11, TimePoint{0});  // asym — lost silently
+  auto lost = t.expire(TimePoint{sec(10).count()}, sec(3));
+  EXPECT_EQ(lost, std::vector<net::Addr>{10});
+  EXPECT_TRUE(t.heard_neighbors().empty());
+}
+
+TEST(NeighborTable, PiggybackProvidersAndObservers) {
+  NeighborTable t;
+  t.add_piggyback_provider(
+      [] { return pbb::Tlv::u8(9, 0x55); });
+  t.add_piggyback_provider([]() -> std::optional<pbb::Tlv> {
+    return std::nullopt;  // provider may decline
+  });
+  auto tlvs = t.collect_piggyback();
+  ASSERT_EQ(tlvs.size(), 1u);
+  EXPECT_EQ(tlvs[0].as_u8(), 0x55);
+
+  net::Addr from = 0;
+  t.add_piggyback_observer([&](net::Addr f, const pbb::Tlv&) { from = f; });
+  t.dispatch_piggyback(42, tlvs[0]);
+  EXPECT_EQ(from, 42u);
+}
+
+TEST(HelloCodec, RoundTrip) {
+  std::vector<hello::Link> links{{10, wire::LinkCode::kSym},
+                                 {11, wire::LinkCode::kAsym},
+                                 {12, wire::LinkCode::kMpr}};
+  auto msg = hello::build(1, 5, links, wire::kWillHigh,
+                          {pbb::Tlv{wire::kTlvPiggyback, {1, 2}}});
+  EXPECT_EQ(msg.hop_limit, 1);  // never forwarded
+  EXPECT_EQ(hello::willingness(msg), wire::kWillHigh);
+  auto parsed = hello::links(msg);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[2].code, wire::LinkCode::kMpr);
+  EXPECT_EQ(hello::code_for(msg, 11), wire::LinkCode::kAsym);
+  EXPECT_FALSE(hello::code_for(msg, 99).has_value());
+  EXPECT_EQ(hello::piggyback(msg).size(), 1u);
+}
+
+TEST(NeighborCf, TwoNodesBecomeSymmetric) {
+  testbed::SimWorld world(2);
+  world.full_mesh();
+  world.deploy_all("neighbor");
+  world.run_for(sec(6));  // hello(A) -> hello(B lists A) -> hello(A lists B)
+
+  auto* s0 = neighbor_state(*world.kit(0).protocol("neighbor"));
+  auto* s1 = neighbor_state(*world.kit(1).protocol("neighbor"));
+  EXPECT_TRUE(s0->is_sym_neighbor(world.addr(1)));
+  EXPECT_TRUE(s1->is_sym_neighbor(world.addr(0)));
+}
+
+TEST(NeighborCf, AsymmetricLinkStaysAsym) {
+  testbed::SimWorld world(2);
+  // Only 0 -> 1 can be heard.
+  world.medium().set_link(world.addr(0), world.addr(1), true,
+                          /*symmetric=*/false);
+  world.deploy_all("neighbor");
+  world.run_for(sec(10));
+
+  auto* s1 = neighbor_state(*world.kit(1).protocol("neighbor"));
+  // Node 1 hears node 0 but is never heard back: link stays asymmetric.
+  EXPECT_FALSE(s1->is_sym_neighbor(world.addr(0)));
+  EXPECT_EQ(s1->heard_neighbors().size(), 1u);
+}
+
+TEST(NeighborCf, TwoHopInformationPropagates) {
+  testbed::SimWorld world(3);
+  world.linear();
+  world.deploy_all("neighbor");
+  world.run_for(sec(10));
+
+  auto* s0 = neighbor_state(*world.kit(0).protocol("neighbor"));
+  EXPECT_EQ(s0->strict_two_hop(world.addr(0)),
+            (std::set<net::Addr>{world.addr(2)}));
+}
+
+TEST(NeighborCf, LinkBreakEmitsNhoodChangeDown) {
+  testbed::SimWorld world(2);
+  world.full_mesh();
+  world.deploy_all("neighbor");
+  world.run_for(sec(6));
+
+  std::vector<std::pair<net::Addr, bool>> changes;
+  world.kit(0).manager().subscribe(
+      ev::types::NHOOD_CHANGE, [&](const ev::Event& e) {
+        changes.emplace_back(
+            static_cast<net::Addr>(e.get_int(core::attrs::kNeighbor)),
+            e.get_int(core::attrs::kUp) != 0);
+      });
+
+  world.medium().set_link(world.addr(0), world.addr(1), false);
+  world.run_for(sec(10));  // hold time passes, expiry sweep fires
+
+  ASSERT_FALSE(changes.empty());
+  EXPECT_EQ(changes.back().first, world.addr(1));
+  EXPECT_FALSE(changes.back().second);
+}
+
+TEST(NeighborCf, LinkLayerFeedbackVariantReactsInstantly) {
+  testbed::SimWorld world(2);
+  world.deploy_all("neighbor");
+  auto* cf = world.kit(0).protocol("neighbor");
+  enable_link_layer_feedback(world.kit(0), *cf);
+
+  // No HELLO exchange needed: the driver callback updates the table.
+  world.medium().set_link(world.addr(0), world.addr(1), true);
+  auto* s0 = neighbor_state(*cf);
+  EXPECT_TRUE(s0->is_sym_neighbor(world.addr(1)));
+
+  world.medium().set_link(world.addr(0), world.addr(1), false);
+  EXPECT_FALSE(s0->is_sym_neighbor(world.addr(1)));
+}
+
+}  // namespace
+}  // namespace mk::proto

@@ -1,0 +1,283 @@
+// Simulated network substrate: medium adjacency/loss/delay, device
+// attachment, kernel route table, forwarding engine with hooks, topology
+// builders and random-waypoint mobility.
+#include <gtest/gtest.h>
+
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "net/topology.hpp"
+
+namespace mk::net {
+namespace {
+
+struct TwoNodes {
+  SimScheduler sched;
+  SimMedium medium{sched};
+  SimNode a{0, medium, sched};
+  SimNode b{1, medium, sched};
+};
+
+TEST(Medium, BroadcastReachesOnlyNeighbors) {
+  SimScheduler sched;
+  SimMedium medium(sched);
+  SimNode a(0, medium, sched), b(1, medium, sched), c(2, medium, sched);
+  medium.set_link(a.addr(), b.addr(), true);
+
+  int b_got = 0, c_got = 0;
+  b.set_control_handler([&](const Frame&) { ++b_got; });
+  c.set_control_handler([&](const Frame&) { ++c_got; });
+
+  a.send_control({1, 2, 3});
+  sched.run_all();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+}
+
+TEST(Medium, UnicastToNonNeighborFailsWithFeedback) {
+  TwoNodes t;
+  // no link
+  EXPECT_FALSE(t.a.send_control({1}, t.b.addr()));
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  EXPECT_TRUE(t.a.send_control({1}, t.b.addr()));
+  EXPECT_EQ(t.medium.stats().failed_unicasts, 1u);
+}
+
+TEST(Medium, AsymmetricLinksAreDirected) {
+  TwoNodes t;
+  t.medium.set_link(t.a.addr(), t.b.addr(), true, /*symmetric=*/false);
+  EXPECT_TRUE(t.medium.has_link(t.a.addr(), t.b.addr()));
+  EXPECT_FALSE(t.medium.has_link(t.b.addr(), t.a.addr()));
+}
+
+TEST(Medium, LossDropsFrames) {
+  TwoNodes t;
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  t.medium.set_loss_probability(1.0);
+  int got = 0;
+  t.b.set_control_handler([&](const Frame&) { ++got; });
+  for (int i = 0; i < 10; ++i) t.a.send_control({1});
+  t.sched.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(t.medium.stats().dropped_loss, 10u);
+}
+
+TEST(Medium, DeliveryIsDelayed) {
+  TwoNodes t;
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  t.medium.set_base_delay(msec(5));
+  TimePoint arrival{};
+  t.b.set_control_handler([&](const Frame&) { arrival = t.sched.now(); });
+  t.a.send_control({1});
+  t.sched.run_all();
+  EXPECT_GE(arrival.us, 5000);
+}
+
+TEST(Medium, TopologyChangeMidFlightDropsFrame) {
+  TwoNodes t;
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  t.medium.set_base_delay(msec(5));
+  int got = 0;
+  t.b.set_control_handler([&](const Frame&) { ++got; });
+  t.a.send_control({1});
+  t.medium.set_link(t.a.addr(), t.b.addr(), false);  // breaks before delivery
+  t.sched.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(Medium, LinkObserverSeesChanges) {
+  TwoNodes t;
+  std::vector<std::tuple<Addr, Addr, bool>> events;
+  t.medium.add_link_observer([&](Addr x, Addr y, bool up) {
+    events.emplace_back(x, y, up);
+  });
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);  // no-op: no event
+  t.medium.set_link(t.a.addr(), t.b.addr(), false);
+  EXPECT_EQ(events.size(), 4u);  // 2 symmetric ups + 2 downs
+}
+
+TEST(Medium, DownDeviceReceivesNothing) {
+  TwoNodes t;
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  int got = 0;
+  t.b.set_control_handler([&](const Frame&) { ++got; });
+  t.b.device().set_up(false);
+  t.a.send_control({1});
+  t.sched.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(KernelTable, SetLookupRemove) {
+  KernelRouteTable table;
+  table.set_route(RouteEntry{10, 20, "wlan0", 2, {}});
+  ASSERT_TRUE(table.lookup(10).has_value());
+  EXPECT_EQ(table.lookup(10)->next_hop, 20u);
+  EXPECT_FALSE(table.lookup(11).has_value());
+  EXPECT_TRUE(table.remove_route(10));
+  EXPECT_FALSE(table.remove_route(10));
+}
+
+TEST(KernelTable, DestsViaAndGeneration) {
+  KernelRouteTable table;
+  auto gen0 = table.generation();
+  table.set_route(RouteEntry{10, 99, "wlan0", 1, {}});
+  table.set_route(RouteEntry{11, 99, "wlan0", 2, {}});
+  table.set_route(RouteEntry{12, 50, "wlan0", 1, {}});
+  EXPECT_EQ(table.dests_via(99).size(), 2u);
+  EXPECT_GT(table.generation(), gen0);
+}
+
+TEST(Forwarding, DeliversLocallyAcrossTwoHops) {
+  SimScheduler sched;
+  SimMedium medium(sched);
+  SimNode a(0, medium, sched), b(1, medium, sched), c(2, medium, sched);
+  topo::linear(medium, std::vector<Addr>{a.addr(), b.addr(), c.addr()});
+
+  a.kernel_table().set_route(RouteEntry{c.addr(), b.addr(), "wlan0", 2, {}});
+  b.kernel_table().set_route(RouteEntry{c.addr(), c.addr(), "wlan0", 1, {}});
+
+  EXPECT_TRUE(a.forwarding().send(c.addr(), 100));
+  sched.run_all();
+  ASSERT_EQ(c.deliveries().size(), 1u);
+  EXPECT_EQ(c.deliveries()[0].hdr.src, a.addr());
+  EXPECT_EQ(b.forwarding().stats().forwarded, 1u);
+}
+
+TEST(Forwarding, NoRouteHookBuffersPacket) {
+  TwoNodes t;
+  bool hook_called = false;
+  ForwardingEngine::Hooks hooks;
+  hooks.on_no_route = [&](const DataHeader&) {
+    hook_called = true;
+    return true;  // consumed
+  };
+  t.a.forwarding().set_hooks(std::move(hooks));
+  EXPECT_TRUE(t.a.forwarding().send(t.b.addr(), 10));
+  EXPECT_TRUE(hook_called);
+  EXPECT_EQ(t.a.forwarding().stats().buffered, 1u);
+}
+
+TEST(Forwarding, NoRouteWithoutHookDrops) {
+  TwoNodes t;
+  EXPECT_FALSE(t.a.forwarding().send(t.b.addr(), 10));
+  EXPECT_EQ(t.a.forwarding().stats().dropped_no_route, 1u);
+}
+
+TEST(Forwarding, SendFailureHookFiresOnBrokenLink) {
+  TwoNodes t;
+  t.a.kernel_table().set_route(RouteEntry{t.b.addr(), t.b.addr(), "wlan0", 1, {}});
+  Addr broken = kNoAddr;
+  ForwardingEngine::Hooks hooks;
+  hooks.on_send_failure = [&](const DataHeader&, Addr hop) { broken = hop; };
+  t.a.forwarding().set_hooks(std::move(hooks));
+  EXPECT_FALSE(t.a.forwarding().send(t.b.addr(), 10));  // no link
+  EXPECT_EQ(broken, t.b.addr());
+}
+
+TEST(Forwarding, TtlExpiryDrops) {
+  SimScheduler sched;
+  SimMedium medium(sched);
+  SimNode a(0, medium, sched), b(1, medium, sched), c(2, medium, sched);
+  topo::linear(medium, std::vector<Addr>{a.addr(), b.addr(), c.addr()});
+  a.kernel_table().set_route(RouteEntry{c.addr(), b.addr(), "wlan0", 2, {}});
+  b.kernel_table().set_route(RouteEntry{c.addr(), c.addr(), "wlan0", 1, {}});
+
+  EXPECT_TRUE(a.forwarding().send(c.addr(), 10, /*ttl=*/1));
+  sched.run_all();
+  EXPECT_TRUE(c.deliveries().empty());
+  EXPECT_EQ(b.forwarding().stats().dropped_ttl, 1u);
+}
+
+TEST(Forwarding, RouteUsedHookFires) {
+  TwoNodes t;
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  t.a.kernel_table().set_route(RouteEntry{t.b.addr(), t.b.addr(), "wlan0", 1, {}});
+  Addr used = kNoAddr;
+  ForwardingEngine::Hooks hooks;
+  hooks.on_route_used = [&](Addr d) { used = d; };
+  t.a.forwarding().set_hooks(std::move(hooks));
+  t.a.forwarding().send(t.b.addr(), 10);
+  EXPECT_EQ(used, t.b.addr());
+}
+
+TEST(Topology, BuildersProduceExpectedDegrees) {
+  SimScheduler sched;
+  SimMedium medium(sched);
+  std::vector<Addr> addrs;
+  for (std::uint32_t i = 0; i < 9; ++i) addrs.push_back(addr_for_index(i));
+
+  topo::linear(medium, addrs);
+  EXPECT_EQ(medium.neighbors_of(addrs[0]).size(), 1u);
+  EXPECT_EQ(medium.neighbors_of(addrs[4]).size(), 2u);
+
+  medium.clear_links();
+  topo::ring(medium, addrs);
+  for (Addr a : addrs) EXPECT_EQ(medium.neighbors_of(a).size(), 2u);
+
+  medium.clear_links();
+  topo::grid(medium, addrs, 3);
+  EXPECT_EQ(medium.neighbors_of(addrs[4]).size(), 4u);  // center of 3x3
+  EXPECT_EQ(medium.neighbors_of(addrs[0]).size(), 2u);  // corner
+
+  medium.clear_links();
+  topo::full_mesh(medium, addrs);
+  for (Addr a : addrs) EXPECT_EQ(medium.neighbors_of(a).size(), 8u);
+}
+
+TEST(Topology, RangeLinksFollowPositions) {
+  SimScheduler sched;
+  SimMedium medium(sched);
+  SimNode a(0, medium, sched), b(1, medium, sched);
+  a.set_position({0, 0});
+  b.set_position({100, 0});
+  std::vector<SimNode*> nodes{&a, &b};
+  topo::apply_range_links(medium, nodes, 150.0);
+  EXPECT_TRUE(medium.has_link(a.addr(), b.addr()));
+  b.set_position({200, 0});
+  topo::apply_range_links(medium, nodes, 150.0);
+  EXPECT_FALSE(medium.has_link(a.addr(), b.addr()));
+}
+
+TEST(Mobility, RandomWaypointMovesNodesAndKeepsBounds) {
+  SimScheduler sched;
+  SimMedium medium(sched);
+  std::vector<std::unique_ptr<SimNode>> nodes;
+  std::vector<SimNode*> ptrs;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<SimNode>(i, medium, sched));
+    ptrs.push_back(nodes.back().get());
+  }
+  RandomWaypoint::Params params;
+  params.width = 500;
+  params.height = 500;
+  params.min_speed = 5;
+  params.max_speed = 20;
+  params.pause = 0.5;
+  RandomWaypoint rwp(medium, ptrs, params, /*seed=*/11);
+
+  auto p0 = ptrs[0]->position();
+  bool moved = false;
+  for (int i = 0; i < 100; ++i) {
+    rwp.step(sec(1));
+    for (auto* n : ptrs) {
+      EXPECT_GE(n->position().x, 0.0);
+      EXPECT_LE(n->position().x, 500.0);
+      EXPECT_GE(n->position().y, 0.0);
+      EXPECT_LE(n->position().y, 500.0);
+    }
+    auto p = ptrs[0]->position();
+    if (p.x != p0.x || p.y != p0.y) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Node, BatteryDrainsPerTransmission) {
+  TwoNodes t;
+  t.medium.set_link(t.a.addr(), t.b.addr(), true);
+  t.a.set_tx_cost(0.1);
+  for (int i = 0; i < 3; ++i) t.a.send_control({1});
+  EXPECT_NEAR(t.a.battery(), 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace mk::net

@@ -1,0 +1,214 @@
+// OpenCom component model: interfaces/receptacles, kernel bind/unbind,
+// component frameworks with integrity rules, replace with rebinding,
+// nesting, and the architecture meta-model.
+#include <gtest/gtest.h>
+
+#include "opencom/cf.hpp"
+#include "opencom/component.hpp"
+#include "opencom/kernel.hpp"
+
+namespace mk::oc {
+namespace {
+
+struct IGreeter : Interface {
+  virtual std::string greet() const = 0;
+};
+
+class Greeter : public Component, public IGreeter {
+ public:
+  explicit Greeter(std::string word = "hello")
+      : Component("test.Greeter"), word_(std::move(word)) {
+    provide("IGreeter", static_cast<IGreeter*>(this));
+  }
+  std::string greet() const override { return word_; }
+
+ private:
+  std::string word_;
+};
+
+class Caller : public Component {
+ public:
+  Caller() : Component("test.Caller") {
+    declare_receptacle("greeter", "IGreeter");
+  }
+  std::string call() const {
+    auto* g = plugged_as<IGreeter>("greeter");
+    return g == nullptr ? "(unbound)" : g->greet();
+  }
+};
+
+TEST(Component, InterfaceMetaModel) {
+  Greeter g;
+  EXPECT_EQ(g.interfaces(), std::vector<std::string>{"IGreeter"});
+  EXPECT_NE(g.interface("IGreeter"), nullptr);
+  EXPECT_EQ(g.interface("IBogus"), nullptr);
+  EXPECT_NE(g.interface_as<IGreeter>("IGreeter"), nullptr);
+}
+
+TEST(Component, ReceptacleIntrospection) {
+  Caller c;
+  auto receptacles = c.receptacles();
+  ASSERT_EQ(receptacles.size(), 1u);
+  EXPECT_EQ(receptacles[0].name, "greeter");
+  EXPECT_EQ(receptacles[0].iface_type, "IGreeter");
+  EXPECT_FALSE(receptacles[0].connected);
+}
+
+TEST(Kernel, FactoryInstantiate) {
+  Kernel kernel;
+  kernel.register_factory("test.Greeter",
+                          [] { return std::make_unique<Greeter>(); });
+  EXPECT_TRUE(kernel.has_factory("test.Greeter"));
+  auto comp = kernel.instantiate("test.Greeter");
+  EXPECT_EQ(comp->type_name(), "test.Greeter");
+  EXPECT_EQ(kernel.components_created(), 1u);
+  EXPECT_THROW(kernel.instantiate("nope"), std::logic_error);
+}
+
+TEST(Kernel, BindConnectsReceptacleToInterface) {
+  Kernel kernel;
+  Greeter g("hi");
+  Caller c;
+  kernel.bind(c, "greeter", g, "IGreeter");
+  EXPECT_EQ(c.call(), "hi");
+  EXPECT_EQ(c.plugged_provider("greeter"), &g);
+  kernel.unbind(c, "greeter");
+  EXPECT_EQ(c.call(), "(unbound)");
+}
+
+TEST(Kernel, BindRejectsTypeMismatch) {
+  Kernel kernel;
+  Greeter g;
+  Caller c;
+  EXPECT_THROW(kernel.bind(c, "nope", g, "IGreeter"), std::logic_error);
+  EXPECT_THROW(kernel.bind(c, "greeter", g, "IBogus"), std::logic_error);
+}
+
+TEST(Cf, InsertRemoveMembers) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  ComponentId id = cf.insert(std::make_unique<Greeter>());
+  EXPECT_EQ(cf.member_count(), 1u);
+  EXPECT_NE(cf.member(id), nullptr);
+  cf.remove(id);
+  EXPECT_EQ(cf.member_count(), 0u);
+  EXPECT_THROW(cf.remove(id), std::logic_error);
+}
+
+TEST(Cf, IntegrityRuleBlocksIllegalInsert) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  cf.add_integrity_rule([](const CfView& view, std::string& err) {
+    if (view.count_type("test.Greeter") > 1) {
+      err = "only one greeter";
+      return false;
+    }
+    return true;
+  });
+  cf.insert(std::make_unique<Greeter>());
+  EXPECT_THROW(cf.insert(std::make_unique<Greeter>()), std::logic_error);
+  EXPECT_EQ(cf.member_count(), 1u);  // rejected insert did not apply
+}
+
+TEST(Cf, IntegrityRuleBlocksIllegalRemove) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  cf.add_integrity_rule([](const CfView& view, std::string& err) {
+    if (view.count_type("test.Greeter") < 1) {
+      err = "greeter is mandatory";
+      return false;
+    }
+    return true;
+  });
+  ComponentId id = cf.insert(std::make_unique<Greeter>());
+  EXPECT_THROW(cf.remove(id), std::logic_error);
+  EXPECT_EQ(cf.member_count(), 1u);
+}
+
+TEST(Cf, ConnectTracksBindings) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  ComponentId g = cf.insert(std::make_unique<Greeter>("yo"));
+  ComponentId c = cf.insert(std::make_unique<Caller>());
+  BindingId b = cf.connect(c, "greeter", g, "IGreeter");
+
+  auto bindings = cf.bindings();
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0].user, c);
+  EXPECT_EQ(bindings[0].provider, g);
+
+  EXPECT_EQ(dynamic_cast<Caller*>(cf.member(c))->call(), "yo");
+  cf.disconnect(b);
+  EXPECT_EQ(dynamic_cast<Caller*>(cf.member(c))->call(), "(unbound)");
+}
+
+TEST(Cf, RemoveDisconnectsInvolvedBindings) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  ComponentId g = cf.insert(std::make_unique<Greeter>());
+  ComponentId c = cf.insert(std::make_unique<Caller>());
+  cf.connect(c, "greeter", g, "IGreeter");
+  cf.remove(g);
+  EXPECT_TRUE(cf.bindings().empty());
+  EXPECT_EQ(dynamic_cast<Caller*>(cf.member(c))->call(), "(unbound)");
+}
+
+TEST(Cf, ReplaceReestablishesBindings) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  ComponentId g = cf.insert(std::make_unique<Greeter>("old"));
+  ComponentId c = cf.insert(std::make_unique<Caller>());
+  cf.connect(c, "greeter", g, "IGreeter");
+
+  ComponentId g2 = cf.replace(g, std::make_unique<Greeter>("new"));
+  EXPECT_EQ(cf.member(g), nullptr);
+  EXPECT_NE(cf.member(g2), nullptr);
+  // The caller's receptacle was rewired to the replacement automatically.
+  EXPECT_EQ(dynamic_cast<Caller*>(cf.member(c))->call(), "new");
+  ASSERT_EQ(cf.bindings().size(), 1u);
+  EXPECT_EQ(cf.bindings()[0].provider, g2);
+}
+
+TEST(Cf, ExtractReturnsOwnershipForStateTransfer) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  ComponentId g = cf.insert(std::make_unique<Greeter>("kept"));
+  auto extracted = cf.extract(g);
+  ASSERT_NE(extracted, nullptr);
+  EXPECT_EQ(cf.member_count(), 0u);
+  EXPECT_EQ(dynamic_cast<Greeter*>(extracted.get())->greet(), "kept");
+}
+
+TEST(Cf, NestsAsComponents) {
+  Kernel kernel;
+  ComponentFramework outer(kernel, "test.Outer");
+  auto inner = std::make_unique<ComponentFramework>(kernel, "test.Inner");
+  inner->insert(std::make_unique<Greeter>());
+  ComponentId inner_id = outer.insert(std::move(inner));
+  auto* nested = dynamic_cast<ComponentFramework*>(outer.member(inner_id));
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->member_count(), 1u);
+}
+
+TEST(Cf, FindByInstanceNameAndInterface) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  auto g = std::make_unique<Greeter>();
+  g->set_instance_name("TheGreeter");
+  cf.insert(std::move(g));
+  EXPECT_NE(cf.find("TheGreeter"), nullptr);
+  EXPECT_EQ(cf.find("Missing"), nullptr);
+  EXPECT_NE(cf.find_providing("IGreeter"), nullptr);
+  EXPECT_EQ(cf.find_providing("IBogus"), nullptr);
+}
+
+TEST(Cf, QuiesceIsReentrant) {
+  Kernel kernel;
+  ComponentFramework cf(kernel, "test.CF");
+  auto lock1 = cf.quiesce();
+  auto lock2 = cf.quiesce();  // recursive: no deadlock
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mk::oc

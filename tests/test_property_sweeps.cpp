@@ -1,0 +1,203 @@
+// Parameterized end-to-end sweeps: chain lengths, loss rates, grids, random
+// geometric graphs with mobility. Invariants checked:
+//   * OLSR converges to loop-free shortest-path tables on connected graphs;
+//   * DYMO discovers routes and delivers under loss;
+//   * kernel tables never contain a routing loop.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "testbed/world.hpp"
+
+namespace mk {
+namespace {
+
+/// Follows next hops from src toward dst; true if dst is reached without
+/// revisiting a node (loop-freedom + reachability).
+bool path_reaches(testbed::SimWorld& world, std::size_t src, net::Addr dst,
+                  std::size_t max_hops = 64) {
+  net::Addr cur = world.addr(src);
+  std::set<net::Addr> seen;
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    if (cur == dst) return true;
+    if (!seen.insert(cur).second) return false;  // loop!
+    auto route =
+        world.node(net::index_for_addr(cur)).kernel_table().lookup(dst);
+    if (!route) return false;
+    cur = route->next_hop;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- OLSR on chains
+
+class OlsrChainSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OlsrChainSweep, ConvergesAndIsLoopFree) {
+  std::size_t n = GetParam();
+  testbed::SimWorld world(n);
+  world.linear();
+  world.deploy_all("olsr");
+  ASSERT_TRUE(world.run_until_routed(sec(120)).has_value())
+      << "chain of " << n << " did not converge";
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      EXPECT_TRUE(path_reaches(world, i, world.addr(j)))
+          << i << " -> " << j << " (n=" << n << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, OlsrChainSweep,
+                         ::testing::Values(2, 3, 5, 8, 12));
+
+// ---------------------------------------------------------------- OLSR grids
+
+class OlsrGridSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OlsrGridSweep, GridConvergesShortestPath) {
+  std::size_t side = GetParam();
+  testbed::SimWorld world(side * side);
+  world.grid(side);
+  world.deploy_all("olsr");
+  ASSERT_TRUE(world.run_until_routed(sec(180)).has_value());
+
+  // Manhattan distance is the shortest-path metric on a grid.
+  auto corner = world.node(0).kernel_table().lookup(
+      world.addr(side * side - 1));
+  ASSERT_TRUE(corner.has_value());
+  EXPECT_EQ(corner->metric, 2 * (side - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSides, OlsrGridSweep, ::testing::Values(2, 3));
+
+// ------------------------------------------------------------ DYMO under loss
+
+class DymoLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DymoLossSweep, DiscoverySurvivesLoss) {
+  double loss = GetParam() / 100.0;
+  testbed::SimWorld world(4);
+  world.linear();
+  world.medium().set_loss_probability(loss);
+  world.deploy_all("dymo");
+  world.run_for(sec(8));
+
+  // Retries (exponential backoff) must eventually get a route through.
+  bool delivered = false;
+  for (int attempt = 0; attempt < 8 && !delivered; ++attempt) {
+    world.node(0).forwarding().send(world.addr(3), 64);
+    world.run_for(sec(6));
+    delivered = !world.node(3).deliveries().empty();
+  }
+  EXPECT_TRUE(delivered) << "no delivery at loss " << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(LossPercent, DymoLossSweep,
+                         ::testing::Values(0, 10, 25));
+
+// --------------------------------------------- random geometric connectivity
+
+class GeoSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeoSweep, OlsrRoutesMatchConnectivity) {
+  testbed::SimWorld world(12, GetParam());
+  Rng rng(GetParam());
+  std::vector<net::SimNode*> nodes;
+  for (std::size_t i = 0; i < 12; ++i) nodes.push_back(&world.node(i));
+  net::topo::random_geometric(world.medium(), nodes, 800, 800, 350, rng);
+  world.deploy_all("olsr");
+  world.run_for(sec(60));
+
+  // Compute ground-truth reachability from the medium adjacency.
+  auto reachable_from = [&](std::size_t start) {
+    std::set<net::Addr> seen{world.addr(start)};
+    std::queue<net::Addr> q;
+    q.push(world.addr(start));
+    while (!q.empty()) {
+      net::Addr u = q.front();
+      q.pop();
+      for (net::Addr v : world.medium().neighbors_of(u)) {
+        if (seen.insert(v).second) q.push(v);
+      }
+    }
+    return seen;
+  };
+
+  auto reach = reachable_from(0);
+  for (std::size_t j = 1; j < 12; ++j) {
+    bool connected = reach.count(world.addr(j)) > 0;
+    if (connected) {
+      EXPECT_TRUE(path_reaches(world, 0, world.addr(j)))
+          << "connected node " << j << " unroutable (seed " << GetParam()
+          << ")";
+    } else {
+      EXPECT_FALSE(world.has_route(0, world.addr(j)))
+          << "route to disconnected node " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeoSweep, ::testing::Values(3, 17, 29, 71));
+
+// -------------------------------------------------------------- mobility churn
+
+class MobilitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MobilitySweep, DymoKeepsDeliveringUnderChurn) {
+  testbed::SimWorld world(8, GetParam());
+  std::vector<net::SimNode*> nodes;
+  for (std::size_t i = 0; i < 8; ++i) nodes.push_back(&world.node(i));
+  net::RandomWaypoint::Params params;
+  params.width = 600;
+  params.height = 600;
+  params.min_speed = 1;
+  params.max_speed = 8;
+  params.range = 280;
+  net::RandomWaypoint rwp(world.medium(), nodes, params, GetParam());
+
+  world.deploy_all("dymo");
+  world.run_for(sec(5));
+
+  std::size_t sent = 0;
+  for (int step = 0; step < 60; ++step) {
+    rwp.step(sec(1));
+    world.run_for(sec(1));
+    if (step % 5 == 0) {
+      world.node(0).forwarding().send(world.addr(7), 64);
+      ++sent;
+    }
+  }
+  world.run_for(sec(5));
+
+  // Under churn some packets die with broken links; requiring ~25% delivery
+  // checks liveness without over-constraining the stochastic topology.
+  EXPECT_GE(world.node(7).deliveries().size(), sent / 4)
+      << "delivered " << world.node(7).deliveries().size() << "/" << sent;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MobilitySweep, ::testing::Values(5, 23));
+
+// ------------------------------------------------- co-deployment chain sweep
+
+class CoexistSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CoexistSweep, BothProtocolsHealthyAtEveryScale) {
+  std::size_t n = GetParam();
+  testbed::SimWorld world(n);
+  world.linear();
+  for (std::size_t i = 0; i < n; ++i) {
+    world.kit(i).deploy("olsr");
+    world.kit(i).deploy("dymo");
+  }
+  ASSERT_TRUE(world.run_until_routed(sec(120)).has_value());
+  world.node(0).forwarding().send(world.addr(n - 1), 64);
+  world.run_for(sec(2));
+  EXPECT_EQ(world.node(n - 1).deliveries().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoexistSweep, ::testing::Values(3, 5, 7));
+
+}  // namespace
+}  // namespace mk

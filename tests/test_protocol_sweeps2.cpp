@@ -1,0 +1,148 @@
+// Second parameterized sweep battery: AODV across chain lengths, the
+// zone-hybrid across target distances, GPSR across random corridors, and a
+// cross-protocol invariant — every deployed stack keeps the kernel table
+// loop-free at all times.
+#include <gtest/gtest.h>
+
+#include "protocols/zrp/zrp_cf.hpp"
+#include "testbed/world.hpp"
+
+namespace mk {
+namespace {
+
+bool follows_to(testbed::SimWorld& world, std::size_t src, net::Addr dst) {
+  net::Addr cur = world.addr(src);
+  std::set<net::Addr> seen;
+  while (cur != dst) {
+    if (!seen.insert(cur).second) return false;
+    auto route =
+        world.node(net::index_for_addr(cur)).kernel_table().lookup(dst);
+    if (!route) return false;
+    cur = route->next_hop;
+  }
+  return true;
+}
+
+class AodvChainSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AodvChainSweep, DiscoversAcrossAnyChainLength) {
+  std::size_t n = GetParam();
+  testbed::SimWorld world(n);
+  world.linear();
+  world.deploy_all("aodv");
+  world.run_for(sec(5));
+
+  world.node(0).forwarding().send(world.addr(n - 1), 64);
+  // Check promptly: AODV's active-route timeout is 3s, so kernel entries at
+  // idle intermediates lapse soon after the packet passes.
+  world.run_for(sec(2));
+  EXPECT_EQ(world.node(n - 1).deliveries().size(), 1u) << "chain " << n;
+  EXPECT_TRUE(follows_to(world, 0, world.addr(n - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AodvChainSweep,
+                         ::testing::Values(2, 4, 6, 9));
+
+class ZrpDistanceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ZrpDistanceSweep, DeliversAtEveryDistance) {
+  std::size_t target = GetParam();
+  testbed::SimWorld world(10);
+  world.linear();
+  world.deploy_all("zrp");
+  world.run_for(sec(8));
+
+  world.node(0).forwarding().send(world.addr(target), 64);
+  world.run_for(sec(3));  // within the reactive route lifetime
+  EXPECT_EQ(world.node(target).deliveries().size(), 1u)
+      << "distance " << target;
+  EXPECT_TRUE(follows_to(world, 0, world.addr(target)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ZrpDistanceSweep,
+                         ::testing::Values(1, 2, 3, 6, 9));
+
+class GpsrCorridorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GpsrCorridorSweep, GreedyDeliversThroughRandomCorridors) {
+  constexpr std::size_t kNodes = 12;
+  testbed::SimWorld world(kNodes, GetParam());
+  Rng rng(GetParam());
+  std::vector<net::SimNode*> nodes;
+  for (std::size_t i = 0; i < kNodes; ++i) nodes.push_back(&world.node(i));
+
+  world.node(0).set_position({0, 200});
+  world.node(kNodes - 1).set_position({900, 200});
+  for (std::size_t i = 1; i + 1 < kNodes; ++i) {
+    double x = 900.0 * static_cast<double>(i) / static_cast<double>(kNodes - 1);
+    world.node(i).set_position(
+        {x + rng.uniform(-30, 30), 200 + rng.uniform(-90, 90)});
+  }
+  net::topo::apply_range_links(world.medium(), nodes, 260);
+
+  world.register_gpsr_oracle();
+  world.deploy_all("gpsr");
+  world.run_for(sec(8));
+
+  world.node(0).forwarding().send(world.addr(kNodes - 1), 128);
+  world.run_for(sec(5));
+  EXPECT_EQ(world.node(kNodes - 1).deliveries().size(), 1u)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpsrCorridorSweep,
+                         ::testing::Values(11, 42, 77, 123));
+
+// Cross-protocol invariant: whatever the stack, the kernel table never
+// contains a cycle at any sampled instant.
+class LoopFreedomSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LoopFreedomSweep, KernelTablesStayAcyclicUnderChurn) {
+  const std::string proto = GetParam();
+  testbed::SimWorld world(6);
+  world.linear();
+  if (proto == "gpsr") {
+    for (std::size_t i = 0; i < 6; ++i) {
+      world.node(i).set_position({120.0 * static_cast<double>(i), 0});
+    }
+    world.register_gpsr_oracle();
+  }
+  world.deploy_all(proto);
+  world.run_for(sec(8));
+
+  Rng rng(3);
+  for (int round = 0; round < 12; ++round) {
+    // Random churn + traffic.
+    auto a = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    world.medium().set_link(world.addr(a), world.addr(a + 1),
+                            rng.bernoulli(0.7));
+    world.node(0).forwarding().send(world.addr(5), 64);
+    world.run_for(sec(2));
+
+    // Invariant: following next hops never cycles.
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        if (i == j) continue;
+        net::Addr cur = world.addr(i);
+        std::set<net::Addr> seen;
+        for (int hop = 0; hop < 12 && cur != world.addr(j); ++hop) {
+          ASSERT_TRUE(seen.insert(cur).second)
+              << proto << ": routing loop toward " << j << " at round "
+              << round;
+          auto route =
+              world.node(net::index_for_addr(cur)).kernel_table().lookup(
+                  world.addr(j));
+          if (!route) break;
+          cur = route->next_hop;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, LoopFreedomSweep,
+                         ::testing::Values("olsr", "dymo", "aodv", "zrp",
+                                           "gpsr"));
+
+}  // namespace
+}  // namespace mk

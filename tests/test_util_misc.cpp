@@ -1,0 +1,171 @@
+// BlockingQueue, ThreadPool, ByteWriter/Reader, Summary/Samples, memtrack,
+// Result, Rng.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/bytebuffer.hpp"
+#include "util/memtrack.hpp"
+#include "util/queue.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/threadpool.hpp"
+
+namespace mk {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CrossThreadHandoff) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) q.push(i);
+    q.close();
+  });
+  int sum = 0;
+  while (auto v = q.pop()) sum += *v;
+  producer.join();
+  EXPECT_EQ(sum, 499500);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { ++count; });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ByteBuffer, RoundTripsAllWidths) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xCDEF);
+  w.put_u32(0x12345678);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_string("hello");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0xCDEF);
+  EXPECT_EQ(r.get_u32(), 0x12345678u);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, BigEndianOnTheWire) {
+  ByteWriter w;
+  w.put_u16(0x0102);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[1], 0x02);
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  std::vector<std::uint8_t> bytes{1, 2};
+  ByteReader r(bytes);
+  EXPECT_THROW(r.get_u32(), BufferUnderflow);
+}
+
+TEST(ByteBuffer, PatchU16) {
+  ByteWriter w;
+  std::size_t slot = w.reserve_u16();
+  w.put_u32(42);
+  w.patch_u16(slot, static_cast<std::uint16_t>(w.size()));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u16(), 6);
+}
+
+TEST(ByteBuffer, SliceIsBoundedView) {
+  ByteWriter w;
+  w.put_u32(7);
+  w.put_u32(9);
+  ByteReader r(w.data());
+  ByteReader sub = r.slice(4);
+  EXPECT_EQ(sub.get_u32(), 7u);
+  EXPECT_THROW(sub.get_u8(), BufferUnderflow);
+  EXPECT_EQ(r.get_u32(), 9u);
+}
+
+TEST(Stats, SummaryWelford) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SamplesQuantiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.p99(), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Memtrack, ScopeSeesAllocations) {
+  memtrack::Scope scope;
+  auto* p = new std::vector<int>(10000);
+  EXPECT_GE(scope.live_bytes_delta(), 10000u * sizeof(int));
+  delete p;
+  EXPECT_LT(scope.live_bytes_delta(), 10000u * sizeof(int));
+}
+
+TEST(ResultT, OkAndFail) {
+  Result<int> ok = Result<int>::ok(42);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad = Result<int>::fail("nope");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), "nope");
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(RngT, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngT, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace mk
