@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flooding.dir/ablation_flooding.cpp.o"
+  "CMakeFiles/ablation_flooding.dir/ablation_flooding.cpp.o.d"
+  "ablation_flooding"
+  "ablation_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reconfig.dir/ablation_reconfig.cpp.o"
+  "CMakeFiles/ablation_reconfig.dir/ablation_reconfig.cpp.o.d"
+  "ablation_reconfig"
+  "ablation_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memory.dir/table2_memory.cpp.o"
+  "CMakeFiles/table2_memory.dir/table2_memory.cpp.o.d"
+  "table2_memory"
+  "table2_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

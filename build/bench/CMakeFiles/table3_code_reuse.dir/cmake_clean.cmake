@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_code_reuse.dir/table3_code_reuse.cpp.o"
+  "CMakeFiles/table3_code_reuse.dir/table3_code_reuse.cpp.o.d"
+  "table3_code_reuse"
+  "table3_code_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_code_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_policy.dir/adaptive_policy.cpp.o"
+  "CMakeFiles/adaptive_policy.dir/adaptive_policy.cpp.o.d"
+  "adaptive_policy"
+  "adaptive_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

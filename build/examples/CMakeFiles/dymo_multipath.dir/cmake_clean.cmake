@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dymo_multipath.dir/dymo_multipath.cpp.o"
+  "CMakeFiles/dymo_multipath.dir/dymo_multipath.cpp.o.d"
+  "dymo_multipath"
+  "dymo_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dymo_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsr_tracking.dir/gpsr_tracking.cpp.o"
+  "CMakeFiles/gpsr_tracking.dir/gpsr_tracking.cpp.o.d"
+  "gpsr_tracking"
+  "gpsr_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsr_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsr_variants.dir/olsr_variants.cpp.o"
+  "CMakeFiles/olsr_variants.dir/olsr_variants.cpp.o.d"
+  "olsr_variants"
+  "olsr_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsr_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

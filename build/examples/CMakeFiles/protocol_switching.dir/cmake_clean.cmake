@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_switching.dir/protocol_switching.cpp.o"
+  "CMakeFiles/protocol_switching.dir/protocol_switching.cpp.o.d"
+  "protocol_switching"
+  "protocol_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dymoum.cpp" "src/baselines/CMakeFiles/mk_baselines.dir/dymoum.cpp.o" "gcc" "src/baselines/CMakeFiles/mk_baselines.dir/dymoum.cpp.o.d"
+  "/root/repo/src/baselines/olsrd.cpp" "src/baselines/CMakeFiles/mk_baselines.dir/olsrd.cpp.o" "gcc" "src/baselines/CMakeFiles/mk_baselines.dir/olsrd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/packetbb/CMakeFiles/mk_packetbb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

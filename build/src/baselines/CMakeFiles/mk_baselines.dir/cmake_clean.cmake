@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_baselines.dir/dymoum.cpp.o"
+  "CMakeFiles/mk_baselines.dir/dymoum.cpp.o.d"
+  "CMakeFiles/mk_baselines.dir/olsrd.cpp.o"
+  "CMakeFiles/mk_baselines.dir/olsrd.cpp.o.d"
+  "libmk_baselines.a"
+  "libmk_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cfs.cpp" "src/core/CMakeFiles/mk_core.dir/cfs.cpp.o" "gcc" "src/core/CMakeFiles/mk_core.dir/cfs.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/core/CMakeFiles/mk_core.dir/executor.cpp.o" "gcc" "src/core/CMakeFiles/mk_core.dir/executor.cpp.o.d"
+  "/root/repo/src/core/framework_manager.cpp" "src/core/CMakeFiles/mk_core.dir/framework_manager.cpp.o" "gcc" "src/core/CMakeFiles/mk_core.dir/framework_manager.cpp.o.d"
+  "/root/repo/src/core/manet_protocol.cpp" "src/core/CMakeFiles/mk_core.dir/manet_protocol.cpp.o" "gcc" "src/core/CMakeFiles/mk_core.dir/manet_protocol.cpp.o.d"
+  "/root/repo/src/core/manetkit.cpp" "src/core/CMakeFiles/mk_core.dir/manetkit.cpp.o" "gcc" "src/core/CMakeFiles/mk_core.dir/manetkit.cpp.o.d"
+  "/root/repo/src/core/system_cf.cpp" "src/core/CMakeFiles/mk_core.dir/system_cf.cpp.o" "gcc" "src/core/CMakeFiles/mk_core.dir/system_cf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/opencom/CMakeFiles/mk_opencom.dir/DependInfo.cmake"
+  "/root/repo/build/src/packetbb/CMakeFiles/mk_packetbb.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/mk_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mk_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_core.dir/cfs.cpp.o"
+  "CMakeFiles/mk_core.dir/cfs.cpp.o.d"
+  "CMakeFiles/mk_core.dir/executor.cpp.o"
+  "CMakeFiles/mk_core.dir/executor.cpp.o.d"
+  "CMakeFiles/mk_core.dir/framework_manager.cpp.o"
+  "CMakeFiles/mk_core.dir/framework_manager.cpp.o.d"
+  "CMakeFiles/mk_core.dir/manet_protocol.cpp.o"
+  "CMakeFiles/mk_core.dir/manet_protocol.cpp.o.d"
+  "CMakeFiles/mk_core.dir/manetkit.cpp.o"
+  "CMakeFiles/mk_core.dir/manetkit.cpp.o.d"
+  "CMakeFiles/mk_core.dir/system_cf.cpp.o"
+  "CMakeFiles/mk_core.dir/system_cf.cpp.o.d"
+  "libmk_core.a"
+  "libmk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

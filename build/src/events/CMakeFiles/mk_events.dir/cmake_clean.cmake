@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_events.dir/event.cpp.o"
+  "CMakeFiles/mk_events.dir/event.cpp.o.d"
+  "libmk_events.a"
+  "libmk_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/device.cpp" "src/net/CMakeFiles/mk_net.dir/device.cpp.o" "gcc" "src/net/CMakeFiles/mk_net.dir/device.cpp.o.d"
+  "/root/repo/src/net/forwarding.cpp" "src/net/CMakeFiles/mk_net.dir/forwarding.cpp.o" "gcc" "src/net/CMakeFiles/mk_net.dir/forwarding.cpp.o.d"
+  "/root/repo/src/net/kernel_table.cpp" "src/net/CMakeFiles/mk_net.dir/kernel_table.cpp.o" "gcc" "src/net/CMakeFiles/mk_net.dir/kernel_table.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/net/CMakeFiles/mk_net.dir/medium.cpp.o" "gcc" "src/net/CMakeFiles/mk_net.dir/medium.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/mk_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/mk_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/mk_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/mk_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/packetbb/CMakeFiles/mk_packetbb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

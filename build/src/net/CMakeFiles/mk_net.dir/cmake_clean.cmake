@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_net.dir/device.cpp.o"
+  "CMakeFiles/mk_net.dir/device.cpp.o.d"
+  "CMakeFiles/mk_net.dir/forwarding.cpp.o"
+  "CMakeFiles/mk_net.dir/forwarding.cpp.o.d"
+  "CMakeFiles/mk_net.dir/kernel_table.cpp.o"
+  "CMakeFiles/mk_net.dir/kernel_table.cpp.o.d"
+  "CMakeFiles/mk_net.dir/medium.cpp.o"
+  "CMakeFiles/mk_net.dir/medium.cpp.o.d"
+  "CMakeFiles/mk_net.dir/node.cpp.o"
+  "CMakeFiles/mk_net.dir/node.cpp.o.d"
+  "CMakeFiles/mk_net.dir/topology.cpp.o"
+  "CMakeFiles/mk_net.dir/topology.cpp.o.d"
+  "libmk_net.a"
+  "libmk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

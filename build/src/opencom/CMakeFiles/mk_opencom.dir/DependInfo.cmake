@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opencom/cf.cpp" "src/opencom/CMakeFiles/mk_opencom.dir/cf.cpp.o" "gcc" "src/opencom/CMakeFiles/mk_opencom.dir/cf.cpp.o.d"
+  "/root/repo/src/opencom/component.cpp" "src/opencom/CMakeFiles/mk_opencom.dir/component.cpp.o" "gcc" "src/opencom/CMakeFiles/mk_opencom.dir/component.cpp.o.d"
+  "/root/repo/src/opencom/kernel.cpp" "src/opencom/CMakeFiles/mk_opencom.dir/kernel.cpp.o" "gcc" "src/opencom/CMakeFiles/mk_opencom.dir/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_opencom.dir/cf.cpp.o"
+  "CMakeFiles/mk_opencom.dir/cf.cpp.o.d"
+  "CMakeFiles/mk_opencom.dir/component.cpp.o"
+  "CMakeFiles/mk_opencom.dir/component.cpp.o.d"
+  "CMakeFiles/mk_opencom.dir/kernel.cpp.o"
+  "CMakeFiles/mk_opencom.dir/kernel.cpp.o.d"
+  "libmk_opencom.a"
+  "libmk_opencom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_opencom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_packetbb.dir/packetbb.cpp.o"
+  "CMakeFiles/mk_packetbb.dir/packetbb.cpp.o.d"
+  "libmk_packetbb.a"
+  "libmk_packetbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_packetbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmk_packetbb.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_policy.dir/coordinator.cpp.o"
+  "CMakeFiles/mk_policy.dir/coordinator.cpp.o.d"
+  "CMakeFiles/mk_policy.dir/policy_engine.cpp.o"
+  "CMakeFiles/mk_policy.dir/policy_engine.cpp.o.d"
+  "libmk_policy.a"
+  "libmk_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/aodv/aodv_cf.cpp" "src/protocols/CMakeFiles/mk_proto.dir/aodv/aodv_cf.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/aodv/aodv_cf.cpp.o.d"
+  "/root/repo/src/protocols/aodv/aodv_state.cpp" "src/protocols/CMakeFiles/mk_proto.dir/aodv/aodv_state.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/aodv/aodv_state.cpp.o.d"
+  "/root/repo/src/protocols/dymo/dymo_cf.cpp" "src/protocols/CMakeFiles/mk_proto.dir/dymo/dymo_cf.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/dymo/dymo_cf.cpp.o.d"
+  "/root/repo/src/protocols/dymo/dymo_state.cpp" "src/protocols/CMakeFiles/mk_proto.dir/dymo/dymo_state.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/dymo/dymo_state.cpp.o.d"
+  "/root/repo/src/protocols/dymo/gossip.cpp" "src/protocols/CMakeFiles/mk_proto.dir/dymo/gossip.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/dymo/gossip.cpp.o.d"
+  "/root/repo/src/protocols/dymo/multipath.cpp" "src/protocols/CMakeFiles/mk_proto.dir/dymo/multipath.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/dymo/multipath.cpp.o.d"
+  "/root/repo/src/protocols/dymo/opt_flood.cpp" "src/protocols/CMakeFiles/mk_proto.dir/dymo/opt_flood.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/dymo/opt_flood.cpp.o.d"
+  "/root/repo/src/protocols/gpsr/gpsr_cf.cpp" "src/protocols/CMakeFiles/mk_proto.dir/gpsr/gpsr_cf.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/gpsr/gpsr_cf.cpp.o.d"
+  "/root/repo/src/protocols/install.cpp" "src/protocols/CMakeFiles/mk_proto.dir/install.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/install.cpp.o.d"
+  "/root/repo/src/protocols/mpr/mpr_calculator.cpp" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_calculator.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_calculator.cpp.o.d"
+  "/root/repo/src/protocols/mpr/mpr_cf.cpp" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_cf.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_cf.cpp.o.d"
+  "/root/repo/src/protocols/mpr/mpr_handlers.cpp" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_handlers.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_handlers.cpp.o.d"
+  "/root/repo/src/protocols/mpr/mpr_state.cpp" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_state.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/mpr/mpr_state.cpp.o.d"
+  "/root/repo/src/protocols/neighbor/neighbor_cf.cpp" "src/protocols/CMakeFiles/mk_proto.dir/neighbor/neighbor_cf.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/neighbor/neighbor_cf.cpp.o.d"
+  "/root/repo/src/protocols/neighbor/neighbor_state.cpp" "src/protocols/CMakeFiles/mk_proto.dir/neighbor/neighbor_state.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/neighbor/neighbor_state.cpp.o.d"
+  "/root/repo/src/protocols/olsr/fisheye.cpp" "src/protocols/CMakeFiles/mk_proto.dir/olsr/fisheye.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/olsr/fisheye.cpp.o.d"
+  "/root/repo/src/protocols/olsr/olsr_cf.cpp" "src/protocols/CMakeFiles/mk_proto.dir/olsr/olsr_cf.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/olsr/olsr_cf.cpp.o.d"
+  "/root/repo/src/protocols/olsr/olsr_state.cpp" "src/protocols/CMakeFiles/mk_proto.dir/olsr/olsr_state.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/olsr/olsr_state.cpp.o.d"
+  "/root/repo/src/protocols/olsr/power_aware.cpp" "src/protocols/CMakeFiles/mk_proto.dir/olsr/power_aware.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/olsr/power_aware.cpp.o.d"
+  "/root/repo/src/protocols/olsr/route_calculator.cpp" "src/protocols/CMakeFiles/mk_proto.dir/olsr/route_calculator.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/olsr/route_calculator.cpp.o.d"
+  "/root/repo/src/protocols/zrp/zrp_cf.cpp" "src/protocols/CMakeFiles/mk_proto.dir/zrp/zrp_cf.cpp.o" "gcc" "src/protocols/CMakeFiles/mk_proto.dir/zrp/zrp_cf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opencom/CMakeFiles/mk_opencom.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/mk_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packetbb/CMakeFiles/mk_packetbb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mk_proto.
+# This may be replaced when dependencies are built.

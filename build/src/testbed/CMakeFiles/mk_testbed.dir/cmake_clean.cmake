@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_testbed.dir/loc_counter.cpp.o"
+  "CMakeFiles/mk_testbed.dir/loc_counter.cpp.o.d"
+  "CMakeFiles/mk_testbed.dir/traffic.cpp.o"
+  "CMakeFiles/mk_testbed.dir/traffic.cpp.o.d"
+  "CMakeFiles/mk_testbed.dir/world.cpp.o"
+  "CMakeFiles/mk_testbed.dir/world.cpp.o.d"
+  "libmk_testbed.a"
+  "libmk_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bytebuffer.cpp" "src/util/CMakeFiles/mk_util.dir/bytebuffer.cpp.o" "gcc" "src/util/CMakeFiles/mk_util.dir/bytebuffer.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/mk_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/mk_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/memtrack.cpp" "src/util/CMakeFiles/mk_util.dir/memtrack.cpp.o" "gcc" "src/util/CMakeFiles/mk_util.dir/memtrack.cpp.o.d"
+  "/root/repo/src/util/scheduler.cpp" "src/util/CMakeFiles/mk_util.dir/scheduler.cpp.o" "gcc" "src/util/CMakeFiles/mk_util.dir/scheduler.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/mk_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/mk_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/util/CMakeFiles/mk_util.dir/threadpool.cpp.o" "gcc" "src/util/CMakeFiles/mk_util.dir/threadpool.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/util/CMakeFiles/mk_util.dir/timer.cpp.o" "gcc" "src/util/CMakeFiles/mk_util.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

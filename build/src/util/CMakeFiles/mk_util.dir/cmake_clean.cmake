@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_util.dir/bytebuffer.cpp.o"
+  "CMakeFiles/mk_util.dir/bytebuffer.cpp.o.d"
+  "CMakeFiles/mk_util.dir/log.cpp.o"
+  "CMakeFiles/mk_util.dir/log.cpp.o.d"
+  "CMakeFiles/mk_util.dir/memtrack.cpp.o"
+  "CMakeFiles/mk_util.dir/memtrack.cpp.o.d"
+  "CMakeFiles/mk_util.dir/scheduler.cpp.o"
+  "CMakeFiles/mk_util.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mk_util.dir/stats.cpp.o"
+  "CMakeFiles/mk_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mk_util.dir/threadpool.cpp.o"
+  "CMakeFiles/mk_util.dir/threadpool.cpp.o.d"
+  "CMakeFiles/mk_util.dir/timer.cpp.o"
+  "CMakeFiles/mk_util.dir/timer.cpp.o.d"
+  "libmk_util.a"
+  "libmk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

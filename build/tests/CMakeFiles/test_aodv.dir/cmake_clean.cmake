@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aodv.dir/test_aodv.cpp.o"
+  "CMakeFiles/test_aodv.dir/test_aodv.cpp.o.d"
+  "test_aodv"
+  "test_aodv.pdb"
+  "test_aodv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aodv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_gossip.dir/test_context_gossip.cpp.o"
+  "CMakeFiles/test_context_gossip.dir/test_context_gossip.cpp.o.d"
+  "test_context_gossip"
+  "test_context_gossip.pdb"
+  "test_context_gossip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coordinator.dir/test_coordinator.cpp.o"
+  "CMakeFiles/test_coordinator.dir/test_coordinator.cpp.o.d"
+  "test_coordinator"
+  "test_coordinator.pdb"
+  "test_coordinator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

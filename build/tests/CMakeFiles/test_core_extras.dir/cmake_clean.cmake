@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_extras.dir/test_core_extras.cpp.o"
+  "CMakeFiles/test_core_extras.dir/test_core_extras.cpp.o.d"
+  "test_core_extras"
+  "test_core_extras.pdb"
+  "test_core_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_framework.dir/test_core_framework.cpp.o"
+  "CMakeFiles/test_core_framework.dir/test_core_framework.cpp.o.d"
+  "test_core_framework"
+  "test_core_framework.pdb"
+  "test_core_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

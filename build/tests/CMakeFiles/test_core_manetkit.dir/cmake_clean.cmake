@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_manetkit.dir/test_core_manetkit.cpp.o"
+  "CMakeFiles/test_core_manetkit.dir/test_core_manetkit.cpp.o.d"
+  "test_core_manetkit"
+  "test_core_manetkit.pdb"
+  "test_core_manetkit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_manetkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dymo_unit.dir/test_dymo_unit.cpp.o"
+  "CMakeFiles/test_dymo_unit.dir/test_dymo_unit.cpp.o.d"
+  "test_dymo_unit"
+  "test_dymo_unit.pdb"
+  "test_dymo_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dymo_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

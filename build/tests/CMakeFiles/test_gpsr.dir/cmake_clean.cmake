@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpsr.dir/test_gpsr.cpp.o"
+  "CMakeFiles/test_gpsr.dir/test_gpsr.cpp.o.d"
+  "test_gpsr"
+  "test_gpsr.pdb"
+  "test_gpsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_coexist.dir/test_integration_coexist.cpp.o"
+  "CMakeFiles/test_integration_coexist.dir/test_integration_coexist.cpp.o.d"
+  "test_integration_coexist"
+  "test_integration_coexist.pdb"
+  "test_integration_coexist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_coexist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

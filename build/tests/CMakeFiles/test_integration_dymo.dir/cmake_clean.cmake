@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_dymo.dir/test_integration_dymo.cpp.o"
+  "CMakeFiles/test_integration_dymo.dir/test_integration_dymo.cpp.o.d"
+  "test_integration_dymo"
+  "test_integration_dymo.pdb"
+  "test_integration_dymo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_dymo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

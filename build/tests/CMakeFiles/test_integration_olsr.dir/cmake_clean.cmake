@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_olsr.dir/test_integration_olsr.cpp.o"
+  "CMakeFiles/test_integration_olsr.dir/test_integration_olsr.cpp.o.d"
+  "test_integration_olsr"
+  "test_integration_olsr.pdb"
+  "test_integration_olsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_olsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mpr.cpp" "tests/CMakeFiles/test_mpr.dir/test_mpr.cpp.o" "gcc" "tests/CMakeFiles/test_mpr.dir/test_mpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/mk_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mk_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/mk_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mk_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/mk_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/packetbb/CMakeFiles/mk_packetbb.dir/DependInfo.cmake"
+  "/root/repo/build/src/opencom/CMakeFiles/mk_opencom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpr.dir/test_mpr.cpp.o"
+  "CMakeFiles/test_mpr.dir/test_mpr.cpp.o.d"
+  "test_mpr"
+  "test_mpr.pdb"
+  "test_mpr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

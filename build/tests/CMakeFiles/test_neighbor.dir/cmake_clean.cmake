@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor.dir/test_neighbor.cpp.o"
+  "CMakeFiles/test_neighbor.dir/test_neighbor.cpp.o.d"
+  "test_neighbor"
+  "test_neighbor.pdb"
+  "test_neighbor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_olsr_unit.dir/test_olsr_unit.cpp.o"
+  "CMakeFiles/test_olsr_unit.dir/test_olsr_unit.cpp.o.d"
+  "test_olsr_unit"
+  "test_olsr_unit.pdb"
+  "test_olsr_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_olsr_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

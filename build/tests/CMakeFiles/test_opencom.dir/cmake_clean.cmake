@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opencom.dir/test_opencom.cpp.o"
+  "CMakeFiles/test_opencom.dir/test_opencom.cpp.o.d"
+  "test_opencom"
+  "test_opencom.pdb"
+  "test_opencom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opencom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packetbb.dir/test_packetbb.cpp.o"
+  "CMakeFiles/test_packetbb.dir/test_packetbb.cpp.o.d"
+  "test_packetbb"
+  "test_packetbb.pdb"
+  "test_packetbb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packetbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

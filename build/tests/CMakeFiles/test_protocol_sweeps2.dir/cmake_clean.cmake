@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_sweeps2.dir/test_protocol_sweeps2.cpp.o"
+  "CMakeFiles/test_protocol_sweeps2.dir/test_protocol_sweeps2.cpp.o.d"
+  "test_protocol_sweeps2"
+  "test_protocol_sweeps2.pdb"
+  "test_protocol_sweeps2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_sweeps2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

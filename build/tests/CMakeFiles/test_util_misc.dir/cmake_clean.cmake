@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_misc.dir/test_util_misc.cpp.o"
+  "CMakeFiles/test_util_misc.dir/test_util_misc.cpp.o.d"
+  "test_util_misc"
+  "test_util_misc.pdb"
+  "test_util_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zrp.dir/test_zrp.cpp.o"
+  "CMakeFiles/test_zrp.dir/test_zrp.cpp.o.d"
+  "test_zrp"
+  "test_zrp.pdb"
+  "test_zrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
