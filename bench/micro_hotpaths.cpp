@@ -2,7 +2,16 @@
 // PacketBB encode/parse, Framework-Manager event routing, MPR selection and
 // OLSR route calculation. These quantify the per-operation cost behind
 // Table 1's Time-to-Process-Message numbers.
+//
+// The fan-out benches additionally report an `allocs_per_op` counter (via a
+// global operator-new hook) so the zero-copy claims — one payload allocation
+// per broadcast, one message allocation per event fan-out — are measurable,
+// not just asserted.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "core/manetkit.hpp"
 #include "net/medium.hpp"
@@ -12,8 +21,37 @@
 #include "protocols/olsr/olsr_cf.hpp"
 #include "util/scheduler.hpp"
 
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace mk {
 namespace {
+
+/// RAII window counting heap allocations between construction and sample().
+class AllocWindow {
+ public:
+  AllocWindow() : start_(g_heap_allocs.load(std::memory_order_relaxed)) {}
+  std::uint64_t sample() const {
+    return g_heap_allocs.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
 
 pbb::Message make_tc(std::size_t advertised) {
   std::set<net::Addr> sel;
@@ -31,6 +69,22 @@ void BM_PacketBBSerialize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PacketBBSerialize)->Arg(2)->Arg(8)->Arg(32);
+
+// Single-allocation serialization into a recycled buffer: the steady-state
+// encode cost once the output vector has warmed up (zero allocations/op).
+void BM_PacketBBSerializeInto(benchmark::State& state) {
+  pbb::Packet pkt;
+  pkt.messages.push_back(make_tc(static_cast<std::size_t>(state.range(0))));
+  std::vector<std::uint8_t> buf;
+  AllocWindow window;
+  for (auto _ : state) {
+    pbb::serialize_into(pkt, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(window.sample()), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PacketBBSerializeInto)->Arg(2)->Arg(8)->Arg(32);
 
 void BM_PacketBBParse(benchmark::State& state) {
   pbb::Packet pkt;
@@ -74,6 +128,67 @@ void BM_EventRouting(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventRouting)->Arg(1)->Arg(3)->Arg(8);
+
+// Broadcast fan-out across the simulated medium: one control frame reaching
+// k neighbours. With shared payload buffers the payload is allocated once
+// per send regardless of k; the remaining allocations/op are the scheduler's
+// per-delivery closures.
+void BM_BroadcastFanout(benchmark::State& state) {
+  auto k = static_cast<std::uint32_t>(state.range(0));
+  SimScheduler sched;
+  net::SimMedium medium(sched);
+  std::vector<std::unique_ptr<net::SimNode>> nodes;
+  nodes.push_back(std::make_unique<net::SimNode>(0, medium, sched));
+  std::size_t received = 0;
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    nodes.push_back(std::make_unique<net::SimNode>(i, medium, sched));
+    nodes.back()->set_control_handler(
+        [&received](const net::Frame&) { ++received; });
+    medium.set_link(nodes[0]->addr(), nodes.back()->addr(), true);
+  }
+  auto payload = net::make_payload(net::PayloadBuffer(512, 0xAB));
+
+  AllocWindow window;
+  for (auto _ : state) {
+    nodes[0]->send_control(payload);
+    sched.run_all();
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(window.sample()), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(2)->Arg(8)->Arg(32);
+
+// Event fan-out carrying a real PacketBB message to N co-deployed protocols:
+// with COW events each delivery shares the one message allocation.
+void BM_EventFanoutWithMsg(benchmark::State& state) {
+  SimScheduler sched;
+  net::SimMedium medium(sched);
+  net::SimNode node(0, medium, sched);
+  core::Manetkit kit(node);
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string name = "p" + std::to_string(i);
+    kit.register_protocol(name, 20, [](core::Manetkit& k) {
+      auto cf = std::make_unique<core::ManetProtocolCf>(
+          k.kernel(), "p", k.scheduler(), k.self(), &k.system().sys_state());
+      cf->add_handler(std::make_unique<NullHandler>());
+      cf->declare_events({"BENCH"}, {});
+      return cf;
+    });
+    kit.deploy(name);
+  }
+  ev::Event e(ev::etype("BENCH"));
+  e.set_msg(make_tc(16));
+
+  AllocWindow window;
+  for (auto _ : state) {
+    kit.system().emit(e);
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(window.sample()), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventFanoutWithMsg)->Arg(1)->Arg(3)->Arg(8);
 
 void BM_MprSelection(benchmark::State& state) {
   // A dense neighbourhood: n neighbours, each covering a slice of 2n

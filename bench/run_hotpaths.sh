@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the micro hot-path benchmarks and records the results (plus the
+# pre-zero-copy baseline measured on the same container class) in
+# BENCH_hotpaths.json at the repo root.
+#
+# Usage: bench/run_hotpaths.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bench_bin="$build_dir/bench/micro_hotpaths"
+
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not built (cmake --build $build_dir --target micro_hotpaths)" >&2
+  exit 1
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+"$bench_bin" --benchmark_min_time=0.05 --benchmark_format=json > "$raw"
+
+# Pre-zero-copy numbers (same bench, commit before the shared-payload / COW /
+# single-allocation-serialize change), kept here so the report always carries
+# its reference point.
+python3 - "$raw" "$repo_root/BENCH_hotpaths.json" <<'EOF'
+import json
+import sys
+
+BASELINE_NS = {
+    "BM_PacketBBSerialize/2": 459.1,
+    "BM_PacketBBSerialize/8": 459.9,
+    "BM_PacketBBSerialize/32": 694.0,
+    "BM_PacketBBParse/2": 329.4,
+    "BM_PacketBBParse/8": 332.5,
+    "BM_PacketBBParse/32": 417.9,
+    "BM_EventRouting/1": 137.7,
+    "BM_EventRouting/3": 423.4,
+    "BM_EventRouting/8": 847.7,
+    "BM_MprSelection/8": 10863.7,
+    "BM_MprSelection/32": 98454.0,
+    "BM_MprSelection/128": 1136201.2,
+}
+
+raw = json.load(open(sys.argv[1]))
+results = []
+for b in raw.get("benchmarks", []):
+    entry = {
+        "name": b["name"],
+        "real_time_ns": round(b["real_time"], 1),
+        "cpu_time_ns": round(b["cpu_time"], 1),
+    }
+    if "allocs_per_op" in b:
+        entry["allocs_per_op"] = round(b["allocs_per_op"], 2)
+    if b["name"] in BASELINE_NS:
+        entry["baseline_ns"] = BASELINE_NS[b["name"]]
+        entry["speedup"] = round(BASELINE_NS[b["name"]] / b["real_time"], 2)
+    results.append(entry)
+
+report = {
+    "bench": "micro_hotpaths",
+    "note": "zero-copy hot path: shared frame payloads, COW event messages, "
+            "single-allocation PacketBB serialization. baseline_ns columns "
+            "are the pre-change numbers for the same benchmark.",
+    "context": raw.get("context", {}),
+    "results": results,
+}
+json.dump(report, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]} ({len(results)} benchmarks)")
+EOF

@@ -97,7 +97,7 @@ std::vector<std::uint8_t> MonolithicDymo::encode_rm(
 
 void MonolithicDymo::on_packet(const net::Frame& frame) {
   try {
-    ByteReader r(frame.payload);
+    ByteReader r(frame.payload_view());
     std::uint8_t kind = r.get_u8();
     auto t0 = std::chrono::steady_clock::now();
     if (kind == kRreq || kind == kRrep) {

@@ -77,9 +77,10 @@ std::set<net::Addr> MonolithicOlsr::mpr_selectors() const {
 
 void MonolithicOlsr::on_packet(const net::Frame& frame) {
   try {
-    ByteReader r(frame.payload);
+    auto bytes = frame.payload_view();
+    ByteReader r(bytes);
     std::uint16_t len = r.get_u16();
-    if (len != frame.payload.size()) return;
+    if (len != bytes.size()) return;
     (void)r.get_u16();  // packet seq (unused)
     while (r.remaining() > 0) {
       std::size_t msg_start = r.position();
@@ -99,8 +100,8 @@ void MonolithicOlsr::on_packet(const net::Frame& frame) {
         handle_hello(h, payload, frame.tx);
       } else if (h.type == kTc) {
         std::vector<std::uint8_t> raw(
-            frame.payload.begin() + static_cast<std::ptrdiff_t>(msg_start),
-            frame.payload.begin() + static_cast<std::ptrdiff_t>(msg_start + size));
+            bytes.begin() + static_cast<std::ptrdiff_t>(msg_start),
+            bytes.begin() + static_cast<std::ptrdiff_t>(msg_start + size));
         handle_tc(h, payload, frame.tx, std::move(raw));
       }
       if (profiling_) {

@@ -161,8 +161,16 @@ void FrameworkManager::route(CfsUnit* emitter, ev::Event event) {
     }
   }
 
-  for (CfsUnit* target : targets) {
-    dispatch(*target, event);
+  // Fan-out: Event copies are cheap (the carried PacketBB message is a
+  // shared immutable pointer — see events/event.hpp), so delivering to N
+  // co-deployed protocols costs N shallow copies of one allocation, not N
+  // deep copies. The last target takes the event by move.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (i + 1 == targets.size()) {
+      dispatch(*targets[i], std::move(event));
+    } else {
+      dispatch(*targets[i], event);
+    }
   }
 }
 

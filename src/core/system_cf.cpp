@@ -333,15 +333,15 @@ void SystemCf::deliver(const ev::Event& event) {
 }
 
 void SystemCf::transmit(const ev::Event& event) {
-  MK_ASSERT(event.msg.has_value(), "outgoing event carries no message");
+  MK_ASSERT(event.has_msg(), "outgoing event carries no message");
   auto dest = static_cast<net::Addr>(
       event.get_int(attrs::kUnicastTo, net::kBroadcast));
 
   if (aggregation_window_.count() <= 0) {
-    send_packet({*event.msg}, dest);
+    send_packet({*event.msg()}, dest);
     return;
   }
-  pending_out_[dest].push_back(*event.msg);
+  pending_out_[dest].push_back(*event.msg());
   if (flush_timer_ == nullptr) {
     flush_timer_ = std::make_unique<OneShotTimer>(scheduler());
   }
@@ -356,7 +356,11 @@ void SystemCf::send_packet(std::vector<pbb::Message> msgs, net::Addr dest) {
   pkt.messages = std::move(msgs);
   messages_sent_ += pkt.messages.size();
   ++packets_sent_;
-  node_.send_control(pbb::serialize(pkt), dest);
+  // Serialize straight into a shared buffer: one exact-sized allocation that
+  // the medium then fans out to every neighbour without copying.
+  auto buf = std::make_shared<net::PayloadBuffer>();
+  pbb::serialize_into(pkt, *buf);
+  node_.send_control(net::PayloadPtr(std::move(buf)), dest);
 }
 
 void SystemCf::flush_aggregation() {
@@ -392,7 +396,7 @@ void SystemCf::emit(ev::Event event) {
 void SystemCf::on_control_frame(const net::Frame& frame) {
   ++frames_received_;
   if (linkq_timer_ != nullptr) ++frames_from_[frame.tx];
-  auto parsed = pbb::parse(frame.payload);
+  auto parsed = pbb::parse(frame.payload_view());
   if (!parsed) {
     ++parse_errors_;
     MK_WARN("system", "dropping malformed packet from ",
@@ -405,7 +409,9 @@ void SystemCf::on_control_frame(const net::Frame& frame) {
 
     ev::Event e(it->second.in);
     e.from = frame.tx;
-    e.msg = std::move(msg);
+    // One shared allocation per message: every protocol the Framework
+    // Manager fans this event out to sees the same immutable pbb::Message.
+    e.set_msg(std::move(msg));
 
     if (profiling_) {
       auto t0 = std::chrono::steady_clock::now();

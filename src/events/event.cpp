@@ -1,8 +1,23 @@
 #include "events/event.hpp"
 
+#include <algorithm>
+#include <mutex>
+
 #include "util/assert.hpp"
 
 namespace mk::ev {
+
+namespace {
+
+/// Sorted-vector lookup shared by the registry's name index.
+template <typename Vec>
+auto name_lower_bound(Vec& v, std::string_view name) {
+  return std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+}
+
+}  // namespace
 
 EventTypeRegistry& EventTypeRegistry::instance() {
   static EventTypeRegistry registry;
@@ -11,29 +26,37 @@ EventTypeRegistry& EventTypeRegistry::instance() {
 
 EventTypeId EventTypeRegistry::intern(std::string_view name) {
   MK_ASSERT(!name.empty());
-  std::scoped_lock lock(mutex_);
-  auto it = by_name_.find(name);
-  if (it != by_name_.end()) return it->second;
+  {
+    // Fast path: already interned — shared lock only.
+    std::shared_lock lock(mutex_);
+    auto it = name_lower_bound(by_name_, name);
+    if (it != by_name_.end() && it->first == name) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned between the two locks.
+  auto it = name_lower_bound(by_name_, name);
+  if (it != by_name_.end() && it->first == name) return it->second;
   auto id = static_cast<EventTypeId>(by_id_.size());
   by_id_.emplace_back(name);
-  by_name_.emplace(std::string{name}, id);
+  by_name_.emplace(it, std::string{name}, id);
   return id;
 }
 
 EventTypeId EventTypeRegistry::lookup(std::string_view name) const {
-  std::scoped_lock lock(mutex_);
-  auto it = by_name_.find(name);
-  return it == by_name_.end() ? kInvalidEventType : it->second;
+  std::shared_lock lock(mutex_);
+  auto it = name_lower_bound(by_name_, name);
+  return (it != by_name_.end() && it->first == name) ? it->second
+                                                     : kInvalidEventType;
 }
 
 std::string EventTypeRegistry::name(EventTypeId id) const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   if (id >= by_id_.size()) return "?";
   return by_id_[id];
 }
 
 std::size_t EventTypeRegistry::size() const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   return by_id_.size() - 1;
 }
 
@@ -41,36 +64,68 @@ EventTypeId etype(std::string_view name) {
   return EventTypeRegistry::instance().intern(name);
 }
 
+void AttrMap::set(std::string key, AttrValue value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    entries_.emplace(it, std::move(key), std::move(value));
+  }
+}
+
+const AttrValue* AttrMap::find(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.first < k; });
+  return (it != entries_.end() && it->first == key) ? &it->second : nullptr;
+}
+
 std::string Event::type_name() const {
   return EventTypeRegistry::instance().name(type_);
 }
 
+pbb::Message& Event::set_msg(pbb::Message m) {
+  auto owned = std::make_shared<pbb::Message>(std::move(m));
+  pbb::Message& ref = *owned;
+  msg_ = std::move(owned);
+  return ref;
+}
+
+pbb::Message& Event::mutable_msg() {
+  if (msg_ == nullptr) {
+    msg_ = std::make_shared<pbb::Message>();
+  } else if (msg_.use_count() > 1) {
+    msg_ = std::make_shared<pbb::Message>(*msg_);
+  }
+  // Safe: every message reachable here was allocated non-const via
+  // make_shared<pbb::Message> above or in set_msg, and is uniquely owned.
+  return const_cast<pbb::Message&>(*msg_);
+}
+
 std::int64_t Event::get_int(std::string_view key, std::int64_t fallback) const {
-  auto it = attrs_.find(key);
-  if (it == attrs_.end()) return fallback;
-  if (const auto* v = std::get_if<std::int64_t>(&it->second)) return *v;
+  const AttrValue* v = attrs_.find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
   return fallback;
 }
 
 double Event::get_double(std::string_view key, double fallback) const {
-  auto it = attrs_.find(key);
-  if (it == attrs_.end()) return fallback;
-  if (const auto* v = std::get_if<double>(&it->second)) return *v;
-  if (const auto* i = std::get_if<std::int64_t>(&it->second)) {
+  const AttrValue* v = attrs_.find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(v)) {
     return static_cast<double>(*i);
   }
   return fallback;
 }
 
 std::string Event::get_string(std::string_view key, std::string fallback) const {
-  auto it = attrs_.find(key);
-  if (it == attrs_.end()) return fallback;
-  if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+  const AttrValue* v = attrs_.find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
   return fallback;
-}
-
-bool Event::has_attr(std::string_view key) const {
-  return attrs_.find(key) != attrs_.end();
 }
 
 std::set<EventTypeId> EventTuple::ids(const std::vector<std::string>& names) {

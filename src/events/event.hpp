@@ -6,17 +6,26 @@
 // its event structure on the PacketBB format — plus a small attribute map for
 // context values (battery level, link quality, ...).
 //
+// Events are designed to be *cheap to fan out*: the carried PacketBB message
+// is held as a shared immutable pointer, so copying an Event to N co-deployed
+// protocols shares one message allocation instead of deep-copying the nested
+// TLV/address-block structure N times. A component that wants to modify the
+// carried message goes through mutable_msg(), which clones lazily
+// (copy-on-write) only when the message is actually shared. The attribute map
+// is a small sorted flat vector — events carry at most a handful of context
+// attributes, where a node-based std::map costs one allocation per entry.
+//
 // Each CFS unit declares an EventTuple <required-events, provided-events>;
 // the Framework Manager derives bindings from these (see core/).
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <mutex>
-#include <optional>
+#include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -30,7 +39,9 @@ inline constexpr EventTypeId kInvalidEventType = 0;
 
 /// Global interning registry: name <-> dense id. Thread-safe. Ids are stable
 /// for the process lifetime so they can be compared across nodes in one
-/// simulation.
+/// simulation. Reads (lookup/name) take a shared lock so concurrent
+/// dispatchers never serialize on the registry; intern writes are rare
+/// (deployment time only).
 class EventTypeRegistry {
  public:
   static EventTypeRegistry& instance();
@@ -48,8 +59,8 @@ class EventTypeRegistry {
 
  private:
   EventTypeRegistry() = default;
-  mutable std::mutex mutex_;
-  std::map<std::string, EventTypeId, std::less<>> by_name_;
+  mutable std::shared_mutex mutex_;
+  std::vector<std::pair<std::string, EventTypeId>> by_name_;  // sorted by name
   std::vector<std::string> by_id_{"<invalid>"};
 };
 
@@ -88,6 +99,34 @@ inline const std::string LINK_QUALITY = "LINK_QUALITY";
 
 using AttrValue = std::variant<std::int64_t, double, std::string>;
 
+/// Shared immutable PacketBB message. Always created via
+/// std::make_shared<pbb::Message> (Event::set_msg does this); the const in
+/// the type expresses the sharing contract, not storage constness — COW
+/// mutation through Event::mutable_msg() is well-defined.
+using MsgPtr = std::shared_ptr<const pbb::Message>;
+
+/// Small sorted flat map for event attributes. Events carry a handful of
+/// context values at most, so a contiguous vector with binary search beats a
+/// node-based map on both lookup and copy (one allocation total instead of
+/// one per entry).
+class AttrMap {
+ public:
+  using Entry = std::pair<std::string, AttrValue>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  void set(std::string key, AttrValue value);
+  const AttrValue* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+ private:
+  std::vector<Entry> entries_;  // sorted by key
+};
+
 /// A unit of communication between CFS units.
 class Event {
  public:
@@ -105,28 +144,42 @@ class Event {
   /// Time the event was raised.
   TimePoint raised_at{};
 
-  /// The PacketBB message carried by the event, if any.
-  std::optional<pbb::Message> msg;
+  // -- carried PacketBB message (shared immutable, copy-on-write) -------------
+  bool has_msg() const { return msg_ != nullptr; }
+  /// Read-only view of the carried message (nullptr when absent).
+  const pbb::Message* msg() const { return msg_.get(); }
+  /// The shared handle itself, for zero-copy hand-off to another event.
+  const MsgPtr& shared_msg() const { return msg_; }
+  /// Attaches an owned copy of `m`; returns a mutable reference to it so a
+  /// builder can keep editing without triggering a COW clone.
+  pbb::Message& set_msg(pbb::Message m);
+  /// Attaches an already-shared message without copying.
+  void set_msg(MsgPtr m) { msg_ = std::move(m); }
+  void clear_msg() { msg_.reset(); }
+  /// Copy-on-write access: clones the message only if it is shared with
+  /// other events (or creates an empty one if absent).
+  pbb::Message& mutable_msg();
 
   // -- attribute map ----------------------------------------------------------
-  void set_int(std::string key, std::int64_t v) { attrs_[std::move(key)] = v; }
-  void set_double(std::string key, double v) { attrs_[std::move(key)] = v; }
+  void set_int(std::string key, std::int64_t v) {
+    attrs_.set(std::move(key), v);
+  }
+  void set_double(std::string key, double v) { attrs_.set(std::move(key), v); }
   void set_string(std::string key, std::string v) {
-    attrs_[std::move(key)] = std::move(v);
+    attrs_.set(std::move(key), std::move(v));
   }
 
   std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
   double get_double(std::string_view key, double fallback = 0.0) const;
   std::string get_string(std::string_view key, std::string fallback = "") const;
-  bool has_attr(std::string_view key) const;
+  bool has_attr(std::string_view key) const { return attrs_.contains(key); }
 
-  const std::map<std::string, AttrValue, std::less<>>& attrs() const {
-    return attrs_;
-  }
+  const AttrMap& attrs() const { return attrs_; }
 
  private:
   EventTypeId type_ = kInvalidEventType;
-  std::map<std::string, AttrValue, std::less<>> attrs_;
+  MsgPtr msg_;
+  AttrMap attrs_;
 };
 
 /// The declarative composition contract of a CFS unit (§4.2): the set of

@@ -5,9 +5,16 @@
 // deployment. Data frames model application packets routed hop-by-hop via
 // each node's kernel forwarding table; since both ends live in the same
 // process the payload stays structured.
+//
+// The payload is a *shared immutable* buffer: a broadcast to k neighbours
+// copies the Frame struct into k scheduler lambdas, but all k copies point at
+// the single serialized buffer the sender produced (O(1) payload allocations
+// per transmission instead of O(k)). Receivers only ever read it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "net/address.hpp"
@@ -16,6 +23,16 @@
 namespace mk::net {
 
 enum class FrameKind : std::uint8_t { kControl, kData };
+
+/// Serialized control payload bytes.
+using PayloadBuffer = std::vector<std::uint8_t>;
+/// Shared immutable handle to a payload; one allocation per transmission,
+/// shared by every in-flight copy of the frame.
+using PayloadPtr = std::shared_ptr<const PayloadBuffer>;
+
+inline PayloadPtr make_payload(PayloadBuffer bytes) {
+  return std::make_shared<const PayloadBuffer>(std::move(bytes));
+}
 
 /// End-to-end header of a data packet (IP-header analogue).
 struct DataHeader {
@@ -31,8 +48,16 @@ struct Frame {
   Addr tx = kNoAddr;        // transmitting interface
   Addr rx = kBroadcast;     // link-level destination (kBroadcast for flooding)
   FrameKind kind = FrameKind::kControl;
-  std::vector<std::uint8_t> payload;  // control: serialized packet
-  DataHeader data;                    // valid when kind == kData
+  PayloadPtr payload;       // control: serialized packet (shared, immutable)
+  DataHeader data;          // valid when kind == kData
+
+  std::span<const std::uint8_t> payload_view() const {
+    return payload != nullptr ? std::span<const std::uint8_t>(*payload)
+                              : std::span<const std::uint8_t>{};
+  }
+  std::size_t payload_size() const {
+    return payload != nullptr ? payload->size() : 0;
+  }
 
   /// Approximate on-air size, used for overhead accounting and per-byte
   /// transmission delay (matches what a real trace would count).
@@ -40,7 +65,7 @@ struct Frame {
     constexpr std::size_t kMacHeader = 34;  // 802.11-ish MAC+LLC overhead
     return kMacHeader +
            (kind == FrameKind::kControl
-                ? payload.size() + 28           // IP+UDP headers
+                ? payload_size() + 28           // IP+UDP headers
                 : data.payload_size + 20u);     // IP header
   }
 };

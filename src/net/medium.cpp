@@ -56,9 +56,10 @@ void SimMedium::clear_links() {
   }
 }
 
-std::set<Addr> SimMedium::neighbors_of(Addr a) const {
+const std::set<Addr>& SimMedium::neighbors_of(Addr a) const {
+  static const std::set<Addr> kNoNeighbors;
   auto it = adjacency_.find(a);
-  return it == adjacency_.end() ? std::set<Addr>{} : it->second;
+  return it == adjacency_.end() ? kNoNeighbors : it->second;
 }
 
 bool SimMedium::transmit(const Frame& frame) {

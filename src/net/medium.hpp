@@ -53,7 +53,10 @@ class SimMedium {
   bool has_link(Addr from, Addr to) const;
   void clear_links();
 
-  std::set<Addr> neighbors_of(Addr a) const;
+  /// Current neighbours of `a`. Returns a reference into the adjacency map
+  /// (empty set if unknown) — valid until the next topology mutation; copy it
+  /// if you need it across set_link/clear_links calls.
+  const std::set<Addr>& neighbors_of(Addr a) const;
 
   /// Observer invoked on every link state change (used for link-layer
   /// feedback based neighbour detection).

@@ -19,13 +19,17 @@ SimNode::SimNode(std::uint32_t index, SimMedium& medium, Scheduler& sched)
   });
 }
 
-bool SimNode::send_control(std::vector<std::uint8_t> payload, Addr to) {
+bool SimNode::send_control(PayloadPtr payload, Addr to) {
   Frame frame;
   frame.rx = to;
   frame.kind = FrameKind::kControl;
   frame.payload = std::move(payload);
   if (tx_cost_ > 0.0) battery_ = std::max(0.0, battery_ - tx_cost_);
   return device_.send(std::move(frame));
+}
+
+bool SimNode::send_control(std::vector<std::uint8_t> payload, Addr to) {
+  return send_control(make_payload(std::move(payload)), to);
 }
 
 void SimNode::on_frame(const Frame& frame) {

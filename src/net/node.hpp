@@ -44,6 +44,9 @@ class SimNode {
   }
 
   /// Convenience for routing stacks: broadcast/unicast a control payload.
+  /// The shared-buffer overload is the zero-copy path (the medium fans the
+  /// same buffer out to every neighbour); the vector overload wraps once.
+  bool send_control(PayloadPtr payload, Addr to = kBroadcast);
   bool send_control(std::vector<std::uint8_t> payload, Addr to = kBroadcast);
 
   // -- application data --------------------------------------------------------

@@ -119,8 +119,55 @@ void Message::set_tlv(Tlv tlv) {
   tlvs.push_back(std::move(tlv));
 }
 
-std::vector<std::uint8_t> serialize(const Packet& packet) {
-  ByteWriter w;
+namespace {
+
+// -- one-pass wire sizing -----------------------------------------------------
+// Mirrors the emit functions below exactly; serialize_into relies on the two
+// staying in lockstep (debug-asserted at the end of serialize_into).
+
+std::size_t tlv_wire_size(const Tlv& t) { return 3 + t.value.size(); }
+
+std::size_t addr_tlv_wire_size(const AddressTlv& t) {
+  return 5 + t.value.size();
+}
+
+std::size_t addr_block_wire_size(const AddressBlock& b) {
+  std::size_t n = 1 + 4 * b.addrs.size() + 1;
+  for (const auto& t : b.tlvs) n += addr_tlv_wire_size(t);
+  return n;
+}
+
+/// Body size of a message — everything after the u16 size field.
+std::size_t message_body_size(const Message& m) {
+  std::size_t n = 0;
+  if (m.originator) n += 4;
+  if (m.has_hops) n += 2;
+  if (m.seqnum) n += 2;
+  n += 1;
+  for (const auto& t : m.tlvs) n += tlv_wire_size(t);
+  n += 1;
+  for (const auto& b : m.addr_blocks) n += addr_block_wire_size(b);
+  return n;
+}
+
+}  // namespace
+
+std::size_t serialized_size(const Packet& packet) {
+  std::size_t n = 2;  // version + flags
+  if (packet.seqnum) n += 2;
+  n += 1;
+  for (const auto& t : packet.tlvs) n += tlv_wire_size(t);
+  n += 1;
+  for (const auto& m : packet.messages) {
+    n += 4 + message_body_size(m);  // type + flags + u16 size + body
+  }
+  return n;
+}
+
+void serialize_into(const Packet& packet, std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  w.reserve(serialized_size(packet));
+
   w.put_u8(packet.version);
   w.put_u8(packet.seqnum ? kPktFlagSeqnum : 0);
   if (packet.seqnum) w.put_u16(*packet.seqnum);
@@ -139,7 +186,11 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
     if (m.has_hops) flags |= kMsgFlagHops;
     if (m.seqnum) flags |= kMsgFlagSeqnum;
     w.put_u8(flags);
-    std::size_t size_slot = w.reserve_u16();
+    // The size field is known up front from the sizing pass, so the message
+    // is emitted straight-line with no back-patching.
+    std::size_t body = message_body_size(m);
+    MK_ASSERT(body <= 0xFFFF, "message too large");
+    w.put_u16(static_cast<std::uint16_t>(body));
     std::size_t msg_start = w.size();
 
     if (m.originator) w.put_u32(*m.originator);
@@ -170,12 +221,16 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
         w.put_bytes(t.value);
       }
     }
-
-    std::size_t msg_size = w.size() - msg_start;
-    MK_ASSERT(msg_size <= 0xFFFF, "message too large");
-    w.patch_u16(size_slot, static_cast<std::uint16_t>(msg_size));
+    MK_ASSERT(w.size() - msg_start == body, "sizing pass out of sync");
   }
-  return w.take();
+  out = w.take();
+  MK_ASSERT(out.size() == serialized_size(packet), "sizing pass out of sync");
+}
+
+std::vector<std::uint8_t> serialize(const Packet& packet) {
+  std::vector<std::uint8_t> out;
+  serialize_into(packet, out);
+  return out;
 }
 
 Result<Packet> parse(std::span<const std::uint8_t> data) {

@@ -109,9 +109,17 @@ struct Packet {
   bool operator==(const Packet&) const = default;
 };
 
+/// Exact wire size of `packet` under the format above, computed in a single
+/// sizing pass (no serialization).
+std::size_t serialized_size(const Packet& packet);
+
 /// Serializes to the wire format above. Never fails for well-formed inputs
-/// (asserts on count overflows, which indicate a protocol bug).
+/// (asserts on count overflows, which indicate a protocol bug). The output
+/// buffer is sized with serialized_size() up front, so serialization performs
+/// exactly one allocation (zero when `out` already has the capacity — the
+/// out-param overload recycles the buffer across calls).
 std::vector<std::uint8_t> serialize(const Packet& packet);
+void serialize_into(const Packet& packet, std::vector<std::uint8_t>& out);
 
 /// Parses an untrusted byte string; returns an error (never throws, never
 /// crashes) on malformed input.

@@ -79,8 +79,10 @@ class ReconfigHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg || !event.msg->originator || !event.msg->seqnum) return;
-    const pbb::Message& msg = *event.msg;
+    if (!event.has_msg() || !event.msg()->originator || !event.msg()->seqnum) {
+      return;
+    }
+    const pbb::Message& msg = *event.msg();
     if (*msg.originator == ctx.self()) return;
 
     ReconfigState& st = state_of(ctx);
@@ -94,9 +96,9 @@ class ReconfigHandler final : public core::EventHandler {
     // our own enactment rewires this node's stack).
     if (msg.has_hops && msg.hop_limit > 1) {
       ev::Event out(ev::etype("RECONFIG_OUT"));
-      out.msg = msg;
-      out.msg->hop_limit -= 1;
-      out.msg->hop_count += 1;
+      pbb::Message& fwd = out.set_msg(msg);
+      fwd.hop_limit -= 1;
+      fwd.hop_count += 1;
       ctx.emit(std::move(out));
     }
 
@@ -164,7 +166,7 @@ std::uint16_t initiate(core::ManetProtocolCf& coordinator,
     ++st.executed;
 
     ev::Event out(ev::etype("RECONFIG_OUT"));
-    out.msg = build_command(ctx.self(), epoch, action_name);
+    out.set_msg(build_command(ctx.self(), epoch, action_name));
     ctx.emit(std::move(out));
   }
   // Run the local enactment outside the coordinator's lock: the action may

@@ -101,7 +101,7 @@ void send_rreq_for(core::ProtocolContext& ctx, net::Addr target,
                    const AodvParams& params) {
   AodvState& st = aodv_state_of(ctx);
   ev::Event e(ev::etype(ev::types::AODV_OUT));
-  e.msg = build_rreq(st, ctx.self(), target, params);
+  e.set_msg(build_rreq(st, ctx.self(), target, params));
   ctx.emit(std::move(e));
 }
 
@@ -115,8 +115,8 @@ class AodvHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg) return;
-    switch (event.msg->type) {
+    if (!event.has_msg()) return;
+    switch (event.msg()->type) {
       case wire::kMsgAodvRreq:
         on_rreq(event, ctx);
         break;
@@ -145,7 +145,7 @@ class AodvHandler final : public core::EventHandler {
   }
 
   void on_rreq(const ev::Event& event, core::ProtocolContext& ctx) {
-    const pbb::Message& msg = *event.msg;
+    const pbb::Message& msg = *event.msg();
     if (!msg.originator || !msg.seqnum || !msg.has_hops) return;
     if (*msg.originator == ctx.self()) return;
     const auto* id_tlv = msg.find_tlv(wire::kTlvRreqId);
@@ -176,8 +176,8 @@ class AodvHandler final : public core::EventHandler {
       }
       st.bump_seq();
       ev::Event out(ev::etype(ev::types::AODV_OUT));
-      out.msg = build_rrep(ctx.self(), st.own_seq(), *msg.originator, 0,
-                           params_);
+      out.set_msg(build_rrep(ctx.self(), st.own_seq(), *msg.originator, 0,
+                             params_));
       out.set_int(kUnicastTo, event.from);
       ctx.emit(std::move(out));
       return;
@@ -191,9 +191,8 @@ class AodvHandler final : public core::EventHandler {
             static_cast<std::uint16_t>(want_seq->as_u32())) >= 0) {
       st.add_precursor(target, event.from);
       ev::Event out(ev::etype(ev::types::AODV_OUT));
-      out.msg =
-          build_rrep(target, route->dest_seq, *msg.originator, route->hops,
-                     params_);
+      out.set_msg(build_rrep(target, route->dest_seq, *msg.originator,
+                             route->hops, params_));
       out.set_int(kUnicastTo, event.from);
       ctx.emit(std::move(out));
       return;
@@ -201,14 +200,14 @@ class AodvHandler final : public core::EventHandler {
 
     if (msg.hop_limit <= 1) return;
     ev::Event out(ev::etype(ev::types::AODV_OUT));
-    out.msg = msg;
-    out.msg->hop_limit -= 1;
-    out.msg->hop_count += 1;
+    pbb::Message& fwd = out.set_msg(msg);
+    fwd.hop_limit -= 1;
+    fwd.hop_count += 1;
     ctx.emit(std::move(out));
   }
 
   void on_rrep(const ev::Event& event, core::ProtocolContext& ctx) {
-    const pbb::Message& msg = *event.msg;
+    const pbb::Message& msg = *event.msg();
     if (!msg.originator || !msg.seqnum || !msg.has_hops) return;
     if (msg.addr_blocks.empty() || msg.addr_blocks[0].addrs.empty()) return;
 
@@ -227,15 +226,15 @@ class AodvHandler final : public core::EventHandler {
 
     if (msg.hop_limit <= 1) return;
     ev::Event out(ev::etype(ev::types::AODV_OUT));
-    out.msg = msg;
-    out.msg->hop_limit -= 1;
-    out.msg->hop_count += 1;
+    pbb::Message& fwd = out.set_msg(msg);
+    fwd.hop_limit -= 1;
+    fwd.hop_count += 1;
     out.set_int(kUnicastTo, reverse->next_hop);
     ctx.emit(std::move(out));
   }
 
   void on_rerr(const ev::Event& event, core::ProtocolContext& ctx) {
-    const pbb::Message& msg = *event.msg;
+    const pbb::Message& msg = *event.msg();
     AodvState& st = aodv_state_of(ctx);
     std::vector<std::pair<net::Addr, std::uint16_t>> propagate;
     for (const auto& block : msg.addr_blocks) {
@@ -251,7 +250,7 @@ class AodvHandler final : public core::EventHandler {
     }
     if (!propagate.empty()) {
       ev::Event out(ev::etype(ev::types::AODV_OUT));
-      out.msg = build_rerr(propagate);
+      out.set_msg(build_rerr(propagate));
       ctx.emit(std::move(out));
     }
   }
@@ -327,7 +326,7 @@ class AodvInvalidationHandler final : public core::EventHandler {
     for (const auto& [dest, _] : unreachable) remove_route(ctx, dest);
     if (!unreachable.empty()) {
       ev::Event out(ev::etype(ev::types::AODV_OUT));
-      out.msg = build_rerr(unreachable);
+      out.set_msg(build_rerr(unreachable));
       ctx.emit(std::move(out));
     }
   }

@@ -34,8 +34,8 @@ void dymo_send_rreq(core::ProtocolContext& ctx, net::Addr target,
                     const DymoParams& params) {
   DymoState& st = dymo_state_of(ctx);
   ev::Event e(ev::etype("RM_OUT"));
-  e.msg = rm::build_rreq(ctx.self(), st.bump_seq(), target,
-                         params.rreq_hop_limit);
+  e.set_msg(rm::build_rreq(ctx.self(), st.bump_seq(), target,
+                           params.rreq_hop_limit));
   ctx.emit(std::move(e));
 }
 
@@ -152,7 +152,7 @@ ReHandler::ReHandler(std::string type_name, DymoParams params)
 }
 
 void ReHandler::learn(const ev::Event& event, core::ProtocolContext& ctx) {
-  const pbb::Message& msg = *event.msg;
+  const pbb::Message& msg = *event.msg();
   DymoState& st = dymo_state_of(ctx);
   TimePoint now = ctx.now();
 
@@ -189,11 +189,12 @@ void ReHandler::learn(const ev::Event& event, core::ProtocolContext& ctx) {
 
 void ReHandler::send_rrep(const ev::Event& rreq_event,
                           core::ProtocolContext& ctx, bool bump_seq) {
-  const pbb::Message& rreq = *rreq_event.msg;
+  const pbb::Message& rreq = *rreq_event.msg();
   DymoState& st = dymo_state_of(ctx);
   ev::Event out(ev::etype("RM_OUT"));
-  out.msg = rm::build_rrep(ctx.self(), bump_seq ? st.bump_seq() : st.own_seq(),
-                           *rreq.originator, params_.rreq_hop_limit);
+  out.set_msg(rm::build_rrep(ctx.self(),
+                             bump_seq ? st.bump_seq() : st.own_seq(),
+                             *rreq.originator, params_.rreq_hop_limit));
   // Unicast back along the (just learned) reverse route.
   out.set_int(kUnicastTo, rreq_event.from);
   ctx.emit(std::move(out));
@@ -209,12 +210,12 @@ bool ReHandler::should_relay_rreq(const ev::Event&, core::ProtocolContext&) {
 
 void ReHandler::on_rrep_at_origin(const ev::Event& event,
                                   core::ProtocolContext& ctx) {
-  dymo_state_of(ctx).finish_pending(*event.msg->originator);
+  dymo_state_of(ctx).finish_pending(*event.msg()->originator);
 }
 
 void ReHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
-  if (!event.msg) return;
-  const pbb::Message& msg = *event.msg;
+  if (!event.has_msg()) return;
+  const pbb::Message& msg = *event.msg();
   if (!msg.originator || !msg.seqnum || !msg.has_hops) return;
   if (*msg.originator == ctx.self()) return;
 
@@ -242,10 +243,10 @@ void ReHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
     if (!should_relay_rreq(event, ctx)) return;
     // Path accumulation + rebroadcast.
     ev::Event out(ev::etype("RM_OUT"));
-    out.msg = msg;
-    out.msg->hop_limit -= 1;
-    out.msg->hop_count += 1;
-    rm::append_self(*out.msg, ctx.self(), st.own_seq());
+    pbb::Message& fwd = out.set_msg(msg);
+    fwd.hop_limit -= 1;
+    fwd.hop_count += 1;
+    rm::append_self(fwd, ctx.self(), st.own_seq());
     ctx.emit(std::move(out));
     return;
   }
@@ -263,10 +264,10 @@ void ReHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
   }
   if (msg.hop_limit <= 1) return;
   ev::Event out(ev::etype("RM_OUT"));
-  out.msg = msg;
-  out.msg->hop_limit -= 1;
-  out.msg->hop_count += 1;
-  rm::append_self(*out.msg, ctx.self(), st.own_seq());
+  pbb::Message& fwd = out.set_msg(msg);
+  fwd.hop_limit -= 1;
+  fwd.hop_count += 1;
+  rm::append_self(fwd, ctx.self(), st.own_seq());
   out.set_int(kUnicastTo, route->active()->next_hop);
   ctx.emit(std::move(out));
 }
@@ -299,8 +300,8 @@ void RouteInvalidationHandler::broadcast_rerr(
     core::ProtocolContext& ctx) {
   if (unreachable.empty()) return;
   ev::Event e(ev::etype("RERR_OUT"));
-  e.msg = rm::build_rerr(ctx.self(), rerr_seq_++, unreachable,
-                         params_.rerr_hop_limit);
+  e.set_msg(rm::build_rerr(ctx.self(), rerr_seq_++, unreachable,
+                           params_.rerr_hop_limit));
   ctx.emit(std::move(e));
 }
 
@@ -367,8 +368,10 @@ RerrHandler::RerrHandler(DymoParams params)
 }
 
 void RerrHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
-  if (!event.msg || !event.msg->originator || !event.msg->seqnum) return;
-  const pbb::Message& msg = *event.msg;
+  if (!event.has_msg() || !event.msg()->originator || !event.msg()->seqnum) {
+    return;
+  }
+  const pbb::Message& msg = *event.msg();
   DymoState& st = dymo_state_of(ctx);
   if (st.check_duplicate(*msg.originator, *msg.seqnum, ctx.now())) return;
 
@@ -387,8 +390,8 @@ void RerrHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
   }
   if (!still_unreachable.empty() && msg.has_hops && msg.hop_limit > 1) {
     ev::Event out(ev::etype("RERR_OUT"));
-    out.msg = rm::build_rerr(ctx.self(), *msg.seqnum, still_unreachable,
-                             static_cast<std::uint8_t>(msg.hop_limit - 1));
+    out.set_msg(rm::build_rerr(ctx.self(), *msg.seqnum, still_unreachable,
+                               static_cast<std::uint8_t>(msg.hop_limit - 1)));
     ctx.emit(std::move(out));
   }
 }

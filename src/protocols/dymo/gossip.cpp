@@ -19,7 +19,7 @@ class GossipReHandler final : public ReHandler {
                          core::ProtocolContext&) override {
     // GOSSIP1(p,k): deterministic relaying close to the origin keeps the
     // flood alive through its thin initial phase.
-    if (event.msg->hop_count < gossip_.sure_hops) return true;
+    if (event.msg()->hop_count < gossip_.sure_hops) return true;
     return rng_.bernoulli(gossip_.relay_probability);
   }
 

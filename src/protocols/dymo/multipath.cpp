@@ -28,10 +28,11 @@ class MultipathReHandler final : public ReHandler {
   void on_duplicate_rreq_at_target(const ev::Event& event,
                                    core::ProtocolContext& ctx) override {
     MultipathDymoState& st = mp_state_of(ctx);
-    net::Addr orig = *event.msg->originator;
+    net::Addr orig = *event.msg()->originator;
     // Record the alternate reverse path first, then reply along it.
     bool added = st.add_alternate_path(
-        orig, event.from, static_cast<std::uint8_t>(event.msg->hop_count + 1));
+        orig, event.from,
+        static_cast<std::uint8_t>(event.msg()->hop_count + 1));
     // Reply with the *same* sequence number as the first RREP so the
     // originator treats this as an equal-freshness alternative path.
     if (added) send_rrep(event, ctx, /*bump_seq=*/false);
@@ -42,8 +43,8 @@ class MultipathReHandler final : public ReHandler {
   void on_duplicate_rreq(const ev::Event& event,
                          core::ProtocolContext& ctx) override {
     mp_state_of(ctx).add_alternate_path(
-        *event.msg->originator, event.from,
-        static_cast<std::uint8_t>(event.msg->hop_count + 1));
+        *event.msg()->originator, event.from,
+        static_cast<std::uint8_t>(event.msg()->hop_count + 1));
   }
 
   /// RREP at the discovery originator: later copies arriving via a different
@@ -51,9 +52,10 @@ class MultipathReHandler final : public ReHandler {
   void on_rrep_at_origin(const ev::Event& event,
                          core::ProtocolContext& ctx) override {
     MultipathDymoState& st = mp_state_of(ctx);
-    net::Addr dest = *event.msg->originator;  // the RREP sender == target
+    net::Addr dest = *event.msg()->originator;  // the RREP sender == target
     st.add_alternate_path(
-        dest, event.from, static_cast<std::uint8_t>(event.msg->hop_count + 1));
+        dest, event.from,
+        static_cast<std::uint8_t>(event.msg()->hop_count + 1));
     st.finish_pending(dest);
   }
 

@@ -47,9 +47,10 @@ class MprHelloSource final : public core::EventSource {
       links.push_back(hello::Link{a, code});
     }
     ev::Event e(ev::types::HELLO_OUT);
-    e.msg = hello::build(ctx_->self(), seq_++, links, st.own_willingness(),
-                         st.collect_piggyback());
-    e.msg->tlvs.push_back(pbb::Tlv::empty(wire::kTlvMprAware));
+    pbb::Message& m =
+        e.set_msg(hello::build(ctx_->self(), seq_++, links,
+                               st.own_willingness(), st.collect_piggyback()));
+    m.tlvs.push_back(pbb::Tlv::empty(wire::kTlvMprAware));
     ctx_->emit(std::move(e));
   }
 
@@ -89,11 +90,11 @@ class FloodOutHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg) return;
+    if (!event.has_msg()) return;
     ev::Event out = event;
-    pbb::Message& msg = *out.msg;
-    MK_ASSERT(msg.originator.has_value() && msg.seqnum.has_value(),
+    MK_ASSERT(out.msg()->originator.has_value() && out.msg()->seqnum.has_value(),
               "flooded messages need originator + seqnum");
+    pbb::Message& msg = out.mutable_msg();
     if (!msg.has_hops) {
       msg.has_hops = true;
       msg.hop_limit = 255;
@@ -125,8 +126,8 @@ class FloodRelayHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg) return;
-    const pbb::Message& msg = *event.msg;
+    if (!event.has_msg()) return;
+    const pbb::Message& msg = *event.msg();
     if (!msg.originator || !msg.seqnum) return;
     if (*msg.originator == ctx.self()) return;
 
@@ -136,10 +137,12 @@ class FloodRelayHandler final : public core::EventHandler {
     if (msg.has_hops && msg.hop_limit <= 1) return;
 
     ev::Event out(out_for_in_.at(event.type()));
-    out.msg = msg;
-    if (out.msg->has_hops) {
-      out.msg->hop_limit -= 1;
-      out.msg->hop_count += 1;
+    // Share the inbound message; clone (COW) only if hop fields need edits.
+    out.set_msg(event.shared_msg());
+    if (msg.has_hops) {
+      pbb::Message& fwd = out.mutable_msg();
+      fwd.hop_limit -= 1;
+      fwd.hop_count += 1;
     }
     ctx.emit(std::move(out));
   }

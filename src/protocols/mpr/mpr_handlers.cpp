@@ -53,8 +53,8 @@ std::uint8_t MprHelloHandler::effective_willingness(const pbb::Message& msg,
 
 void MprHelloHandler::handle(const ev::Event& event,
                              core::ProtocolContext& ctx) {
-  if (!event.msg) return;
-  const pbb::Message& msg = *event.msg;
+  if (!event.has_msg()) return;
+  const pbb::Message& msg = *event.msg();
   net::Addr from = event.from;
   if (from == ctx.self()) return;
 

@@ -63,8 +63,8 @@ class HelloSource final : public core::EventSource {
     }
 
     ev::Event e(ev::types::HELLO_OUT);
-    e.msg = hello::build(ctx_->self(), seq_++, links, wire::kWillDefault,
-                         nt->collect_piggyback());
+    e.set_msg(hello::build(ctx_->self(), seq_++, links, wire::kWillDefault,
+                           nt->collect_piggyback()));
     ctx_->emit(std::move(e));
   }
 
@@ -83,8 +83,8 @@ class HelloHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg) return;
-    const pbb::Message& msg = *event.msg;
+    if (!event.has_msg()) return;
+    const pbb::Message& msg = *event.msg();
     net::Addr from = event.from;
     if (from == ctx.self()) return;
 

@@ -16,9 +16,9 @@ class FisheyeHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg) return;
+    if (!event.has_msg()) return;
     ev::Event out = event;
-    pbb::Message& msg = *out.msg;
+    pbb::Message& msg = out.mutable_msg();
     if (!msg.has_hops) {
       msg.has_hops = true;
       msg.hop_count = 0;

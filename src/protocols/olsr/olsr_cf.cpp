@@ -53,7 +53,7 @@ bool emit_tc(core::ProtocolContext& ctx, core::ManetProtocolCf* mpr_cf) {
     st.set_last_advertised(selectors);
   }
   ev::Event e(ev::types::TC_OUT);
-  e.msg = tc::build(ctx.self(), st.next_msg_seq(), st.ansn(), selectors);
+  e.set_msg(tc::build(ctx.self(), st.next_msg_seq(), st.ansn(), selectors));
   ctx.emit(std::move(e));
   return true;
 }
@@ -111,8 +111,8 @@ class TcHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg) return;
-    const pbb::Message& msg = *event.msg;
+    if (!event.has_msg()) return;
+    const pbb::Message& msg = *event.msg();
     if (!msg.originator || !msg.seqnum) return;
     if (*msg.originator == ctx.self()) return;
 

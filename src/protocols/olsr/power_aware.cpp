@@ -62,7 +62,7 @@ class ResidualPowerSource final : public core::EventSource {
         wire::kTlvBattery,
         static_cast<std::uint8_t>(st->own_battery() * 100.0)));
     ev::Event e(ev::etype("RP_OUT"));
-    e.msg = std::move(m);
+    e.set_msg(std::move(m));
     ctx_->emit(std::move(e));
   }
 
@@ -95,12 +95,12 @@ class ResidualPowerHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
-    if (!event.msg || !event.msg->originator) return;
-    if (*event.msg->originator == ctx.self()) return;
-    const auto* batt = event.msg->find_tlv(wire::kTlvBattery);
+    if (!event.has_msg() || !event.msg()->originator) return;
+    if (*event.msg()->originator == ctx.self()) return;
+    const auto* batt = event.msg()->find_tlv(wire::kTlvBattery);
     if (batt == nullptr) return;
     if (auto* st = dynamic_cast<OlsrState*>(ctx.state())) {
-      st->set_energy(*event.msg->originator, batt->as_u8() / 100.0);
+      st->set_energy(*event.msg()->originator, batt->as_u8() / 100.0);
     }
     olsr_recompute_routes(ctx.protocol());
   }

@@ -43,7 +43,7 @@ class ZoneReHandler final : public ReHandler {
  protected:
   bool should_relay_rreq(const ev::Event& event,
                          core::ProtocolContext& ctx) override {
-    net::Addr target = rm::target(*event.msg);
+    net::Addr target = rm::target(*event.msg());
     net::Addr hop = net::kNoAddr;
     std::uint8_t dist = zone_route(kit_, target, hop);
     if (dist == 0) return true;  // target beyond our zone: keep flooding
@@ -53,11 +53,11 @@ class ZoneReHandler final : public ReHandler {
     auto* st = dynamic_cast<DymoState*>(ctx.state());
     MK_ASSERT(st != nullptr);
     pbb::Message rrep = rm::build_rrep(target, /*own_seq=*/0,
-                                       *event.msg->originator,
+                                       *event.msg()->originator,
                                        params_.rreq_hop_limit);
     rrep.hop_count = dist;  // account for the zone leg we vouch for
     ev::Event out(ev::etype("RM_OUT"));
-    out.msg = std::move(rrep);
+    out.set_msg(std::move(rrep));
     out.set_int(core::attrs::kUnicastTo, event.from);
     ctx.emit(std::move(out));
     MK_DEBUG("zrp", "bordercast termination: answering for ",

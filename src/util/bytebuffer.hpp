@@ -18,6 +18,15 @@ class BufferUnderflow : public std::runtime_error {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Recycles `buf`'s capacity: the writer starts empty but keeps the
+  /// allocation, so serialize-into-scratch-buffer loops allocate at most once.
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
   void put_u16(std::uint16_t v);
   void put_u32(std::uint32_t v);

@@ -27,7 +27,7 @@ TEST(Aggregation, DisabledByDefaultOnePacketPerMessage) {
 
   for (int i = 0; i < 3; ++i) {
     ev::Event e(ev::etype("AGG_OUT"));
-    e.msg = tiny_msg(60, static_cast<std::uint16_t>(i));
+    e.set_msg(tiny_msg(60, static_cast<std::uint16_t>(i)));
     sys.deliver(e);
   }
   world.run_for(msec(100));
@@ -50,7 +50,7 @@ TEST(Aggregation, WindowCoalescesMessagesIntoOnePacket) {
 
   for (int i = 0; i < 5; ++i) {
     ev::Event e(ev::etype("AGG_OUT"));
-    e.msg = tiny_msg(60, static_cast<std::uint16_t>(i));
+    e.set_msg(tiny_msg(60, static_cast<std::uint16_t>(i)));
     sys0.deliver(e);
   }
   world.run_for(msec(200));
@@ -68,10 +68,10 @@ TEST(Aggregation, UnicastAndBroadcastKeptApart) {
   sys.set_aggregation_window(msec(50));
 
   ev::Event bcast(ev::etype("AGG_OUT"));
-  bcast.msg = tiny_msg(60, 1);
+  bcast.set_msg(tiny_msg(60, 1));
   sys.deliver(bcast);
   ev::Event ucast(ev::etype("AGG_OUT"));
-  ucast.msg = tiny_msg(60, 2);
+  ucast.set_msg(tiny_msg(60, 2));
   ucast.set_int(attrs::kUnicastTo, world.addr(1));
   sys.deliver(ucast);
 
@@ -87,7 +87,7 @@ TEST(Aggregation, DisablingFlushesPending) {
   sys.set_aggregation_window(sec(10));  // long window
 
   ev::Event e(ev::etype("AGG_OUT"));
-  e.msg = tiny_msg(60, 1);
+  e.set_msg(tiny_msg(60, 1));
   sys.deliver(e);
   EXPECT_EQ(sys.packets_sent(), 0u);
 

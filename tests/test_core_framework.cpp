@@ -31,7 +31,7 @@ class RelayHandler final : public EventHandler {
     if (!out_.empty()) {
       ev::Event e = event;
       ev::Event renamed(ev::etype(out_));
-      renamed.msg = e.msg;
+      renamed.set_msg(e.shared_msg());
       for (const auto& [k, v] : e.attrs()) {
         // carry attributes forward
         if (const auto* i = std::get_if<std::int64_t>(&v)) renamed.set_int(k, *i);

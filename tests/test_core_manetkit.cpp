@@ -205,7 +205,7 @@ TEST(SystemCf, DemuxRaisesInEventsForRegisteredTypes) {
   m.originator = kit0.self();
   m.seqnum = 1;
   ev::Event out(ev::etype("CUSTOM_OUT"));
-  out.msg = m;
+  out.set_msg(m);
   kit0.system().deliver(out);
 
   world.run_for(msec(100));

@@ -147,7 +147,7 @@ TEST(OlsrCf, TcFromNonSymNeighborIgnored) {
   auto* olsr = world.kit(0).protocol("olsr");
   ev::Event e(ev::etype("TC_IN"));
   e.from = net::addr_for_index(77);
-  e.msg = tc::build(net::addr_for_index(77), 1, 1, {net::addr_for_index(78)});
+  e.set_msg(tc::build(net::addr_for_index(77), 1, 1, {net::addr_for_index(78)}));
   olsr->deliver(e);
   EXPECT_EQ(olsr_state(*olsr)->topology_size(), 0u);
 }

@@ -24,8 +24,8 @@ TEST(Fisheye, InterposesOnTcPathAndScopesTtl) {
   proto::apply_fisheye(world.kit(2), FisheyeParams{{2, 2, 2}});  // all scoped
   std::vector<int> ttls;
   world.kit(2).manager().subscribe("TC_OUT", [&](const ev::Event& e) {
-    if (e.msg && e.msg->originator == world.addr(2)) {
-      ttls.push_back(e.msg->hop_limit);
+    if (e.has_msg() && e.msg()->originator == world.addr(2)) {
+      ttls.push_back(e.msg()->hop_limit);
     }
   });
   world.run_for(sec(30));
