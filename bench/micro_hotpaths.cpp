@@ -16,9 +16,11 @@
 #include "core/manetkit.hpp"
 #include "net/medium.hpp"
 #include "net/node.hpp"
+#include "obs/journal.hpp"
 #include "protocols/hello_codec.hpp"
 #include "protocols/mpr/mpr_calculator.hpp"
 #include "protocols/olsr/olsr_cf.hpp"
+#include "testbed/world.hpp"
 #include "util/scheduler.hpp"
 
 namespace {
@@ -159,6 +161,40 @@ void BM_BroadcastFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_BroadcastFanout)->Arg(2)->Arg(8)->Arg(32);
 
+// Same fan-out with the trace journal attached: every tx/rx appends a record
+// into the preallocated ring, so the overhead budget (ISSUE 3) is a mutex'd
+// store per frame — allocs_per_op must not move at all versus the bench
+// above, and latency must stay within a few percent.
+void BM_BroadcastFanoutJournaled(benchmark::State& state) {
+  auto k = static_cast<std::uint32_t>(state.range(0));
+  SimScheduler sched;
+  net::SimMedium medium(sched);
+  obs::Journal journal;  // ring preallocated here, before the alloc window
+  medium.set_journal(&journal);
+  std::vector<std::unique_ptr<net::SimNode>> nodes;
+  nodes.push_back(std::make_unique<net::SimNode>(0, medium, sched));
+  std::size_t received = 0;
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    nodes.push_back(std::make_unique<net::SimNode>(i, medium, sched));
+    nodes.back()->set_control_handler(
+        [&received](const net::Frame&) { ++received; });
+    medium.set_link(nodes[0]->addr(), nodes.back()->addr(), true);
+  }
+  auto payload = net::make_payload(net::PayloadBuffer(512, 0xAB));
+
+  AllocWindow window;
+  for (auto _ : state) {
+    nodes[0]->send_control(payload);
+    sched.run_all();
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(window.sample()), benchmark::Counter::kAvgIterations);
+  state.counters["records"] = benchmark::Counter(
+      static_cast<double>(journal.total()), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+}
+BENCHMARK(BM_BroadcastFanoutJournaled)->Arg(2)->Arg(8)->Arg(32);
+
 // Event fan-out carrying a real PacketBB message to N co-deployed protocols:
 // with COW events each delivery shares the one message allocation.
 void BM_EventFanoutWithMsg(benchmark::State& state) {
@@ -189,6 +225,64 @@ void BM_EventFanoutWithMsg(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventFanoutWithMsg)->Arg(1)->Arg(3)->Arg(8);
+
+// Event fan-out with tracing enabled end-to-end (framework manager + kernel
+// table journaling): one extra ring store per routed event.
+void BM_EventFanoutWithMsgJournaled(benchmark::State& state) {
+  SimScheduler sched;
+  net::SimMedium medium(sched);
+  net::SimNode node(0, medium, sched);
+  core::Manetkit kit(node);
+  obs::Journal journal;
+  kit.set_journal(&journal);
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string name = "p" + std::to_string(i);
+    kit.register_protocol(name, 20, [](core::Manetkit& k) {
+      auto cf = std::make_unique<core::ManetProtocolCf>(
+          k.kernel(), "p", k.scheduler(), k.self(), &k.system().sys_state());
+      cf->add_handler(std::make_unique<NullHandler>());
+      cf->declare_events({"BENCH"}, {});
+      return cf;
+    });
+    kit.deploy(name);
+  }
+  ev::Event e(ev::etype("BENCH"));
+  e.set_msg(make_tc(16));
+
+  AllocWindow window;
+  for (auto _ : state) {
+    kit.system().emit(e);
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(window.sample()), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventFanoutWithMsgJournaled)->Arg(1)->Arg(3)->Arg(8);
+
+// Full-scenario tracing overhead: one sim-second of a converged 5-node OLSR
+// world per iteration. This is the number the <5% tracing budget is about —
+// in context, where frames are actually serialized, parsed and routed, not
+// just counted.
+void BM_OlsrWorldSecond(benchmark::State& state) {
+  testbed::SimWorld world(5);
+  world.linear();
+  if (state.range(0) != 0) world.enable_tracing();
+  world.deploy_all("olsr");
+  world.run_for(sec(10));  // converge before measuring steady state
+
+  AllocWindow window;
+  for (auto _ : state) {
+    world.run_for(sec(1));
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(window.sample()), benchmark::Counter::kAvgIterations);
+  if (auto* journal = world.journal()) {
+    state.counters["records"] = benchmark::Counter(
+        static_cast<double>(journal->total()),
+        benchmark::Counter::kAvgIterations);
+  }
+}
+BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1);
 
 void BM_MprSelection(benchmark::State& state) {
   // A dense neighbourhood: n neighbours, each covering a slice of 2n

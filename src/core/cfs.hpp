@@ -20,6 +20,7 @@
 
 #include "core/ifaces.hpp"
 #include "events/event.hpp"
+#include "obs/metrics.hpp"
 #include "opencom/component.hpp"
 #include "util/scheduler.hpp"
 
@@ -76,6 +77,12 @@ class ProtocolContext {
   }
 
   ManetProtocolCf& protocol() { return proto_; }
+
+  /// The owning protocol's metrics registry (per-node when deployed through
+  /// Manetkit, a private fallback otherwise). Handlers cache the Counter&
+  /// they need — counter() interns once, then the increment is one relaxed
+  /// atomic add.
+  obs::MetricsRegistry& metrics();
 
  private:
   ManetProtocolCf& proto_;

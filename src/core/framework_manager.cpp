@@ -41,6 +41,12 @@ void FrameworkManager::register_unit(CfsUnit* unit, int layer) {
   if (auto* proto = dynamic_cast<ManetProtocolCf*>(unit)) {
     proto->set_manager(this);
   }
+  if (journal_ != nullptr) {
+    journal_->append({obs::RecordKind::kCfBind, journal_node_,
+                      journal_clock_ != nullptr ? journal_clock_->now().us : 0,
+                      obs::fnv1a_str(unit->unit_name()),
+                      static_cast<std::uint64_t>(layer), 0});
+  }
   rebind();
 }
 
@@ -49,9 +55,16 @@ void FrameworkManager::deregister_unit(CfsUnit* unit) {
   auto it = std::find_if(registrations_.begin(), registrations_.end(),
                          [&](const Registration& r) { return r.unit == unit; });
   if (it == registrations_.end()) return;
+  int layer = it->layer;
   registrations_.erase(it);
   if (auto* proto = dynamic_cast<ManetProtocolCf*>(unit)) {
     proto->set_manager(nullptr);
+  }
+  if (journal_ != nullptr) {
+    journal_->append({obs::RecordKind::kCfUnbind, journal_node_,
+                      journal_clock_ != nullptr ? journal_clock_->now().us : 0,
+                      obs::fnv1a_str(unit->unit_name()),
+                      static_cast<std::uint64_t>(layer), 0});
   }
   rebind();
 }
@@ -122,6 +135,7 @@ void FrameworkManager::route(CfsUnit* emitter, ev::Event event) {
   {
     auto lock = quiesce();
     ++events_routed_;
+    if (routed_ctr_ != nullptr) routed_ctr_->inc();
     auto it = routes_.find(event.type());
     if (it != routes_.end()) {
       const Route& r = it->second;
@@ -159,6 +173,17 @@ void FrameworkManager::route(CfsUnit* emitter, ev::Event event) {
     for (auto sit = range.first; sit != range.second; ++sit) {
       sit->second(event);
     }
+
+    if (journal_ != nullptr) {
+      // Stable hashes (type name, emitter name) rather than dense ids, so
+      // digests survive interning-order differences between runs.
+      journal_->append(
+          {obs::RecordKind::kEventDispatch, journal_node_,
+           journal_clock_ != nullptr ? journal_clock_->now().us : 0,
+           ev::EventTypeRegistry::instance().stable_hash(event.type()),
+           targets.size(),
+           emitter != nullptr ? obs::fnv1a_str(emitter->unit_name()) : 0});
+    }
   }
 
   // Fan-out: Event copies are cheap (the carried PacketBB message is a
@@ -174,7 +199,24 @@ void FrameworkManager::route(CfsUnit* emitter, ev::Event event) {
   }
 }
 
+void FrameworkManager::set_journal(obs::Journal* journal, std::uint32_t node,
+                                   Scheduler* clock) {
+  auto lock = quiesce();
+  journal_ = journal;
+  journal_node_ = node;
+  journal_clock_ = clock;
+}
+
+void FrameworkManager::set_metrics(obs::MetricsRegistry* metrics) {
+  auto lock = quiesce();
+  routed_ctr_ = metrics != nullptr ? &metrics->counter("fm.events_routed")
+                                   : nullptr;
+  dispatch_ctr_ = metrics != nullptr ? &metrics->counter("fm.dispatches")
+                                     : nullptr;
+}
+
 void FrameworkManager::dispatch(CfsUnit& target, ev::Event event) {
+  if (dispatch_ctr_ != nullptr) dispatch_ctr_->inc();
   // Thread-per-ManetProtocol takes precedence over the global model: the
   // instance's dedicated FIFO decouples it from the shepherding thread.
   if (auto* proto = dynamic_cast<ManetProtocolCf*>(&target)) {

@@ -31,7 +31,10 @@
 #include "core/cfs.hpp"
 #include "core/executor.hpp"
 #include "events/event.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "opencom/cf.hpp"
+#include "util/scheduler.hpp"
 
 namespace mk::core {
 
@@ -78,6 +81,19 @@ class FrameworkManager : public oc::ComponentFramework {
 
   std::uint64_t events_routed() const { return events_routed_; }
 
+  // -- observability ------------------------------------------------------------
+  /// Attaches a trace journal: every routed event appends a kEventDispatch
+  /// record (a = stable event-type hash, b = target count, c = emitter unit
+  /// hash), and unit (de)registration appends kCfBind/kCfUnbind. Records are
+  /// attributed to `node` and stamped from `clock` (sim time, so digests
+  /// compare across runs). Null detaches.
+  void set_journal(obs::Journal* journal, std::uint32_t node,
+                   Scheduler* clock);
+
+  /// Mirrors the manager's counters ("fm.events_routed", "fm.dispatches")
+  /// into a shared registry. Null reverts to internal-only counting.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Registration {
     CfsUnit* unit;
@@ -102,6 +118,11 @@ class FrameworkManager : public oc::ComponentFramework {
   ConcurrencyModel model_ = ConcurrencyModel::kSingleThreaded;
   std::unique_ptr<Executor> executor_;
   std::uint64_t events_routed_ = 0;
+  obs::Journal* journal_ = nullptr;
+  std::uint32_t journal_node_ = 0;
+  Scheduler* journal_clock_ = nullptr;
+  obs::Counter* routed_ctr_ = nullptr;
+  obs::Counter* dispatch_ctr_ = nullptr;
 };
 
 }  // namespace mk::core

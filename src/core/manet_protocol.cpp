@@ -111,6 +111,7 @@ ManetProtocolCf::~ManetProtocolCf() { stop(); }
 void ManetProtocolCf::deliver(const ev::Event& event) {
   auto lock = quiesce();  // the critical section of §4.4
   ++events_delivered_;
+  delivered_ctr_->inc();
   // Copy the handler list: a handler may reconfigure the protocol (replace
   // handlers) while we iterate.
   std::vector<EventHandler*> handlers = control_->handlers_for(event.type());
@@ -241,6 +242,12 @@ void ManetProtocolCf::stop() {
   for (EventSource* src : control_->sources()) src->stop();
 }
 
+void ManetProtocolCf::set_metrics(obs::MetricsRegistry* metrics) {
+  auto lock = quiesce();
+  metrics_ = metrics;
+  delivered_ctr_ = &metrics_registry().counter("proto.events_delivered");
+}
+
 void ManetProtocolCf::enable_dedicated_thread() {
   if (dedicated_ == nullptr) {
     dedicated_ = std::make_unique<DedicatedQueue>(*this);
@@ -267,6 +274,10 @@ void ManetProtocolCf::emit(ev::Event event) {
 void ProtocolContext::emit(ev::Event event) { proto_.emit(std::move(event)); }
 
 oc::Component* ProtocolContext::state() { return proto_.state_component(); }
+
+obs::MetricsRegistry& ProtocolContext::metrics() {
+  return proto_.metrics_registry();
+}
 
 // --------------------------------------------------------------- EventHandler
 

@@ -24,6 +24,7 @@
 #include "core/executor.hpp"
 #include "core/ifaces.hpp"
 #include "events/event.hpp"
+#include "obs/metrics.hpp"
 #include "opencom/cf.hpp"
 
 namespace mk::core {
@@ -146,6 +147,15 @@ class ManetProtocolCf : public oc::ComponentFramework, public CfsUnit {
 
   std::uint64_t events_delivered() const { return events_delivered_; }
 
+  // -- observability ------------------------------------------------------------
+  /// Re-homes this protocol's metrics (handler/source counters reached via
+  /// ProtocolContext::metrics()) onto a shared per-node registry. Null
+  /// reverts to the private fallback registry.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry& metrics_registry() {
+    return metrics_ != nullptr ? *metrics_ : own_metrics_;
+  }
+
  private:
   std::string proto_name_;
   std::string category_;
@@ -158,6 +168,9 @@ class ManetProtocolCf : public oc::ComponentFramework, public CfsUnit {
   std::unique_ptr<DedicatedQueue> dedicated_;
   bool running_ = false;
   std::uint64_t events_delivered_ = 0;
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* delivered_ctr_ = &own_metrics_.counter("proto.events_delivered");
 };
 
 }  // namespace mk::core

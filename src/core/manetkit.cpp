@@ -11,6 +11,8 @@ Manetkit::Manetkit(net::SimNode& node) : node_(node) {
   manager_ = std::make_unique<FrameworkManager>(kernel_);
   system_ = std::make_unique<SystemCf>(kernel_, node_);
   system_->set_manager(manager_.get());
+  system_->set_metrics(&metrics_);
+  manager_->set_metrics(&metrics_);
 
   // The paper's example deployment-level integrity rule: only one instance
   // of a reactive routing protocol may exist in a given deployment.
@@ -71,6 +73,7 @@ ManetProtocolCf* Manetkit::deploy(const std::string& name) {
   if (!spec.category.empty()) instance->set_category(spec.category);
 
   ManetProtocolCf* raw = instance.get();
+  raw->set_metrics(&metrics_);
   manager_->register_unit(raw, spec.layer);  // may throw (deployment rules)
   deployed_.emplace(name, DeployedProto{std::move(instance), spec.layer});
 
@@ -129,6 +132,12 @@ ManetProtocolCf* Manetkit::switch_protocol(const std::string& from,
     fresh->start();
   }
   return fresh;
+}
+
+void Manetkit::set_journal(obs::Journal* journal) {
+  journal_ = journal;
+  manager_->set_journal(journal, self(), &scheduler());
+  node_.kernel_table().set_journal(journal, self(), &scheduler());
 }
 
 int Manetkit::layer_of(const std::string& name) const {

@@ -18,6 +18,8 @@
 #include "core/manet_protocol.hpp"
 #include "core/system_cf.hpp"
 #include "net/node.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "opencom/kernel.hpp"
 
 namespace mk::core {
@@ -70,6 +72,18 @@ class Manetkit {
 
   int layer_of(const std::string& name) const;
 
+  // -- observability -----------------------------------------------------------
+  /// This node's metrics registry: the Framework Manager, System CF and every
+  /// protocol deployed through this facade record their counters here.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches a trace journal to the whole node: event dispatches and CF
+  /// (un)binds (Framework Manager), route changes (kernel table) and — when
+  /// the journal is shared with the medium — frame traffic all land in one
+  /// record stream. Null detaches.
+  void set_journal(obs::Journal* journal);
+  obs::Journal* journal() const { return journal_; }
+
  private:
   struct ProtoSpec {
     int layer = 0;
@@ -83,6 +97,8 @@ class Manetkit {
 
   net::SimNode& node_;
   oc::Kernel kernel_;
+  obs::MetricsRegistry metrics_;
+  obs::Journal* journal_ = nullptr;
   std::unique_ptr<FrameworkManager> manager_;
   std::unique_ptr<SystemCf> system_;
   std::map<std::string, ProtoSpec> specs_;

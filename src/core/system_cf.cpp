@@ -354,8 +354,8 @@ void SystemCf::transmit(const ev::Event& event) {
 void SystemCf::send_packet(std::vector<pbb::Message> msgs, net::Addr dest) {
   pbb::Packet pkt;
   pkt.messages = std::move(msgs);
-  messages_sent_ += pkt.messages.size();
-  ++packets_sent_;
+  messages_sent_->inc(pkt.messages.size());
+  packets_sent_->inc();
   // Serialize straight into a shared buffer: one exact-sized allocation that
   // the medium then fans out to every neighbour without copying.
   auto buf = std::make_shared<net::PayloadBuffer>();
@@ -385,6 +385,15 @@ void SystemCf::set_aggregation_window(Duration window) {
   if (window.count() <= 0) flush_aggregation();
 }
 
+void SystemCf::set_metrics(obs::MetricsRegistry* metrics) {
+  auto lock = quiesce();
+  obs::MetricsRegistry& reg = metrics != nullptr ? *metrics : own_metrics_;
+  packets_sent_ = &reg.counter("sys.packets_sent");
+  messages_sent_ = &reg.counter("sys.messages_sent");
+  frames_received_ = &reg.counter("sys.frames_received");
+  parse_errors_ = &reg.counter("sys.parse_errors");
+}
+
 void SystemCf::emit(ev::Event event) {
   event.raised_at = scheduler().now();
   event.local = self();
@@ -394,11 +403,11 @@ void SystemCf::emit(ev::Event event) {
 }
 
 void SystemCf::on_control_frame(const net::Frame& frame) {
-  ++frames_received_;
+  frames_received_->inc();
   if (linkq_timer_ != nullptr) ++frames_from_[frame.tx];
   auto parsed = pbb::parse(frame.payload_view());
   if (!parsed) {
-    ++parse_errors_;
+    parse_errors_->inc();
     MK_WARN("system", "dropping malformed packet from ",
             pbb::addr_to_string(frame.tx), ": ", parsed.error());
     return;

@@ -28,6 +28,7 @@
 #include "core/ifaces.hpp"
 #include "events/event.hpp"
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "opencom/cf.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -112,8 +113,8 @@ class SystemCf : public oc::ComponentFramework, public CfsUnit {
   void set_aggregation_window(Duration window);
   Duration aggregation_window() const { return aggregation_window_; }
 
-  std::uint64_t packets_sent() const { return packets_sent_; }
-  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_->value(); }
+  std::uint64_t messages_sent() const { return messages_sent_->value(); }
 
   /// Loads the NetLink packet-filter plug-in (idempotent).
   void ensure_netlink();
@@ -142,8 +143,15 @@ class SystemCf : public oc::ComponentFramework, public CfsUnit {
   }
   void reset_profiling() { processing_times_.clear(); }
 
-  std::uint64_t frames_received() const { return frames_received_; }
-  std::uint64_t parse_errors() const { return parse_errors_; }
+  std::uint64_t frames_received() const { return frames_received_->value(); }
+  std::uint64_t parse_errors() const { return parse_errors_->value(); }
+
+  // -- observability ------------------------------------------------------------
+  /// Re-homes the System CF's counters ("sys.packets_sent", ...) onto a
+  /// shared per-node registry (Manetkit wires this at deployment). Null
+  /// reverts to the private fallback registry. Call before traffic flows —
+  /// counts do not migrate between registries.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
   void on_control_frame(const net::Frame& frame);
@@ -177,13 +185,17 @@ class SystemCf : public oc::ComponentFramework, public CfsUnit {
   Duration aggregation_window_{0};
   std::map<net::Addr, std::vector<pbb::Message>> pending_out_;
   std::unique_ptr<OneShotTimer> flush_timer_;
-  std::uint64_t packets_sent_ = 0;
-  std::uint64_t messages_sent_ = 0;
 
   bool profiling_ = false;
   std::map<std::string, Samples> processing_times_;
-  std::uint64_t frames_received_ = 0;
-  std::uint64_t parse_errors_ = 0;
+
+  // Counters live in a registry so deployments aggregate them by name; the
+  // owned registry is the fallback when no shared one is wired in.
+  obs::MetricsRegistry own_metrics_;
+  obs::Counter* packets_sent_ = &own_metrics_.counter("sys.packets_sent");
+  obs::Counter* messages_sent_ = &own_metrics_.counter("sys.messages_sent");
+  obs::Counter* frames_received_ = &own_metrics_.counter("sys.frames_received");
+  obs::Counter* parse_errors_ = &own_metrics_.counter("sys.parse_errors");
 };
 
 }  // namespace mk::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/journal.hpp"
 #include "util/assert.hpp"
 
 namespace mk::ev {
@@ -38,6 +39,7 @@ EventTypeId EventTypeRegistry::intern(std::string_view name) {
   if (it != by_name_.end() && it->first == name) return it->second;
   auto id = static_cast<EventTypeId>(by_id_.size());
   by_id_.emplace_back(name);
+  by_id_hash_.push_back(obs::fnv1a_str(name));
   by_name_.emplace(it, std::string{name}, id);
   return id;
 }
@@ -53,6 +55,11 @@ std::string EventTypeRegistry::name(EventTypeId id) const {
   std::shared_lock lock(mutex_);
   if (id >= by_id_.size()) return "?";
   return by_id_[id];
+}
+
+std::uint64_t EventTypeRegistry::stable_hash(EventTypeId id) const {
+  std::shared_lock lock(mutex_);
+  return id < by_id_hash_.size() ? by_id_hash_[id] : 0;
 }
 
 std::size_t EventTypeRegistry::size() const {

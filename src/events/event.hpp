@@ -55,6 +55,12 @@ class EventTypeRegistry {
   /// Name for an id ("?" if unknown).
   std::string name(EventTypeId id) const;
 
+  /// FNV-1a hash of the name behind `id`: a canonical identifier that is
+  /// independent of interning order, so trace digests built from it compare
+  /// across runs (and processes) that interned types in different orders.
+  /// Cached at intern time — the lookup is a shared-lock indexed load.
+  std::uint64_t stable_hash(EventTypeId id) const;
+
   std::size_t size() const;
 
  private:
@@ -62,6 +68,7 @@ class EventTypeRegistry {
   mutable std::shared_mutex mutex_;
   std::vector<std::pair<std::string, EventTypeId>> by_name_;  // sorted by name
   std::vector<std::string> by_id_{"<invalid>"};
+  std::vector<std::uint64_t> by_id_hash_{0};
 };
 
 /// Convenience: intern at call site.

@@ -6,13 +6,27 @@ namespace mk::net {
 
 void KernelRouteTable::set_route(const RouteEntry& entry) {
   MK_ASSERT(entry.dest != kNoAddr && entry.next_hop != kNoAddr);
+  auto it = routes_.find(entry.dest);
+  bool changed = it == routes_.end() || it->second.next_hop != entry.next_hop ||
+                 it->second.metric != entry.metric;
   routes_[entry.dest] = entry;
   ++generation_;
+  if (changed && journal_ != nullptr) {
+    journal_->append({obs::RecordKind::kRouteAdd, self_,
+                      clock_ != nullptr ? clock_->now().us : 0, entry.dest,
+                      entry.next_hop, entry.metric});
+  }
 }
 
 bool KernelRouteTable::remove_route(Addr dest) {
   bool erased = routes_.erase(dest) > 0;
-  if (erased) ++generation_;
+  if (erased) {
+    ++generation_;
+    if (journal_ != nullptr) {
+      journal_->append({obs::RecordKind::kRouteDel, self_,
+                        clock_ != nullptr ? clock_->now().us : 0, dest, 0, 0});
+    }
+  }
   return erased;
 }
 
@@ -39,7 +53,20 @@ std::vector<RouteEntry> KernelRouteTable::entries() const {
 
 void KernelRouteTable::clear() {
   if (!routes_.empty()) ++generation_;
+  if (journal_ != nullptr) {
+    for (const auto& [dest, _] : routes_) {
+      journal_->append({obs::RecordKind::kRouteDel, self_,
+                        clock_ != nullptr ? clock_->now().us : 0, dest, 0, 0});
+    }
+  }
   routes_.clear();
+}
+
+void KernelRouteTable::set_journal(obs::Journal* journal, Addr self,
+                                   Scheduler* clock) {
+  journal_ = journal;
+  self_ = self;
+  clock_ = clock;
 }
 
 }  // namespace mk::net

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "obs/journal.hpp"
+#include "util/scheduler.hpp"
 #include "util/time.hpp"
 
 namespace mk::net {
@@ -48,9 +50,19 @@ class KernelRouteTable {
   /// harnesses to detect convergence.
   std::uint64_t generation() const { return generation_; }
 
+  /// Attaches a trace journal: effective route changes (install with a new
+  /// next hop or metric, removal, clear) append kRouteAdd/kRouteDel records
+  /// stamped with `clock`'s current time and attributed to node `self`.
+  /// Identical periodic reinstalls are not journalled — they carry no
+  /// information and would drown the trace. Null detaches.
+  void set_journal(obs::Journal* journal, Addr self, Scheduler* clock);
+
  private:
   std::map<Addr, RouteEntry> routes_;
   std::uint64_t generation_ = 0;
+  obs::Journal* journal_ = nullptr;
+  Addr self_ = kNoAddr;
+  Scheduler* clock_ = nullptr;
 };
 
 }  // namespace mk::net

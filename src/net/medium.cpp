@@ -33,6 +33,11 @@ void SimMedium::set_link(Addr a, Addr b, bool up, bool symmetric) {
       adjacency_[from].erase(to);
     }
     if (was != up) {
+      if (journal_ != nullptr) {
+        journal_->append({up ? obs::RecordKind::kLinkUp
+                             : obs::RecordKind::kLinkDown,
+                          from, sched_.now().us, to, 0, 0});
+      }
       for (const auto& obs : link_observers_) obs(from, to, up);
     }
   };
@@ -51,6 +56,10 @@ void SimMedium::clear_links() {
   adjacency_.clear();
   for (const auto& [from, tos] : old) {
     for (Addr to : tos) {
+      if (journal_ != nullptr) {
+        journal_->append(
+            {obs::RecordKind::kLinkDown, from, sched_.now().us, to, 0, 0});
+      }
       for (const auto& obs : link_observers_) obs(from, to, false);
     }
   }
@@ -64,12 +73,13 @@ const std::set<Addr>& SimMedium::neighbors_of(Addr a) const {
 
 bool SimMedium::transmit(const Frame& frame) {
   if (frame.kind == FrameKind::kControl) {
-    ++stats_.control_frames;
-    stats_.control_bytes += frame.wire_size();
+    control_frames_.inc();
+    control_bytes_.inc(frame.wire_size());
   } else {
-    ++stats_.data_frames;
-    stats_.data_bytes += frame.wire_size();
+    data_frames_.inc();
+    data_bytes_.inc(frame.wire_size());
   }
+  journal_frame(obs::RecordKind::kFrameTx, frame.tx, frame.rx, frame);
 
   if (frame.rx == kBroadcast) {
     for (Addr to : neighbors_of(frame.tx)) {
@@ -78,7 +88,9 @@ bool SimMedium::transmit(const Frame& frame) {
     return true;
   }
   if (!has_link(frame.tx, frame.rx)) {
-    ++stats_.failed_unicasts;
+    failed_unicasts_.inc();
+    journal_frame(obs::RecordKind::kFrameDrop, frame.tx, frame.rx, frame,
+                  obs::DropReason::kNoLink);
     return false;
   }
   deliver_later(frame, frame.rx);
@@ -87,7 +99,9 @@ bool SimMedium::transmit(const Frame& frame) {
 
 void SimMedium::deliver_later(const Frame& frame, Addr to) {
   if (loss_prob_ > 0.0 && rng_.bernoulli(loss_prob_)) {
-    ++stats_.dropped_loss;
+    dropped_loss_.inc();
+    journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
+                  obs::DropReason::kLoss);
     return;
   }
   Duration delay =
@@ -99,8 +113,42 @@ void SimMedium::deliver_later(const Frame& frame, Addr to) {
     if (frame.rx == kBroadcast && !has_link(frame.tx, to)) return;
     auto it = devices_.find(to);
     if (it == devices_.end() || !it->second->is_up()) return;
+    journal_frame(obs::RecordKind::kFrameRx, to, frame.tx, frame);
     it->second->receive(frame);
   });
+}
+
+void SimMedium::journal_frame(obs::RecordKind kind, Addr at, std::uint64_t peer,
+                              const Frame& frame,
+                              obs::DropReason reason) const {
+  if (journal_ == nullptr) return;
+  // c carries the payload hash (tx/rx) so digests witness the exact bytes on
+  // the air, or the drop reason for kFrameDrop.
+  std::uint64_t c = kind == obs::RecordKind::kFrameDrop
+                        ? static_cast<std::uint64_t>(reason)
+                        : payload_hash(frame);
+  journal_->append(
+      {kind, at, sched_.now().us, peer, frame.wire_size(), c});
+}
+
+std::uint64_t SimMedium::payload_hash(const Frame& frame) const {
+  if (frame.payload == nullptr) return obs::kFnvOffset;
+  if (frame.payload != hashed_payload_) {
+    hashed_payload_ = frame.payload;
+    hashed_payload_fnv_ = obs::fnv1a_bytes(frame.payload_view());
+  }
+  return hashed_payload_fnv_;
+}
+
+MediumStats SimMedium::stats() const {
+  MediumStats out;
+  out.control_frames = control_frames_.value();
+  out.control_bytes = control_bytes_.value();
+  out.data_frames = data_frames_.value();
+  out.data_bytes = data_bytes_.value();
+  out.dropped_loss = dropped_loss_.value();
+  out.failed_unicasts = failed_unicasts_.value();
+  return out;
 }
 
 }  // namespace mk::net

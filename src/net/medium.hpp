@@ -19,6 +19,8 @@
 
 #include "net/address.hpp"
 #include "net/frame.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/scheduler.hpp"
 
@@ -26,8 +28,11 @@ namespace mk::net {
 
 class NetworkDevice;
 
-/// Traffic counters, split by frame kind (control overhead is a headline
-/// metric for flooding ablations).
+/// Traffic-counter snapshot, split by frame kind (control overhead is a
+/// headline metric for flooding ablations). The live counts are atomic
+/// obs::Counters on the medium's metrics registry — executor worker threads
+/// transmit concurrently, and plain ints under-counted there — so stats()
+/// materializes this plain struct from a consistent set of relaxed loads.
 struct MediumStats {
   std::uint64_t control_frames = 0;
   std::uint64_t control_bytes = 0;
@@ -78,11 +83,25 @@ class SimMedium {
   /// (link-layer feedback); broadcast always "succeeds".
   bool transmit(const Frame& frame);
 
-  const MediumStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MediumStats{}; }
+  MediumStats stats() const;
+  void reset_stats() { metrics_.reset_counters(); }
+
+  /// The medium's named counters ("medium.control_frames", ...), for harness
+  /// reporting alongside per-node registries.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  // -- tracing -----------------------------------------------------------------
+  /// Attaches a trace journal: every transmission, delivery, drop and link
+  /// transition appends a canonical record (frame payloads are FNV-hashed so
+  /// two runs compare byte-for-byte). Null detaches; no journal means no
+  /// overhead beyond one branch per event.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
 
  private:
   void deliver_later(const Frame& frame, Addr to);
+  void journal_frame(obs::RecordKind kind, Addr at, std::uint64_t peer,
+                     const Frame& frame, obs::DropReason reason = {}) const;
+  std::uint64_t payload_hash(const Frame& frame) const;
 
   Scheduler& sched_;
   Rng rng_;
@@ -92,7 +111,21 @@ class SimMedium {
   Duration base_delay_ = usec(500);
   Duration per_byte_delay_ = usec(1);  // ~8 Mbit/s effective
   double loss_prob_ = 0.0;
-  MediumStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter& control_frames_ = metrics_.counter("medium.control_frames");
+  obs::Counter& control_bytes_ = metrics_.counter("medium.control_bytes");
+  obs::Counter& data_frames_ = metrics_.counter("medium.data_frames");
+  obs::Counter& data_bytes_ = metrics_.counter("medium.data_bytes");
+  obs::Counter& dropped_loss_ = metrics_.counter("medium.dropped_loss");
+  obs::Counter& failed_unicasts_ = metrics_.counter("medium.failed_unicasts");
+  obs::Journal* journal_ = nullptr;
+  // One-entry payload-hash cache: a broadcast's tx record and its k rx
+  // records all point at the same shared immutable buffer, so the FNV over
+  // the bytes is computed once per distinct payload, not once per record.
+  // Holding the PayloadPtr (not a raw pointer) rules out stale hits when an
+  // allocator reuses a freed buffer's address.
+  mutable PayloadPtr hashed_payload_;
+  mutable std::uint64_t hashed_payload_fnv_ = 0;
 };
 
 }  // namespace mk::net

@@ -1,0 +1,182 @@
+#include "obs/invariants.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::obs {
+
+namespace {
+
+std::string_view violation_kind_name(InvariantChecker::Violation::Kind kind) {
+  using Kind = InvariantChecker::Violation::Kind;
+  switch (kind) {
+    case Kind::kLoop:
+      return "next-hop loop";
+    case Kind::kInvalidNextHop:
+      return "invalid next hop";
+    case Kind::kAsymmetricLink:
+      return "asymmetric link";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string InvariantChecker::Violation::describe() const {
+  std::ostringstream out;
+  out << violation_kind_name(kind) << " at node " << node << ": dest " << dest;
+  if (kind != Kind::kAsymmetricLink) out << " via " << next_hop;
+  out << " (t=" << time_us << "us)";
+  return out.str();
+}
+
+InvariantChecker::InvariantChecker(std::vector<std::uint32_t> nodes,
+                                   LookupFn lookup, RoutesFn routes,
+                                   LinkFn link)
+    : nodes_(std::move(nodes)),
+      lookup_(std::move(lookup)),
+      routes_(std::move(routes)),
+      link_(std::move(link)) {
+  MK_ASSERT(lookup_ != nullptr && routes_ != nullptr && link_ != nullptr);
+}
+
+void InvariantChecker::attach(Journal& journal) {
+  MK_ASSERT(journal_ == nullptr, "checker already attached");
+  journal_ = &journal;
+  journal.add_observer([this](const Record& r) { on_record(r); });
+}
+
+void InvariantChecker::on_record(const Record& record) {
+  switch (record.kind) {
+    case RecordKind::kLinkUp:
+      ever_up_[{record.node, static_cast<std::uint32_t>(record.a)}] = true;
+      down_since_.erase({record.node, static_cast<std::uint32_t>(record.a)});
+      break;
+    case RecordKind::kLinkDown:
+      down_since_[{record.node, static_cast<std::uint32_t>(record.a)}] =
+          record.time_us;
+      break;
+    case RecordKind::kRouteAdd:
+      check_route(record.node, static_cast<std::uint32_t>(record.a),
+                  static_cast<std::uint32_t>(record.b), record.time_us);
+      walk_for_loop(record.node, static_cast<std::uint32_t>(record.a),
+                    record.time_us);
+      break;
+    default:
+      break;  // route deletions cannot introduce violations
+  }
+}
+
+void InvariantChecker::check_route(std::uint32_t node, std::uint32_t dest,
+                                   std::uint32_t next_hop,
+                                   std::int64_t time_us) {
+  ++checks_run_;
+  if (next_hop == node) {
+    record_violation(Violation{Violation::Kind::kInvalidNextHop, node, dest,
+                               next_hop, time_us});
+    return;
+  }
+  if (link_(node, next_hop)) return;
+
+  // The link is down. Within the grace window after a drop the protocol has
+  // legitimately not yet noticed; beyond it (or if the link was never up)
+  // the route is stale or forged.
+  auto it = down_since_.find({node, next_hop});
+  if (it != down_since_.end() && time_us - it->second <= grace_us_) return;
+  record_violation(Violation{Violation::Kind::kInvalidNextHop, node, dest,
+                             next_hop, time_us});
+}
+
+void InvariantChecker::walk_for_loop(std::uint32_t start, std::uint32_t dest,
+                                     std::int64_t time_us) {
+  ++checks_run_;
+  // Any loop created by installing a route at `start` must pass through
+  // `start`, so one walk from there suffices. Bounded by the node count.
+  std::vector<std::uint32_t> visited;
+  visited.reserve(nodes_.size());
+  visited.push_back(start);
+  std::uint32_t current = start;
+  for (std::size_t hops = 0; hops <= nodes_.size(); ++hops) {
+    if (current == dest) return;
+    auto route = lookup_(current, dest);
+    if (!route) return;  // dead end, not a loop
+    std::uint32_t next = route->next_hop;
+    if (std::find(visited.begin(), visited.end(), next) != visited.end()) {
+      record_violation(
+          Violation{Violation::Kind::kLoop, current, dest, next, time_us});
+      return;
+    }
+    visited.push_back(next);
+    current = next;
+  }
+  // More hops than nodes without reaching dest: necessarily a loop.
+  record_violation(
+      Violation{Violation::Kind::kLoop, start, dest, current, time_us});
+}
+
+std::size_t InvariantChecker::check_all(std::int64_t time_us) {
+  const std::size_t before = violations_.size();
+  for (std::uint32_t node : nodes_) {
+    for (const RouteView& r : routes_(node)) {
+      check_route(node, r.dest, r.next_hop, time_us);
+      walk_for_loop(node, r.dest, time_us);
+    }
+  }
+  if (check_symmetry_) {
+    for (std::uint32_t a : nodes_) {
+      for (std::uint32_t b : nodes_) {
+        if (a == b || !link_(a, b) || link_(b, a)) continue;
+        ++checks_run_;
+        auto it = down_since_.find({b, a});
+        if (it != down_since_.end() && time_us - it->second <= grace_us_) {
+          continue;  // the reverse direction just dropped; give detection time
+        }
+        record_violation(
+            Violation{Violation::Kind::kAsymmetricLink, a, b, 0, time_us});
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+void InvariantChecker::set_violation_hook(ViolationHook hook) {
+  hook_ = std::move(hook);
+}
+
+void InvariantChecker::record_violation(Violation v) {
+  // Dedup on (kind, node, dest, next_hop): a stale route re-installed every
+  // update round is one finding, not a flood.
+  for (const Violation& seen : violations_) {
+    if (seen.kind == v.kind && seen.node == v.node && seen.dest == v.dest &&
+        seen.next_hop == v.next_hop) {
+      return;
+    }
+  }
+  if (hook_) {
+    hook_(v);
+  } else {
+    MK_WARN("invariants", "violation: ", v.describe());
+  }
+  violations_.push_back(std::move(v));
+}
+
+void InvariantChecker::diagnostic_dump(std::ostream& out,
+                                       std::size_t tail) const {
+  out << "== invariant violations (" << violations_.size() << ") ==\n";
+  for (const Violation& v : violations_) out << v.describe() << '\n';
+  if (journal_ != nullptr) {
+    auto records = journal_->snapshot();
+    const std::size_t start = records.size() > tail ? records.size() - tail : 0;
+    out << "== journal tail (" << records.size() - start << " of "
+        << records.size() << " retained) ==\n";
+    for (std::size_t i = start; i < records.size(); ++i) {
+      out << to_string(records[i]) << '\n';
+    }
+  }
+}
+
+}  // namespace mk::obs

@@ -1,0 +1,158 @@
+#include "obs/journal.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace mk::obs {
+
+namespace {
+
+struct KindName {
+  RecordKind kind;
+  std::string_view name;
+};
+
+constexpr std::array<KindName, 11> kKindNames{{
+    {RecordKind::kEventDispatch, "event_dispatch"},
+    {RecordKind::kFrameTx, "frame_tx"},
+    {RecordKind::kFrameRx, "frame_rx"},
+    {RecordKind::kFrameDrop, "frame_drop"},
+    {RecordKind::kTimerFire, "timer_fire"},
+    {RecordKind::kRouteAdd, "route_add"},
+    {RecordKind::kRouteDel, "route_del"},
+    {RecordKind::kCfBind, "cf_bind"},
+    {RecordKind::kCfUnbind, "cf_unbind"},
+    {RecordKind::kLinkUp, "link_up"},
+    {RecordKind::kLinkDown, "link_down"},
+}};
+
+}  // namespace
+
+std::string_view kind_name(RecordKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "?";
+}
+
+std::optional<RecordKind> kind_from_name(std::string_view name) {
+  for (const auto& [k, n] : kKindNames) {
+    if (n == name) return k;
+  }
+  return std::nullopt;
+}
+
+Journal::Journal(std::size_t capacity) : capacity_(capacity) {
+  MK_ASSERT(capacity_ > 0);
+  ring_.resize(capacity_);  // the one allocation; appends never touch the heap
+}
+
+void Journal::append(const Record& record) {
+  SpinGuard lock(*this);
+  ring_[total_ % capacity_] = record;
+  ++total_;
+
+  const std::uint64_t h = record_hash(record);
+  ordered_ = fnv1a_word(ordered_, h);
+  sum_ += h;                  // wrap-around (mod 2^64) is intended
+  sum_sq_ += h * h;
+  for (const auto& obs : observers_) obs(record);
+}
+
+std::uint64_t Journal::total() const {
+  SpinGuard lock(*this);
+  return total_;
+}
+
+std::uint64_t Journal::overwritten() const {
+  SpinGuard lock(*this);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+std::size_t Journal::retained() const {
+  SpinGuard lock(*this);
+  return static_cast<std::size_t>(total_ > capacity_ ? capacity_ : total_);
+}
+
+std::uint64_t Journal::ordered_digest() const {
+  SpinGuard lock(*this);
+  return ordered_;
+}
+
+std::uint64_t Journal::canonical_digest() const {
+  SpinGuard lock(*this);
+  // Mix the two multiset accumulators so that collisions would need to
+  // preserve both the sum and the sum of squares of the per-record hashes.
+  return fnv1a_u64(fnv1a_u64(fnv1a_u64(kFnvOffset, sum_), sum_sq_), total_);
+}
+
+std::vector<Record> Journal::snapshot() const {
+  SpinGuard lock(*this);
+  std::vector<Record> out;
+  const std::uint64_t kept = total_ > capacity_ ? capacity_ : total_;
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = total_ - kept; i < total_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+void Journal::add_observer(Observer observer) {
+  MK_ASSERT(observer != nullptr);
+  SpinGuard lock(*this);
+  observers_.push_back(std::move(observer));
+}
+
+void Journal::clear() {
+  SpinGuard lock(*this);
+  total_ = 0;
+  ordered_ = kFnvOffset;
+  sum_ = 0;
+  sum_sq_ = 0;
+}
+
+void Journal::dump(std::ostream& out) const {
+  for (const Record& r : snapshot()) {
+    out << to_string(r) << '\n';
+  }
+}
+
+std::vector<Record> Journal::load(std::istream& in) {
+  std::vector<Record> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string kind;
+    Record r;
+    if (!(fields >> kind >> r.node >> r.time_us >> r.a >> r.b >> r.c)) continue;
+    auto parsed = kind_from_name(kind);
+    if (!parsed) continue;
+    r.kind = *parsed;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<std::size_t> first_divergence(std::span<const Record> a,
+                                            std::span<const Record> b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) return i;
+  }
+  if (a.size() != b.size()) return n;
+  return std::nullopt;
+}
+
+std::string to_string(const Record& record) {
+  std::ostringstream out;
+  out << kind_name(record.kind) << ' ' << record.node << ' ' << record.time_us
+      << ' ' << record.a << ' ' << record.b << ' ' << record.c;
+  return out.str();
+}
+
+}  // namespace mk::obs

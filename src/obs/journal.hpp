@@ -1,0 +1,205 @@
+// Trace journal: the per-node/per-world flight recorder behind MANETKit's
+// "safe adaptation" evidence (ISSUE 3). Hooks in the Framework Manager, the
+// simulated medium, the scheduler and the kernel route tables append
+// fixed-size structured records into a preallocated ring buffer, so enabling
+// tracing costs no allocations on the hot path — only a spinlocked store and
+// a pair of digest accumulator updates.
+//
+// Two digests are maintained incrementally over the *entire* record stream
+// (not just the retained ring window):
+//
+//  * ordered_digest()   — an FNV-1a chain over canonicalized records. Two
+//                         single-threaded runs with the same seed must match
+//                         byte-for-byte; any divergence (even a reordering)
+//                         changes the value.
+//  * canonical_digest() — an order-insensitive multiset digest (sum and
+//                         sum-of-squares of per-record hashes). Identical
+//                         whenever the *set* of records matches, which is the
+//                         right equivalence when comparing a single-threaded
+//                         run against a pool-executor run whose worker
+//                         interleaving reorders otherwise-identical records.
+//
+// Records are canonical by construction: they carry sim time, stable content
+// hashes (event-type name hashes, payload FNV) and protocol-level ids — never
+// pointers, wall-clock times or interning-order-dependent dense ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <atomic>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mk::obs {
+
+// ------------------------------------------------------------------ hashing
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Incremental FNV-1a over one 64-bit word (byte at a time, LE order).
+constexpr std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (i * 8)) & 0xff)) * kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over a byte span (payload hashing for byte-for-byte tx records).
+constexpr std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> bytes,
+                                    std::uint64_t h = kFnvOffset) {
+  for (std::uint8_t b : bytes) h = (h ^ b) * kFnvPrime;
+  return h;
+}
+
+/// FNV-1a over a string (stable name hashes, interning-order independent).
+constexpr std::uint64_t fnv1a_str(std::string_view s,
+                                  std::uint64_t h = kFnvOffset) {
+  for (char c : s) h = (h ^ static_cast<std::uint8_t>(c)) * kFnvPrime;
+  return h;
+}
+
+// ------------------------------------------------------------------ records
+
+enum class RecordKind : std::uint8_t {
+  kEventDispatch = 1,  // a=stable event-type hash, b=#targets, c=emitter hash
+  kFrameTx = 2,        // a=link dest (bcast=0xffffffff), b=wire size, c=payload hash
+  kFrameRx = 3,        // a=transmitter, b=wire size, c=payload hash
+  kFrameDrop = 4,      // a=transmitter/dest, b=wire size, c=DropReason
+  kTimerFire = 5,      // a=timer id (deterministic sim sequence number)
+  kRouteAdd = 6,       // a=dest, b=next hop, c=metric
+  kRouteDel = 7,       // a=dest
+  kCfBind = 8,         // a=stable unit-name hash, b=layer
+  kCfUnbind = 9,       // a=stable unit-name hash, b=layer
+  kLinkUp = 10,        // a=peer
+  kLinkDown = 11,      // a=peer
+};
+
+/// Reasons packed into kFrameDrop's c field.
+enum class DropReason : std::uint64_t { kLoss = 1, kNoLink = 2 };
+
+std::string_view kind_name(RecordKind kind);
+std::optional<RecordKind> kind_from_name(std::string_view name);
+
+/// One canonical trace record. Plain data, fixed size: the ring never touches
+/// the heap after construction.
+struct Record {
+  RecordKind kind{};
+  std::uint32_t node = 0;    // address the record was observed at (0 = world)
+  std::int64_t time_us = 0;  // sim time
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  bool operator==(const Record&) const = default;
+};
+
+/// One wordwise FNV-1a step: a single multiply per 64-bit field, cheap
+/// enough for the per-append hot path (the byte-stepped variants above are
+/// reserved for strings and payloads, which are hashed once and cached).
+constexpr std::uint64_t fnv1a_word(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+/// Canonical per-record hash (the unit both digests build on). Six wordwise
+/// steps plus a final fold so the canonical (sum / sum-of-squares) digest
+/// sees well-mixed low bits.
+constexpr std::uint64_t record_hash(const Record& r) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_word(h, static_cast<std::uint64_t>(r.kind));
+  h = fnv1a_word(h, r.node);
+  h = fnv1a_word(h, static_cast<std::uint64_t>(r.time_us));
+  h = fnv1a_word(h, r.a);
+  h = fnv1a_word(h, r.b);
+  h = fnv1a_word(h, r.c);
+  h ^= h >> 32;
+  return h * kFnvPrime;
+}
+
+// ------------------------------------------------------------------ journal
+
+class Journal {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+  explicit Journal(std::size_t capacity = kDefaultCapacity);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends a record: O(1), allocation-free (the ring is preallocated).
+  /// Thread-safe via a spinlock — the critical section is a store plus a
+  /// handful of multiplies, far below the cost of parking a thread, and the
+  /// uncontended path is a single atomic exchange. In threaded deployments
+  /// records from different workers interleave in lock-acquisition order.
+  void append(const Record& record);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total records ever appended (appends keep counting after wrap-around).
+  std::uint64_t total() const;
+  /// Records lost to ring wrap-around (total() - retained).
+  std::uint64_t overwritten() const;
+  std::size_t retained() const;
+
+  /// Running digests over all appended records (see file comment).
+  std::uint64_t ordered_digest() const;
+  std::uint64_t canonical_digest() const;
+
+  /// Copy of the retained window, oldest first.
+  std::vector<Record> snapshot() const;
+
+  /// Observer invoked synchronously on every append (under the journal lock:
+  /// observers must not append or block). Used by the invariant checker.
+  using Observer = std::function<void(const Record&)>;
+  void add_observer(Observer observer);
+
+  /// Drops all records and resets digests (observers are kept).
+  void clear();
+
+  // -- dump / load (post-mortem diffing) -------------------------------------
+  /// Writes the retained window as one text line per record:
+  ///   <kind> <node> <time_us> <a> <b> <c>
+  void dump(std::ostream& out) const;
+
+  /// Parses a dump() stream back into records (for diffing a saved trace
+  /// against a fresh run). Unparseable lines are skipped.
+  static std::vector<Record> load(std::istream& in);
+
+ private:
+  /// RAII spinlock guard over busy_.
+  class SpinGuard {
+   public:
+    explicit SpinGuard(const Journal& journal) : journal_(journal) {
+      while (journal_.busy_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { journal_.busy_.clear(std::memory_order_release); }
+    SpinGuard(const SpinGuard&) = delete;
+    SpinGuard& operator=(const SpinGuard&) = delete;
+
+   private:
+    const Journal& journal_;
+  };
+
+  const std::size_t capacity_;
+  mutable std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  std::vector<Record> ring_;  // preallocated to capacity_
+  std::uint64_t total_ = 0;
+  std::uint64_t ordered_ = kFnvOffset;
+  std::uint64_t sum_ = 0;
+  std::uint64_t sum_sq_ = 0;
+  std::vector<Observer> observers_;
+};
+
+/// Index of the first record where the two streams diverge (nullopt when one
+/// is a prefix of the other and lengths match — i.e. identical).
+std::optional<std::size_t> first_divergence(std::span<const Record> a,
+                                            std::span<const Record> b);
+
+/// Human-readable one-line rendering (matches dump()'s format).
+std::string to_string(const Record& record);
+
+}  // namespace mk::obs

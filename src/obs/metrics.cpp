@@ -1,0 +1,65 @@
+#include "obs/metrics.hpp"
+
+#include <mutex>
+
+namespace mk::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, _] =
+      counters_.try_emplace(std::string{name}, std::make_unique<Counter>());
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, _] =
+      gauges_.try_emplace(std::string{name}, std::make_unique<Gauge>());
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::gauges()
+    const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return counters_.size() + gauges_.size();
+}
+
+void MetricsRegistry::reset_counters() {
+  std::shared_lock lock(mutex_);
+  for (const auto& [_, c] : counters_) c->reset();
+}
+
+}  // namespace mk::obs

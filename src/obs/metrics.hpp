@@ -1,0 +1,82 @@
+// Metrics registry: one named counter/gauge API unifying the ad-hoc counters
+// previously scattered across SimMedium::Stats, the executors, the System CF
+// and the protocol CFs.
+//
+// Counters are owned by the registry and handed out as stable references, so
+// hot paths intern once ("olsr.tc_in") and thereafter pay a single relaxed
+// atomic increment — exact under every concurrency model, including the pool
+// executor mutating from worker threads (previously plain ints under-counted
+// there).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mk::obs {
+
+/// Monotonic event count. Relaxed ordering: counters are statistics, not
+/// synchronization.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depths, live bytes, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// The reference stays valid for the registry's lifetime — cache it and
+  /// increment without further lookups.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Value of a named counter, 0 when absent (test/report convenience).
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// Sorted (name, value) snapshot of every counter / gauge.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, std::int64_t>> gauges() const;
+
+  std::size_t size() const;
+
+  /// Zeroes every counter (names and handles stay registered).
+  void reset_counters();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  // node-based maps: handles must stay stable across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+}  // namespace mk::obs

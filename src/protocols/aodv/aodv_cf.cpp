@@ -115,6 +115,10 @@ class AodvHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (msgs_in_ == nullptr) {
+      msgs_in_ = &ctx.metrics().counter("aodv.msgs_in");
+    }
+    msgs_in_->inc();
     if (!event.has_msg()) return;
     switch (event.msg()->type) {
       case wire::kMsgAodvRreq:
@@ -132,6 +136,8 @@ class AodvHandler final : public core::EventHandler {
   }
 
  private:
+  obs::Counter* msgs_in_ = nullptr;  // cached: interned once, then atomic inc
+
   void learn(core::ProtocolContext& ctx, net::Addr dest, std::uint16_t seq,
              bool seq_valid, net::Addr next_hop, std::uint8_t hops) {
     if (dest == ctx.self()) return;
@@ -277,6 +283,7 @@ class AodvNoRouteHandler final : public core::EventHandler {
     }
     if (st.has_pending(dest)) return;
     st.start_pending(dest, ctx.now(), params_.rreq_wait);
+    ctx.metrics().counter("aodv.discoveries").inc();
     send_rreq_for(ctx, dest, params_);
   }
 
@@ -327,6 +334,7 @@ class AodvInvalidationHandler final : public core::EventHandler {
     if (!unreachable.empty()) {
       ev::Event out(ev::etype(ev::types::AODV_OUT));
       out.set_msg(build_rerr(unreachable));
+      ctx.metrics().counter("aodv.rerr_out").inc();
       ctx.emit(std::move(out));
     }
   }

@@ -197,6 +197,10 @@ void ReHandler::send_rrep(const ev::Event& rreq_event,
                              *rreq.originator, params_.rreq_hop_limit));
   // Unicast back along the (just learned) reverse route.
   out.set_int(kUnicastTo, rreq_event.from);
+  if (rrep_sent_ == nullptr) {
+    rrep_sent_ = &ctx.metrics().counter("dymo.rrep_sent");
+  }
+  rrep_sent_->inc();
   ctx.emit(std::move(out));
 }
 
@@ -214,6 +218,8 @@ void ReHandler::on_rrep_at_origin(const ev::Event& event,
 }
 
 void ReHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
+  if (rm_in_ == nullptr) rm_in_ = &ctx.metrics().counter("dymo.rm_in");
+  rm_in_->inc();
   if (!event.has_msg()) return;
   const pbb::Message& msg = *event.msg();
   if (!msg.originator || !msg.seqnum || !msg.has_hops) return;
@@ -302,6 +308,7 @@ void RouteInvalidationHandler::broadcast_rerr(
   ev::Event e(ev::etype("RERR_OUT"));
   e.set_msg(rm::build_rerr(ctx.self(), rerr_seq_++, unreachable,
                            params_.rerr_hop_limit));
+  ctx.metrics().counter("dymo.rerr_out").inc();
   ctx.emit(std::move(e));
 }
 
@@ -347,6 +354,7 @@ void NoRouteHandler::handle(const ev::Event& event,
   if (try_local_knowledge(dest, ctx)) return;
   if (st.has_pending(dest)) return;  // discovery already in flight
   st.start_pending(dest, ctx.now(), params_.rreq_wait);
+  ctx.metrics().counter("dymo.discoveries").inc();
   dymo_send_rreq(ctx, dest, params_);
 }
 
@@ -368,6 +376,7 @@ RerrHandler::RerrHandler(DymoParams params)
 }
 
 void RerrHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
+  ctx.metrics().counter("dymo.rerr_in").inc();
   if (!event.has_msg() || !event.msg()->originator || !event.msg()->seqnum) {
     return;
   }

@@ -100,6 +100,8 @@ class ReHandler : public core::EventHandler {
                  bool bump_seq = true);
 
   DymoParams params_;
+  obs::Counter* rm_in_ = nullptr;      // cached "dymo.rm_in"
+  obs::Counter* rrep_sent_ = nullptr;  // cached "dymo.rrep_sent"
 };
 
 /// Shared invalidation logic for SEND_ROUTE_ERR and NHOOD_CHANGE(down):

@@ -130,6 +130,7 @@ class GreedyRouteHandler final : public core::EventHandler {
     entry.installed_at = ctx.now();
     ctx.sys()->kernel_table().set_route(entry);
     st.active_dests()[dest] = ctx.now() + params_.route_lifetime;
+    ctx.metrics().counter("gpsr.greedy_installs").inc();
     return true;
   }
 
@@ -213,6 +214,7 @@ class GpsrEventHandler final : public core::EventHandler {
     for (net::Addr dest : ctx.sys()->kernel_table().dests_via(lost)) {
       ctx.sys()->kernel_table().remove_route(dest);
       st.active_dests().erase(dest);
+      ctx.metrics().counter("gpsr.routes_torn_down").inc();
     }
   }
 

@@ -54,6 +54,7 @@ bool emit_tc(core::ProtocolContext& ctx, core::ManetProtocolCf* mpr_cf) {
   }
   ev::Event e(ev::types::TC_OUT);
   e.set_msg(tc::build(ctx.self(), st.next_msg_seq(), st.ansn(), selectors));
+  ctx.metrics().counter("olsr.tc_out").inc();
   ctx.emit(std::move(e));
   return true;
 }
@@ -111,6 +112,8 @@ class TcHandler final : public core::EventHandler {
   }
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
+    if (tc_in_ == nullptr) tc_in_ = &ctx.metrics().counter("olsr.tc_in");
+    tc_in_->inc();
     if (!event.has_msg()) return;
     const pbb::Message& msg = *event.msg();
     if (!msg.originator || !msg.seqnum) return;
@@ -137,6 +140,7 @@ class TcHandler final : public core::EventHandler {
  private:
   OlsrParams params_;
   core::ManetProtocolCf* mpr_cf_;
+  obs::Counter* tc_in_ = nullptr;  // cached: interned once, then atomic inc
 };
 
 /// Neighbourhood / relay-selection changes invalidate routes immediately;
@@ -163,7 +167,10 @@ class TopologyChangeHandler final : public core::EventHandler {
     recompute_routes(ctx);
     if (event.type() != ev::etype(ev::types::MPR_CHANGE)) return;
     if (ctx.now() - last_triggered_ >= kMinTriggeredGap) {
-      if (emit_tc(ctx, mpr_cf_)) last_triggered_ = ctx.now();
+      if (emit_tc(ctx, mpr_cf_)) {
+        last_triggered_ = ctx.now();
+        ctx.metrics().counter("olsr.triggered_tc").inc();
+      }
     }
     // Coalesced follow-up re-emission (safe: the protocol CF outlives its
     // handlers only across replace, which cancels via OneShotTimer's dtor).

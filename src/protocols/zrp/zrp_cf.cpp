@@ -59,6 +59,7 @@ class ZoneReHandler final : public ReHandler {
     ev::Event out(ev::etype("RM_OUT"));
     out.set_msg(std::move(rrep));
     out.set_int(core::attrs::kUnicastTo, event.from);
+    ctx.metrics().counter("zrp.proxy_replies").inc();
     ctx.emit(std::move(out));
     MK_DEBUG("zrp", "bordercast termination: answering for ",
              pbb::addr_to_string(target), " at distance ", int{dist});
@@ -83,6 +84,7 @@ class ZoneNoRouteHandler final : public NoRouteHandler {
     if (dist == 0) return false;
     dymo_install_kernel_route(ctx, dest, hop, dist);
     dymo_emit_route_found(ctx, dest);
+    ctx.metrics().counter("zrp.zone_hits").inc();
     return true;
   }
 

@@ -35,6 +35,7 @@ core::Manetkit& SimWorld::kit(std::size_t i) {
   if (slot == nullptr) {
     slot = std::make_unique<core::Manetkit>(*nodes_.at(i));
     proto::install_all(*slot);
+    if (journal_ != nullptr) slot->set_journal(journal_.get());
   }
   return *slot;
 }
@@ -104,6 +105,56 @@ std::optional<Duration> SimWorld::run_until_routed(Duration deadline,
 
 bool SimWorld::has_route(std::size_t i, net::Addr dest) const {
   return nodes_.at(i)->kernel_table().lookup(dest).has_value();
+}
+
+obs::Journal& SimWorld::enable_tracing(std::size_t capacity) {
+  if (journal_ != nullptr) return *journal_;
+  journal_ = std::make_unique<obs::Journal>(capacity);
+  medium_.set_journal(journal_.get());
+  sched_.set_fire_hook([this](TimerId id, TimePoint at) {
+    journal_->append({obs::RecordKind::kTimerFire, 0xffffffffu, at.us,
+                      static_cast<std::uint64_t>(id), 0, 0});
+  });
+  for (auto& k : kits_) {
+    if (k != nullptr) k->set_journal(journal_.get());
+  }
+  return *journal_;
+}
+
+obs::InvariantChecker& SimWorld::enable_invariants() {
+  if (checker_ != nullptr) return *checker_;
+  obs::Journal& journal = enable_tracing();
+
+  auto table_of = [this](std::uint32_t node) -> const net::KernelRouteTable* {
+    std::uint32_t idx = net::index_for_addr(node);
+    return idx < nodes_.size() ? &nodes_[idx]->kernel_table() : nullptr;
+  };
+  obs::InvariantChecker::LookupFn lookup =
+      [table_of](std::uint32_t node,
+                 std::uint32_t dest) -> std::optional<obs::RouteView> {
+    const auto* table = table_of(node);
+    if (table == nullptr) return std::nullopt;
+    auto e = table->lookup(dest);
+    if (!e.has_value()) return std::nullopt;
+    return obs::RouteView{e->dest, e->next_hop, e->metric};
+  };
+  obs::InvariantChecker::RoutesFn routes = [table_of](std::uint32_t node) {
+    std::vector<obs::RouteView> out;
+    const auto* table = table_of(node);
+    if (table == nullptr) return out;
+    for (const auto& e : table->entries()) {
+      out.push_back(obs::RouteView{e.dest, e.next_hop, e.metric});
+    }
+    return out;
+  };
+  obs::InvariantChecker::LinkFn link = [this](std::uint32_t from,
+                                              std::uint32_t to) {
+    return medium_.has_link(from, to);
+  };
+  checker_ = std::make_unique<obs::InvariantChecker>(
+      addrs(), std::move(lookup), std::move(routes), std::move(link));
+  checker_->attach(journal);
+  return *checker_;
 }
 
 }  // namespace mk::testbed

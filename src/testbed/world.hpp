@@ -14,6 +14,8 @@
 #include "net/medium.hpp"
 #include "net/node.hpp"
 #include "net/topology.hpp"
+#include "obs/invariants.hpp"
+#include "obs/journal.hpp"
 #include "util/scheduler.hpp"
 
 namespace mk::testbed {
@@ -77,12 +79,29 @@ class SimWorld {
   /// True when node i holds a valid kernel route to `dest`.
   bool has_route(std::size_t i, net::Addr dest) const;
 
+  // -- observability ------------------------------------------------------------
+  /// Turns on whole-world tracing: one shared journal receives records from
+  /// the medium (frame tx/rx/drop, link transitions), the scheduler (timer
+  /// fires, attributed to the pseudo-node 0xffffffff) and every MANETKit
+  /// stack — including kits created after this call. Idempotent.
+  obs::Journal& enable_tracing(std::size_t capacity = obs::Journal::kDefaultCapacity);
+  obs::Journal* journal() { return journal_.get(); }
+
+  /// Turns on continuous routing-invariant checking over the trace stream
+  /// (requires/implies enable_tracing). The checker walks next-hop chains on
+  /// every route install and validates next hops against the medium's true
+  /// adjacency. Idempotent.
+  obs::InvariantChecker& enable_invariants();
+  obs::InvariantChecker* checker() { return checker_.get(); }
+
  private:
   SimScheduler sched_;
   net::SimMedium medium_;
   std::vector<std::unique_ptr<net::SimNode>> nodes_;
   std::vector<std::unique_ptr<core::Manetkit>> kits_;
   std::vector<std::unique_ptr<baseline::RoutingDaemon>> daemons_;
+  std::unique_ptr<obs::Journal> journal_;
+  std::unique_ptr<obs::InvariantChecker> checker_;
 };
 
 }  // namespace mk::testbed

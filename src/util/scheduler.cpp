@@ -35,6 +35,7 @@ bool SimScheduler::step() {
   queue_.erase(it);
   by_id_.erase(key.seq);
   now_ = TimePoint{key.us};
+  if (fire_hook_) fire_hook_(key.seq, now_);
   fn();
   return true;
 }

@@ -46,6 +46,13 @@ class SimScheduler final : public Scheduler {
   TimerId schedule_at(TimePoint t, std::function<void()> fn) override;
   bool cancel(TimerId id) override;
 
+  /// Observer invoked before each queue entry runs (id, fire time). The ids
+  /// are deterministic sequence numbers, so a trace journal hooked here
+  /// witnesses the exact discrete-event execution order of a run. Null
+  /// clears; no overhead when unset beyond one branch per step.
+  using FireHook = std::function<void(TimerId, TimePoint)>;
+  void set_fire_hook(FireHook hook) { fire_hook_ = std::move(hook); }
+
   /// Runs the next pending event; returns false if the queue is empty.
   bool step();
 
@@ -71,6 +78,7 @@ class SimScheduler final : public Scheduler {
   std::uint64_t next_seq_ = 1;
   std::map<Key, std::function<void()>> queue_;
   std::map<TimerId, Key> by_id_;
+  FireHook fire_hook_;
 };
 
 /// Wall-clock scheduler: one background thread fires callbacks at deadlines.

@@ -14,6 +14,7 @@ namespace {
 TEST(Coexistence, OlsrAndDymoRunSimultaneously) {
   testbed::SimWorld world(5);
   world.linear();
+  world.enable_invariants();
   for (std::size_t i = 0; i < 5; ++i) {
     world.kit(i).deploy("olsr");
     world.kit(i).deploy("dymo");
@@ -24,11 +25,17 @@ TEST(Coexistence, OlsrAndDymoRunSimultaneously) {
   world.node(0).forwarding().send(world.addr(4), 128);
   world.run_for(sec(1));
   EXPECT_EQ(world.node(4).deliveries().size(), 1u);
+
+  // Continuous route/loop checks stayed silent through co-deployment, and a
+  // full end-of-scenario sweep agrees.
+  EXPECT_TRUE(world.checker()->violations().empty());
+  EXPECT_EQ(world.checker()->check_all(world.now().us), 0u);
 }
 
 TEST(Coexistence, DymoTakesOverAfterOlsrUndeploys) {
   testbed::SimWorld world(4);
   world.linear();
+  world.enable_invariants();
   for (std::size_t i = 0; i < 4; ++i) {
     world.kit(i).deploy("olsr");
     world.kit(i).deploy("dymo");
@@ -49,6 +56,11 @@ TEST(Coexistence, DymoTakesOverAfterOlsrUndeploys) {
   world.node(0).forwarding().send(world.addr(3), 64);
   world.run_for(sec(5));
   EXPECT_GE(world.node(3).deliveries().size(), 1u);
+
+  // The link break/restore churn never produced a loop or a stale install
+  // beyond the detection grace window.
+  EXPECT_TRUE(world.checker()->violations().empty());
+  EXPECT_EQ(world.checker()->check_all(world.now().us), 0u);
 }
 
 TEST(Coexistence, SharedMprReducesFootprint) {
@@ -81,6 +93,7 @@ TEST(Coexistence, SharedMprReducesFootprint) {
 TEST(Switching, OlsrToDymoKeepsDataPlaneAlive) {
   testbed::SimWorld world(5);
   world.linear();
+  world.enable_invariants();
   world.deploy_all("olsr");
   ASSERT_TRUE(world.run_until_routed(sec(60)).has_value());
 
@@ -99,11 +112,16 @@ TEST(Switching, OlsrToDymoKeepsDataPlaneAlive) {
   world.node(4).forwarding().send(world.addr(0), 64);
   world.run_for(sec(5));
   EXPECT_GE(world.node(0).deliveries().size(), 1u);
+
+  // Protocol switching kept the table loop-free and neighbour-valid.
+  EXPECT_TRUE(world.checker()->violations().empty());
+  EXPECT_EQ(world.checker()->check_all(world.now().us), 0u);
 }
 
 TEST(Switching, DymoToAodvSeriallyReusesReactiveSlot) {
   testbed::SimWorld world(3);
   world.linear();
+  world.enable_invariants();
   world.deploy_all("dymo");
   world.run_for(sec(5));
   world.node(0).forwarding().send(world.addr(2), 64);
@@ -123,6 +141,9 @@ TEST(Switching, DymoToAodvSeriallyReusesReactiveSlot) {
   world.node(0).forwarding().send(world.addr(2), 64);
   world.run_for(sec(5));
   EXPECT_GE(world.node(2).deliveries().size(), 2u);
+
+  EXPECT_TRUE(world.checker()->violations().empty());
+  EXPECT_EQ(world.checker()->check_all(world.now().us), 0u);
 }
 
 TEST(Switching, StateCarryOverMovesSElement) {
