@@ -262,12 +262,22 @@ BENCHMARK(BM_EventFanoutWithMsgJournaled)->Arg(1)->Arg(3)->Arg(8);
 // Full-scenario tracing overhead: one sim-second of a converged 5-node OLSR
 // world per iteration. This is the number the <5% tracing budget is about —
 // in context, where frames are actually serialized, parsed and routed, not
-// just counted.
+// just counted. Arg(2) additionally arms a light fault plan: a loss burst
+// that rakes the convergence phase and expires before measurement, plus a
+// far-future crash still pending. The steady state therefore runs with the
+// injection filter installed and the plan live but no window open — that
+// standing cost is the injection budget, within ~2% of Arg(1).
 void BM_OlsrWorldSecond(benchmark::State& state) {
   testbed::SimWorld world(5);
   world.linear();
   if (state.range(0) != 0) world.enable_tracing();
   world.deploy_all("olsr");
+  if (state.range(0) == 2) {
+    fault::FaultPlan plan;
+    plan.loss_burst(sec(1), 0.1, sec(4));  // expires during convergence
+    plan.crash(sec(1'000'000'000), world.addr(4));  // pending, never reached
+    world.apply_fault_plan(plan);
+  }
   world.run_for(sec(10));  // converge before measuring steady state
 
   AllocWindow window;
@@ -281,8 +291,13 @@ void BM_OlsrWorldSecond(benchmark::State& state) {
         static_cast<double>(journal->total()),
         benchmark::Counter::kAvgIterations);
   }
+  if (auto* injector = world.injector()) {
+    state.counters["faults_fired"] = benchmark::Counter(
+        static_cast<double>(injector->actions_fired()),
+        benchmark::Counter::kAvgIterations);
+  }
 }
-BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1);
+BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_MprSelection(benchmark::State& state) {
   // A dense neighbourhood: n neighbours, each covering a slice of 2n

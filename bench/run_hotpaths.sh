@@ -51,6 +51,8 @@ for b in raw.get("benchmarks", []):
     }
     if "allocs_per_op" in b:
         entry["allocs_per_op"] = round(b["allocs_per_op"], 2)
+    if "faults_fired" in b:
+        entry["faults_fired"] = round(b["faults_fired"], 2)
     if b["name"] in BASELINE_NS:
         entry["baseline_ns"] = BASELINE_NS[b["name"]]
         entry["speedup"] = round(BASELINE_NS[b["name"]] / b["real_time"], 2)
@@ -60,7 +62,10 @@ report = {
     "bench": "micro_hotpaths",
     "note": "zero-copy hot path: shared frame payloads, COW event messages, "
             "single-allocation PacketBB serialization. baseline_ns columns "
-            "are the pre-change numbers for the same benchmark.",
+            "are the pre-change numbers for the same benchmark. "
+            "BM_OlsrWorldSecond/2 adds an armed-but-idle fault plan on top "
+            "of tracing (/1): the delta between the two is the fault "
+            "injection overhead when no faults fire.",
     "context": raw.get("context", {}),
     "results": results,
 }

@@ -111,27 +111,104 @@ void Manetkit::undeploy(const std::string& name) {
 ManetProtocolCf* Manetkit::switch_protocol(const std::string& from,
                                            const std::string& to,
                                            bool carry_state) {
+  ReplaceOptions opts;
+  opts.max_attempts = 1;
+  opts.carry_state = carry_state;
+  ReplaceReport report = replace_protocol(from, to, opts);
+  if (!report.committed) {
+    // The prior protocol has been rolled back; surface the failure loudly
+    // (pre-hardening switch_protocol semantics: a failed switch throws).
+    throw std::logic_error("switch_protocol " + from + " -> " + to +
+                           " failed: " + report.error);
+  }
+  return report.instance;
+}
+
+void Manetkit::journal_reconfig(obs::ReconfigPhase phase,
+                                const std::string& from, const std::string& to,
+                                std::uint64_t extra) {
+  if (journal_ == nullptr) return;
+  journal_->append({obs::RecordKind::kReconfig, self(), scheduler().now().us,
+                    static_cast<std::uint64_t>(phase) | (extra << 8),
+                    obs::fnv1a_str(from), obs::fnv1a_str(to)});
+}
+
+Manetkit::ReplaceReport Manetkit::replace_protocol(const std::string& from,
+                                                   const std::string& to,
+                                                   ReplaceOptions opts) {
   auto it = deployed_.find(from);
   MK_ENSURE(it != deployed_.end(), "protocol not deployed: " + from);
+  MK_ENSURE(opts.max_attempts >= 1, "replace_protocol: max_attempts < 1");
+
+  // Quiescence first: no in-flight dispatch may straddle the swap. drain()
+  // flushes the executor and every dedicated protocol queue, so by the time
+  // the old unit is detached the event graph is at rest (the OpenCom
+  // discipline: reconfigure only quiescent compositions).
+  manager_->drain();
+  journal_reconfig(obs::ReconfigPhase::kBegin, from, to);
 
   ManetProtocolCf* old_proto = it->second.instance.get();
   old_proto->stop();
-
   std::unique_ptr<oc::Component> carried;
-  if (carry_state && old_proto->state_component() != nullptr) {
+  if (opts.carry_state && old_proto->state_component() != nullptr) {
     carried = old_proto->take_state();
   }
-
   manager_->deregister_unit(old_proto);
   deployed_.erase(it);
 
-  ManetProtocolCf* fresh = deploy(to);
-  if (carried != nullptr) {
-    fresh->stop();
-    fresh->set_state(std::move(carried));
-    fresh->start();
+  ReplaceReport report;
+  Duration backoff = opts.initial_backoff;
+  for (int attempt = 1; attempt <= opts.max_attempts; ++attempt) {
+    ++report.attempts;
+    metrics_.counter("fm.replace_attempts").inc();
+    try {
+      ManetProtocolCf* fresh = deploy(to);
+      if (carried != nullptr) {
+        fresh->stop();
+        fresh->set_state(std::move(carried));
+        fresh->start();
+      }
+      journal_reconfig(obs::ReconfigPhase::kCommit, from, to,
+                       static_cast<std::uint64_t>(report.attempts));
+      metrics_.counter("fm.replace_commits").inc();
+      report.instance = fresh;
+      report.committed = true;
+      return report;
+    } catch (const std::exception& e) {
+      report.error = e.what();
+      // deploy() can fail after partially landing (init/start throwing once
+      // the unit is registered); scrub any half-deployed instance before
+      // retrying or rolling back.
+      if (is_deployed(to)) undeploy(to);
+      if (attempt < opts.max_attempts) {
+        metrics_.counter("fm.replace_retries").inc();
+        metrics_.counter("fm.replace_backoff_us")
+            .inc(static_cast<std::uint64_t>(backoff.count()));
+        journal_reconfig(obs::ReconfigPhase::kRetry, from, to,
+                         static_cast<std::uint64_t>(backoff.count()));
+        backoff = backoff * 2;
+      }
+    }
   }
-  return fresh;
+
+  // Permanent failure: restore the prior binding graph. Redeploying `from`
+  // re-registers the same unit tuple at the same layer, so rebind() derives
+  // the identical event-flow topology the node had before the attempt; the
+  // carried S element goes back in, so no protocol state is lost either.
+  MK_WARN("manetkit", "replace ", from, " -> ", to, " failed permanently (",
+          report.error, "); rolling back");
+  metrics_.counter("fm.replace_rollbacks").inc();
+  ManetProtocolCf* prior = deploy(from);  // throws only if `from` is gone too
+  if (carried != nullptr) {
+    prior->stop();
+    prior->set_state(std::move(carried));
+    prior->start();
+  }
+  journal_reconfig(obs::ReconfigPhase::kRollback, from, to,
+                   static_cast<std::uint64_t>(report.attempts));
+  report.instance = prior;
+  report.committed = false;
+  return report;
 }
 
 void Manetkit::set_journal(obs::Journal* journal) {

@@ -66,9 +66,45 @@ class Manetkit {
 
   /// Serial redeployment with optional state carry-over (§4.5): stops and
   /// removes `from`, deploys `to`, and — if `carry_state` — moves `from`'s S
-  /// element into the new instance before starting it.
+  /// element into the new instance before starting it. Implemented on top of
+  /// replace_protocol with a single attempt; if deploying `to` fails the
+  /// prior protocol is rolled back (state restored) and the failure is
+  /// re-thrown as std::logic_error.
   ManetProtocolCf* switch_protocol(const std::string& from,
                                    const std::string& to, bool carry_state);
+
+  // -- hardened replacement ----------------------------------------------------
+  /// Tuning for replace_protocol. Backoff doubles per retry; in simulated
+  /// runs it is *recorded* (metrics "fm.replace_backoff_us", kReconfig
+  /// kRetry journal records) rather than slept, keeping the call synchronous
+  /// while leaving the schedule fully observable.
+  struct ReplaceOptions {
+    int max_attempts = 3;
+    Duration initial_backoff = msec(10);
+    bool carry_state = true;
+  };
+
+  struct ReplaceReport {
+    ManetProtocolCf* instance = nullptr;  // active protocol after the call
+    bool committed = false;  // true: `to` is live; false: rolled back to `from`
+    int attempts = 0;        // deploy attempts made for `to`
+    std::string error;       // last failure when not committed
+  };
+
+  /// Hardened protocol replacement: quiesces the Framework Manager (drains
+  /// in-flight dispatches), detaches `from` carrying its S element, then
+  /// deploys `to` with retry-with-backoff on transient failure. If every
+  /// attempt fails, rolls back — redeploys `from` and restores the carried
+  /// state — so the prior binding graph is reinstated and the node is never
+  /// left protocol-less. Every phase is journaled (kReconfig) and counted
+  /// ("fm.replace_*" metrics). Throws std::logic_error only if `from` is not
+  /// deployed or the rollback itself fails (no builder for `from`).
+  ReplaceReport replace_protocol(const std::string& from, const std::string& to,
+                                 ReplaceOptions opts);
+  ReplaceReport replace_protocol(const std::string& from,
+                                 const std::string& to) {
+    return replace_protocol(from, to, ReplaceOptions{});
+  }
 
   int layer_of(const std::string& name) const;
 
@@ -94,6 +130,9 @@ class Manetkit {
     std::unique_ptr<ManetProtocolCf> instance;
     int layer = 0;
   };
+
+  void journal_reconfig(obs::ReconfigPhase phase, const std::string& from,
+                        const std::string& to, std::uint64_t extra = 0);
 
   net::SimNode& node_;
   oc::Kernel kernel_;

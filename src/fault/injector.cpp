@@ -1,0 +1,173 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mk::fault {
+
+FaultInjector::FaultInjector(net::SimMedium& medium, Scheduler& sched,
+                             NodeControl nodes, std::uint64_t seed)
+    : medium_(medium), sched_(sched), nodes_(std::move(nodes)), rng_(seed) {}
+
+FaultInjector::~FaultInjector() {
+  // The filter closure captures `this`; never leave it dangling on the
+  // medium. (Scheduled action lambdas are inert after the run ends — the
+  // harness drops the scheduler queue without firing them.)
+  if (filter_installed_) medium_.set_fault_filter(nullptr);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultAction& action : plan.actions()) {
+    sched_.schedule_after(action.at, [this, action] { fire(action); });
+  }
+  if (!filter_installed_) {
+    medium_.set_fault_filter([this](const net::Frame& frame, net::Addr to) {
+      return filter(frame, to);
+    });
+    filter_installed_ = true;
+  }
+}
+
+void FaultInjector::journal_action(const FaultAction& action, std::uint64_t b,
+                                   std::uint64_t c) {
+  if (journal_ == nullptr) return;
+  journal_->append({obs::RecordKind::kFault,
+                    action.from == net::kNoAddr ? 0u : action.from,
+                    sched_.now().us,
+                    static_cast<std::uint64_t>(action.kind), b, c});
+}
+
+void FaultInjector::fire(const FaultAction& action) {
+  ++actions_fired_;
+  const auto dur_us = static_cast<std::uint64_t>(action.duration.count());
+  switch (action.kind) {
+    case FaultKind::kLossBurst:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+      journal_action(action,
+                     action.kind == FaultKind::kReorder
+                         ? static_cast<std::uint64_t>(action.jitter.count())
+                         : static_cast<std::uint64_t>(action.p * 1e6),
+                     dur_us);
+      open_window(action);
+      break;
+    case FaultKind::kDrift: {
+      journal_action(action, static_cast<std::uint64_t>(action.p * 1e6),
+                     dur_us);
+      const net::Addr node = action.from;
+      medium_.set_clock_drift(node, action.p);
+      sched_.schedule_after(action.duration,
+                            [this, node] { medium_.clear_clock_drift(node); });
+      break;
+    }
+    case FaultKind::kPartition: {
+      // Cut each *currently up* directed edge between the sides; remember
+      // exactly what was cut so heal restores no more and no less. The
+      // set_link calls themselves journal kLinkDown per edge.
+      std::vector<std::pair<net::Addr, net::Addr>> cut;
+      auto sever = [&](net::Addr x, net::Addr y) {
+        if (medium_.has_link(x, y)) {
+          cut.emplace_back(x, y);
+          medium_.set_link(x, y, false, /*symmetric=*/false);
+        }
+      };
+      for (net::Addr a : action.group_a) {
+        for (net::Addr b : action.group_b) {
+          sever(a, b);
+          sever(b, a);
+        }
+      }
+      journal_action(action, cut.size(), 0);
+      cuts_.push_back(std::move(cut));
+      break;
+    }
+    case FaultKind::kHeal: {
+      std::size_t restored = 0;
+      if (!cuts_.empty()) {
+        for (const auto& [x, y] : cuts_.back()) {
+          medium_.set_link(x, y, true, /*symmetric=*/false);
+          ++restored;
+        }
+        cuts_.pop_back();
+      } else {
+        MK_WARN("fault", "heal with no open partition (no-op)");
+      }
+      journal_action(action, restored, 0);
+      break;
+    }
+    case FaultKind::kCrash:
+      journal_action(action, 0, 0);
+      MK_ENSURE(nodes_.crash != nullptr, "fault plan crashes a node but no "
+                                         "crash control was provided");
+      nodes_.crash(action.from);
+      break;
+    case FaultKind::kRestart:
+      journal_action(action, 0, 0);
+      MK_ENSURE(nodes_.restart != nullptr, "fault plan restarts a node but no "
+                                           "restart control was provided");
+      nodes_.restart(action.from);
+      break;
+  }
+}
+
+void FaultInjector::open_window(const FaultAction& action) {
+  Window w;
+  w.kind = action.kind;
+  w.until = sched_.now() + action.duration;
+  w.p = action.p;
+  w.jitter = action.jitter;
+  w.from = action.from;
+  w.to = action.to;
+  windows_.push_back(w);
+}
+
+void FaultInjector::expire_windows() {
+  const TimePoint now = sched_.now();
+  std::erase_if(windows_, [now](const Window& w) { return w.until <= now; });
+}
+
+bool FaultInjector::any_window_active() const {
+  const TimePoint now = sched_.now();
+  return std::any_of(windows_.begin(), windows_.end(),
+                     [now](const Window& w) { return w.until > now; });
+}
+
+net::FaultVerdict FaultInjector::filter(const net::Frame& frame,
+                                        net::Addr to) {
+  net::FaultVerdict verdict;
+  if (windows_.empty()) return verdict;
+  expire_windows();
+  // Windows are consulted in open order and each draws from the injector's
+  // Rng in delivery order — the draw sequence, and therefore the exact set
+  // of frames hit, is a pure function of (plan, seed, world seed).
+  for (const Window& w : windows_) {
+    switch (w.kind) {
+      case FaultKind::kLossBurst: {
+        const bool in_scope =
+            w.from == net::kNoAddr || (frame.tx == w.from && to == w.to);
+        if (in_scope && rng_.bernoulli(w.p)) {
+          verdict.drop = true;
+          return verdict;  // dead frames draw nothing further
+        }
+        break;
+      }
+      case FaultKind::kDuplicate:
+        if (rng_.bernoulli(w.p)) {
+          verdict.duplicates += 1;
+          verdict.dup_spacing = w.jitter;
+        }
+        break;
+      case FaultKind::kReorder:
+        verdict.extra_delay = verdict.extra_delay +
+                              usec(rng_.uniform_int(0, w.jitter.count()));
+        break;
+      default:
+        break;  // topology-level kinds never open windows
+    }
+  }
+  return verdict;
+}
+
+}  // namespace mk::fault

@@ -1,0 +1,94 @@
+// Arms a FaultPlan onto a live simulation: every action is scheduled at its
+// exact sim time through the (deterministic) scheduler, topology-level
+// actions (partition/heal, crash/restart, drift) mutate the medium or fire
+// node-control callbacks, and traffic-level actions (loss bursts,
+// duplication, reordering) are realised through the medium's per-delivery
+// fault filter.
+//
+// Determinism contract: the injector draws from its own seeded Rng — never
+// from the medium's — so (plan, seed) fully determines which frames are
+// hit, and arming a plan does not perturb the channel's own loss sequence.
+// Every action that fires appends a kFault journal record, and every frame
+// a fault kills is journaled as kFrameDrop / kFaultLoss; reruns with the
+// same world seed and plan seed therefore produce bit-identical ordered
+// digests, and first_divergence() on two dumps pinpoints any drift.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "net/medium.hpp"
+#include "obs/journal.hpp"
+#include "util/rng.hpp"
+#include "util/scheduler.hpp"
+
+namespace mk::fault {
+
+class FaultInjector {
+ public:
+  /// Crash/restart are delegated to the harness (the injector does not know
+  /// what "a node" is beyond its address): crash must silence the node's
+  /// radio, restart must re-enable it.
+  struct NodeControl {
+    std::function<void(net::Addr)> crash;
+    std::function<void(net::Addr)> restart;
+  };
+
+  FaultInjector(net::SimMedium& medium, Scheduler& sched, NodeControl nodes,
+                std::uint64_t seed = 1);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every action of `plan` (times relative to now) and installs
+  /// the per-delivery fault filter. May be called again to layer a further
+  /// plan onto the same run.
+  void arm(const FaultPlan& plan);
+
+  /// Journal for kFault action records (usually the world's shared journal).
+  /// Null disables action journaling.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
+
+  /// Actions that have fired so far (monotonic).
+  std::uint64_t actions_fired() const { return actions_fired_; }
+
+  /// True while any loss/dup/reorder window is open (bench assertions).
+  bool any_window_active() const;
+
+  /// The per-delivery filter (installed on the medium by arm(); exposed for
+  /// tests that drive the medium directly).
+  net::FaultVerdict filter(const net::Frame& frame, net::Addr to);
+
+ private:
+  struct Window {
+    FaultKind kind{};
+    TimePoint until{};
+    double p = 0.0;
+    Duration jitter{};           // reorder max jitter / dup spacing
+    net::Addr from = net::kNoAddr;  // loss scope (kNoAddr = any)
+    net::Addr to = net::kNoAddr;
+  };
+
+  void fire(const FaultAction& action);
+  void open_window(const FaultAction& action);
+  void expire_windows();
+  void journal_action(const FaultAction& action, std::uint64_t b,
+                      std::uint64_t c);
+
+  net::SimMedium& medium_;
+  Scheduler& sched_;
+  NodeControl nodes_;
+  Rng rng_;
+  obs::Journal* journal_ = nullptr;
+  std::vector<Window> windows_;
+  /// Links cut by partitions, in cut order; heal pops the most recent set.
+  std::vector<std::vector<std::pair<net::Addr, net::Addr>>> cuts_;
+  std::uint64_t actions_fired_ = 0;
+  bool filter_installed_ = false;
+};
+
+}  // namespace mk::fault

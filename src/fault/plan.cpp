@@ -1,0 +1,315 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mk::fault {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kLossBurst, "loss"}, {FaultKind::kDuplicate, "dup"},
+    {FaultKind::kReorder, "reorder"}, {FaultKind::kPartition, "partition"},
+    {FaultKind::kHeal, "heal"},       {FaultKind::kCrash, "crash"},
+    {FaultKind::kRestart, "restart"}, {FaultKind::kDrift, "drift"},
+};
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& line,
+                           const std::string& why) {
+  throw std::invalid_argument("fault plan line " + std::to_string(line_no) +
+                              ": " + why + ": \"" + line + "\"");
+}
+
+/// "250us" / "40ms" / "5s" -> Duration. Unit suffix is mandatory so plans
+/// never silently change meaning when someone assumes the wrong base unit.
+Duration parse_duration(const std::string& tok, std::size_t line_no,
+                        const std::string& line) {
+  std::size_t pos = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(tok, &pos);
+  } catch (const std::exception&) {
+    bad_line(line_no, line, "bad duration \"" + tok + "\"");
+  }
+  std::string unit = tok.substr(pos);
+  if (unit == "us") return usec(value);
+  if (unit == "ms") return msec(value);
+  if (unit == "s") return sec(static_cast<std::int64_t>(value));
+  bad_line(line_no, line, "bad duration unit \"" + tok + "\" (use us/ms/s)");
+}
+
+double parse_prob(const std::string& tok, std::size_t line_no,
+                  const std::string& line) {
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    bad_line(line_no, line, "bad number \"" + tok + "\"");
+  }
+}
+
+net::Addr parse_node(const std::string& tok, std::size_t line_no,
+                     const std::string& line) {
+  try {
+    unsigned long idx = std::stoul(tok);
+    return net::addr_for_index(static_cast<std::uint32_t>(idx));
+  } catch (const std::exception&) {
+    bad_line(line_no, line, "bad node index \"" + tok + "\"");
+  }
+}
+
+/// Renders a Duration with the coarsest exact unit, so to_text() output
+/// stays human-shaped ("2s", not "2000000us").
+std::string duration_text(Duration d) {
+  std::int64_t us = d.count();
+  if (us % 1'000'000 == 0) return std::to_string(us / 1'000'000) + "s";
+  if (us % 1'000 == 0) return std::to_string(us / 1'000) + "ms";
+  return std::to_string(us) + "us";
+}
+
+std::string prob_text(double p) {
+  std::ostringstream out;
+  out << p;
+  return out.str();
+}
+
+std::string node_text(net::Addr a) {
+  return std::to_string(net::index_for_addr(a));
+}
+
+}  // namespace
+
+std::string_view kind_name(FaultKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::loss_burst(Duration at, double p, Duration window,
+                                 net::Addr from, net::Addr to) {
+  FaultAction a;
+  a.kind = FaultKind::kLossBurst;
+  a.at = at;
+  a.p = p;
+  a.duration = window;
+  a.from = from;
+  a.to = to;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(Duration at, double p, Duration window,
+                                Duration spacing) {
+  FaultAction a;
+  a.kind = FaultKind::kDuplicate;
+  a.at = at;
+  a.p = p;
+  a.duration = window;
+  a.jitter = spacing;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder(Duration at, Duration max_jitter,
+                              Duration window) {
+  FaultAction a;
+  a.kind = FaultKind::kReorder;
+  a.at = at;
+  a.duration = window;
+  a.jitter = max_jitter;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Duration at, std::vector<net::Addr> side_a,
+                                std::vector<net::Addr> side_b) {
+  FaultAction a;
+  a.kind = FaultKind::kPartition;
+  a.at = at;
+  a.group_a = std::move(side_a);
+  a.group_b = std::move(side_b);
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(Duration at) {
+  FaultAction a;
+  a.kind = FaultKind::kHeal;
+  a.at = at;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(Duration at, net::Addr node) {
+  FaultAction a;
+  a.kind = FaultKind::kCrash;
+  a.at = at;
+  a.from = node;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(Duration at, net::Addr node) {
+  FaultAction a;
+  a.kind = FaultKind::kRestart;
+  a.at = at;
+  a.from = node;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::clock_drift(Duration at, net::Addr node, double factor,
+                                  Duration window) {
+  FaultAction a;
+  a.kind = FaultKind::kDrift;
+  a.at = at;
+  a.from = node;
+  a.p = factor;
+  a.duration = window;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments, then tokenize.
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::vector<std::string> tok;
+    for (std::string t; fields >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+
+    if (tok.size() < 3 || tok[0] != "at") {
+      bad_line(line_no, line, "expected \"at <time> <action> ...\"");
+    }
+    Duration at = parse_duration(tok[1], line_no, line);
+    const std::string& verb = tok[2];
+
+    auto expect_for = [&](std::size_t i) -> Duration {
+      if (i + 1 >= tok.size() || tok[i] != "for") {
+        bad_line(line_no, line, "expected \"for <duration>\"");
+      }
+      return parse_duration(tok[i + 1], line_no, line);
+    };
+
+    if (verb == "loss") {
+      if (tok.size() == 6) {  // at T loss P for D
+        plan.loss_burst(at, parse_prob(tok[3], line_no, line), expect_for(4));
+      } else if (tok.size() == 9 && tok[4] == "link") {
+        // at T loss P link A B for D
+        plan.loss_burst(at, parse_prob(tok[3], line_no, line), expect_for(7),
+                        parse_node(tok[5], line_no, line),
+                        parse_node(tok[6], line_no, line));
+      } else {
+        bad_line(line_no, line,
+                 "expected \"loss <p> [link <a> <b>] for <duration>\"");
+      }
+    } else if (verb == "dup") {
+      if (tok.size() != 6) {
+        bad_line(line_no, line, "expected \"dup <p> for <duration>\"");
+      }
+      plan.duplicate(at, parse_prob(tok[3], line_no, line), expect_for(4));
+    } else if (verb == "reorder") {
+      if (tok.size() != 6) {
+        bad_line(line_no, line, "expected \"reorder <jitter> for <duration>\"");
+      }
+      plan.reorder(at, parse_duration(tok[3], line_no, line), expect_for(4));
+    } else if (verb == "partition") {
+      std::vector<net::Addr> side_a, side_b;
+      bool after_bar = false;
+      for (std::size_t i = 3; i < tok.size(); ++i) {
+        if (tok[i] == "|") {
+          if (after_bar) bad_line(line_no, line, "multiple \"|\"");
+          after_bar = true;
+          continue;
+        }
+        (after_bar ? side_b : side_a)
+            .push_back(parse_node(tok[i], line_no, line));
+      }
+      if (!after_bar || side_a.empty() || side_b.empty()) {
+        bad_line(line_no, line,
+                 "expected \"partition <a...> | <b...>\" with both sides");
+      }
+      plan.partition(at, std::move(side_a), std::move(side_b));
+    } else if (verb == "heal") {
+      if (tok.size() != 3) bad_line(line_no, line, "expected \"heal\"");
+      plan.heal(at);
+    } else if (verb == "crash" || verb == "restart") {
+      if (tok.size() != 4) {
+        bad_line(line_no, line, "expected \"" + verb + " <node>\"");
+      }
+      net::Addr node = parse_node(tok[3], line_no, line);
+      if (verb == "crash") {
+        plan.crash(at, node);
+      } else {
+        plan.restart(at, node);
+      }
+    } else if (verb == "drift") {
+      if (tok.size() != 7) {
+        bad_line(line_no, line,
+                 "expected \"drift <node> <factor> for <duration>\"");
+      }
+      plan.clock_drift(at, parse_node(tok[3], line_no, line),
+                       parse_prob(tok[4], line_no, line), expect_for(5));
+    } else {
+      bad_line(line_no, line, "unknown action \"" + verb + "\"");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream out;
+  for (const FaultAction& a : actions_) {
+    out << "at " << duration_text(a.at) << ' ' << kind_name(a.kind);
+    switch (a.kind) {
+      case FaultKind::kLossBurst:
+        out << ' ' << prob_text(a.p);
+        if (a.from != net::kNoAddr) {
+          out << " link " << node_text(a.from) << ' ' << node_text(a.to);
+        }
+        out << " for " << duration_text(a.duration);
+        break;
+      case FaultKind::kDuplicate:
+        out << ' ' << prob_text(a.p) << " for " << duration_text(a.duration);
+        break;
+      case FaultKind::kReorder:
+        out << ' ' << duration_text(a.jitter) << " for "
+            << duration_text(a.duration);
+        break;
+      case FaultKind::kPartition: {
+        for (net::Addr n : a.group_a) out << ' ' << node_text(n);
+        out << " |";
+        for (net::Addr n : a.group_b) out << ' ' << node_text(n);
+        break;
+      }
+      case FaultKind::kHeal:
+        break;
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        out << ' ' << node_text(a.from);
+        break;
+      case FaultKind::kDrift:
+        out << ' ' << node_text(a.from) << ' ' << prob_text(a.p) << " for "
+            << duration_text(a.duration);
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mk::fault

@@ -71,6 +71,23 @@ const std::set<Addr>& SimMedium::neighbors_of(Addr a) const {
   return it == adjacency_.end() ? kNoNeighbors : it->second;
 }
 
+void SimMedium::set_clock_drift(Addr node, double factor) {
+  // Bounded drift: a real oscillator is parts-per-million off, not orders of
+  // magnitude — clamp so no plan can freeze or teleport a node's traffic.
+  if (factor < 0.5) factor = 0.5;
+  if (factor > 2.0) factor = 2.0;
+  if (factor == 1.0) {
+    drift_.erase(node);
+  } else {
+    drift_[node] = factor;
+  }
+}
+
+double SimMedium::clock_drift(Addr node) const {
+  auto it = drift_.find(node);
+  return it == drift_.end() ? 1.0 : it->second;
+}
+
 bool SimMedium::transmit(const Frame& frame) {
   if (frame.kind == FrameKind::kControl) {
     control_frames_.inc();
@@ -82,8 +99,20 @@ bool SimMedium::transmit(const Frame& frame) {
   journal_frame(obs::RecordKind::kFrameTx, frame.tx, frame.rx, frame);
 
   if (frame.rx == kBroadcast) {
-    for (Addr to : neighbors_of(frame.tx)) {
-      deliver_later(frame, to);
+    if (fault_filter_ == nullptr) {
+      // Fast path: fan out over the adjacency set in place.
+      for (Addr to : neighbors_of(frame.tx)) {
+        deliver_later(frame, to);
+      }
+    } else {
+      // A fault filter runs arbitrary user code per delivery; snapshot the
+      // neighbour set so a filter (or anything it triggers) mutating the
+      // topology cannot invalidate the iterator mid-fan-out.
+      const auto& live = neighbors_of(frame.tx);
+      std::vector<Addr> targets(live.begin(), live.end());
+      for (Addr to : targets) {
+        deliver_later(frame, to);
+      }
     }
     return true;
   }
@@ -98,6 +127,21 @@ bool SimMedium::transmit(const Frame& frame) {
 }
 
 void SimMedium::deliver_later(const Frame& frame, Addr to) {
+  Duration jitter{};
+  std::uint32_t duplicates = 0;
+  Duration dup_spacing{};
+  if (fault_filter_ != nullptr) {
+    FaultVerdict verdict = fault_filter_(frame, to);
+    if (verdict.drop) {
+      dropped_fault_.inc();
+      journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
+                    obs::DropReason::kFaultLoss);
+      return;
+    }
+    jitter = verdict.extra_delay;
+    duplicates = verdict.duplicates;
+    dup_spacing = verdict.dup_spacing;
+  }
   if (loss_prob_ > 0.0 && rng_.bernoulli(loss_prob_)) {
     dropped_loss_.inc();
     journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
@@ -107,12 +151,39 @@ void SimMedium::deliver_later(const Frame& frame, Addr to) {
   Duration delay =
       base_delay_ + Duration{per_byte_delay_.count() *
                              static_cast<std::int64_t>(frame.wire_size())};
+  auto drift = drift_.find(frame.tx);
+  if (drift != drift_.end()) {
+    delay = Duration{static_cast<std::int64_t>(
+        static_cast<double>(delay.count()) * drift->second)};
+  }
+  delay = delay + jitter;
+  schedule_delivery(frame, to, delay);
+  for (std::uint32_t i = 1; i <= duplicates; ++i) {
+    schedule_delivery(frame, to,
+                      delay + Duration{dup_spacing.count() *
+                                       static_cast<std::int64_t>(i)});
+  }
+}
+
+void SimMedium::schedule_delivery(const Frame& frame, Addr to, Duration delay) {
   sched_.schedule_after(delay, [this, frame, to] {
     // Re-check adjacency at delivery time: the topology may have changed
-    // while the frame was "on the air".
-    if (frame.rx == kBroadcast && !has_link(frame.tx, to)) return;
+    // while the frame was "on the air". Both late-drop paths are journaled —
+    // faults that cut links or down nodes mid-flight must leave a drop
+    // record, not silently elide the frame (keeps first_divergence useful).
+    if (frame.rx == kBroadcast && !has_link(frame.tx, to)) {
+      dropped_link_lost_.inc();
+      journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
+                    obs::DropReason::kLinkLost);
+      return;
+    }
     auto it = devices_.find(to);
-    if (it == devices_.end() || !it->second->is_up()) return;
+    if (it == devices_.end() || !it->second->is_up()) {
+      dropped_node_down_.inc();
+      journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
+                    obs::DropReason::kNodeDown);
+      return;
+    }
     journal_frame(obs::RecordKind::kFrameRx, to, frame.tx, frame);
     it->second->receive(frame);
   });
@@ -147,6 +218,9 @@ MediumStats SimMedium::stats() const {
   out.data_frames = data_frames_.value();
   out.data_bytes = data_bytes_.value();
   out.dropped_loss = dropped_loss_.value();
+  out.dropped_fault = dropped_fault_.value();
+  out.dropped_link_lost = dropped_link_lost_.value();
+  out.dropped_node_down = dropped_node_down_.value();
   out.failed_unicasts = failed_unicasts_.value();
   return out;
 }

@@ -39,7 +39,19 @@ struct MediumStats {
   std::uint64_t data_frames = 0;
   std::uint64_t data_bytes = 0;
   std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_fault = 0;      // injected fault (loss burst etc.)
+  std::uint64_t dropped_link_lost = 0;  // link dropped while frame in flight
+  std::uint64_t dropped_node_down = 0;  // receiver down at delivery time
   std::uint64_t failed_unicasts = 0;
+};
+
+/// Per-delivery verdict from an installed fault filter (see
+/// SimMedium::set_fault_filter). The default verdict is "deliver normally".
+struct FaultVerdict {
+  bool drop = false;              // journaled as kFrameDrop / kFaultLoss
+  std::uint32_t duplicates = 0;   // extra copies delivered after the original
+  Duration dup_spacing{};         // gap between successive duplicates
+  Duration extra_delay{};         // reorder jitter added to this delivery
 };
 
 class SimMedium {
@@ -76,6 +88,22 @@ class SimMedium {
   /// Uniform frame loss probability applied per receiver.
   void set_loss_probability(double p) { loss_prob_ = p; }
 
+  // -- fault injection ----------------------------------------------------------
+  /// Per-delivery fault filter, consulted for every (frame, receiver) pair
+  /// before the channel loss draw (fault/injector.hpp installs one to realise
+  /// loss bursts, duplication and reordering windows). Null detaches; cost
+  /// when unset is one branch per delivery.
+  using FaultFilter = std::function<FaultVerdict(const Frame&, Addr to)>;
+  void set_fault_filter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+
+  /// Bounded clock drift: deliveries transmitted *by* `node` have their
+  /// propagation delay scaled by `factor` (clamped to [0.5, 2.0]) — a skewed
+  /// local oscillator makes everything that node sends arrive early or late
+  /// relative to true sim time. 1.0 (or clear_clock_drift) removes the skew.
+  void set_clock_drift(Addr node, double factor);
+  void clear_clock_drift(Addr node) { drift_.erase(node); }
+  double clock_drift(Addr node) const;
+
   // -- transmission -------------------------------------------------------------
   /// Transmits a frame. Broadcast frames reach every current neighbour of
   /// frame.tx (each with independent loss); unicast frames reach frame.rx if
@@ -99,6 +127,7 @@ class SimMedium {
 
  private:
   void deliver_later(const Frame& frame, Addr to);
+  void schedule_delivery(const Frame& frame, Addr to, Duration delay);
   void journal_frame(obs::RecordKind kind, Addr at, std::uint64_t peer,
                      const Frame& frame, obs::DropReason reason = {}) const;
   std::uint64_t payload_hash(const Frame& frame) const;
@@ -111,12 +140,19 @@ class SimMedium {
   Duration base_delay_ = usec(500);
   Duration per_byte_delay_ = usec(1);  // ~8 Mbit/s effective
   double loss_prob_ = 0.0;
+  FaultFilter fault_filter_;
+  std::map<Addr, double> drift_;
   obs::MetricsRegistry metrics_;
   obs::Counter& control_frames_ = metrics_.counter("medium.control_frames");
   obs::Counter& control_bytes_ = metrics_.counter("medium.control_bytes");
   obs::Counter& data_frames_ = metrics_.counter("medium.data_frames");
   obs::Counter& data_bytes_ = metrics_.counter("medium.data_bytes");
   obs::Counter& dropped_loss_ = metrics_.counter("medium.dropped_loss");
+  obs::Counter& dropped_fault_ = metrics_.counter("medium.dropped_fault");
+  obs::Counter& dropped_link_lost_ =
+      metrics_.counter("medium.dropped_link_lost");
+  obs::Counter& dropped_node_down_ =
+      metrics_.counter("medium.dropped_node_down");
   obs::Counter& failed_unicasts_ = metrics_.counter("medium.failed_unicasts");
   obs::Journal* journal_ = nullptr;
   // One-entry payload-hash cache: a broadcast's tx record and its k rx

@@ -17,7 +17,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 11> kKindNames{{
+constexpr std::array<KindName, 13> kKindNames{{
     {RecordKind::kEventDispatch, "event_dispatch"},
     {RecordKind::kFrameTx, "frame_tx"},
     {RecordKind::kFrameRx, "frame_rx"},
@@ -29,6 +29,8 @@ constexpr std::array<KindName, 11> kKindNames{{
     {RecordKind::kCfUnbind, "cf_unbind"},
     {RecordKind::kLinkUp, "link_up"},
     {RecordKind::kLinkDown, "link_down"},
+    {RecordKind::kFault, "fault"},
+    {RecordKind::kReconfig, "reconfig"},
 }};
 
 }  // namespace

@@ -76,10 +76,31 @@ enum class RecordKind : std::uint8_t {
   kCfUnbind = 9,       // a=stable unit-name hash, b=layer
   kLinkUp = 10,        // a=peer
   kLinkDown = 11,      // a=peer
+  kFault = 12,         // a=fault action kind, b/c=action parameters
+  kReconfig = 13,      // a=ReconfigPhase | (extra<<8: backoff us on kRetry,
+                       //    attempt count on kCommit/kRollback),
+                       // b=from-name hash, c=to-name hash
 };
 
-/// Reasons packed into kFrameDrop's c field.
-enum class DropReason : std::uint64_t { kLoss = 1, kNoLink = 2 };
+/// Reasons packed into kFrameDrop's c field. Every frame that leaves the air
+/// without being delivered lands in the journal under exactly one of these —
+/// nothing is silently elided, so first_divergence() on two runs' drop
+/// streams pinpoints where behaviour parted ways.
+enum class DropReason : std::uint64_t {
+  kLoss = 1,       // channel loss probability draw
+  kNoLink = 2,     // unicast to a non-adjacent destination (link-layer fail)
+  kLinkLost = 3,   // link went down while the frame was in flight
+  kNodeDown = 4,   // receiver device down/detached at delivery time
+  kFaultLoss = 5,  // dropped by an injected fault (loss burst / partition)
+};
+
+/// Phases packed into kReconfig's a field (protocol replace lifecycle).
+enum class ReconfigPhase : std::uint64_t {
+  kBegin = 1,     // quiesced, about to swap
+  kRetry = 2,     // a deploy attempt failed; backing off (c=backoff us)
+  kCommit = 3,    // replacement active (state carried if requested)
+  kRollback = 4,  // permanent failure; prior protocol redeployed
+};
 
 std::string_view kind_name(RecordKind kind);
 std::optional<RecordKind> kind_from_name(std::string_view name);

@@ -107,10 +107,29 @@ bool SimWorld::has_route(std::size_t i, net::Addr dest) const {
   return nodes_.at(i)->kernel_table().lookup(dest).has_value();
 }
 
+fault::FaultInjector& SimWorld::apply_fault_plan(const fault::FaultPlan& plan,
+                                                 std::uint64_t seed) {
+  if (injector_ == nullptr) {
+    fault::FaultInjector::NodeControl control;
+    control.crash = [this](net::Addr a) {
+      nodes_.at(net::index_for_addr(a))->device().set_up(false);
+    };
+    control.restart = [this](net::Addr a) {
+      nodes_.at(net::index_for_addr(a))->device().set_up(true);
+    };
+    injector_ = std::make_unique<fault::FaultInjector>(
+        medium_, sched_, std::move(control), seed);
+    injector_->set_journal(journal_.get());
+  }
+  injector_->arm(plan);
+  return *injector_;
+}
+
 obs::Journal& SimWorld::enable_tracing(std::size_t capacity) {
   if (journal_ != nullptr) return *journal_;
   journal_ = std::make_unique<obs::Journal>(capacity);
   medium_.set_journal(journal_.get());
+  if (injector_ != nullptr) injector_->set_journal(journal_.get());
   sched_.set_fire_hook([this](TimerId id, TimePoint at) {
     journal_->append({obs::RecordKind::kTimerFire, 0xffffffffu, at.us,
                       static_cast<std::uint64_t>(id), 0, 0});

@@ -11,6 +11,8 @@
 #include "baselines/dymoum.hpp"
 #include "baselines/olsrd.hpp"
 #include "core/manetkit.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "net/medium.hpp"
 #include "net/node.hpp"
 #include "net/topology.hpp"
@@ -79,6 +81,22 @@ class SimWorld {
   /// True when node i holds a valid kernel route to `dest`.
   bool has_route(std::size_t i, net::Addr dest) const;
 
+  // -- fault injection ----------------------------------------------------------
+  /// Arms a deterministic fault plan against this world (times relative to
+  /// now()): schedules every action, installs the medium's per-delivery
+  /// fault filter, and binds crash/restart to the nodes' devices. The
+  /// injector draws from its own Rng seeded with `seed`, so (world seed,
+  /// plan, fault seed) fully determines the run. Callable repeatedly to
+  /// layer plans; all share one injector (and the first call's seed).
+  fault::FaultInjector& apply_fault_plan(const fault::FaultPlan& plan,
+                                         std::uint64_t seed = 1);
+  fault::FaultInjector* injector() { return injector_.get(); }
+
+  /// Device-level crash/restart (radio off/on) — the crash model fault plans
+  /// use, exposed for direct scripting in tests.
+  void crash_node(std::size_t i) { nodes_.at(i)->device().set_up(false); }
+  void restart_node(std::size_t i) { nodes_.at(i)->device().set_up(true); }
+
   // -- observability ------------------------------------------------------------
   /// Turns on whole-world tracing: one shared journal receives records from
   /// the medium (frame tx/rx/drop, link transitions), the scheduler (timer
@@ -102,6 +120,7 @@ class SimWorld {
   std::vector<std::unique_ptr<baseline::RoutingDaemon>> daemons_;
   std::unique_ptr<obs::Journal> journal_;
   std::unique_ptr<obs::InvariantChecker> checker_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace mk::testbed
