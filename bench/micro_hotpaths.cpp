@@ -267,12 +267,17 @@ BENCHMARK(BM_EventFanoutWithMsgJournaled)->Arg(1)->Arg(3)->Arg(8);
 // far-future crash still pending. The steady state therefore runs with the
 // injection filter installed and the plan live but no window open — that
 // standing cost is the injection budget, within ~2% of Arg(1).
+// Arg(3) instead wraps every dispatch in the supervision guard (healthy
+// units, no misbehaviour): the guarded-deliver atomic load plus the
+// per-dispatch charge reset is the armed-idle supervision budget, within
+// ~2% of Arg(2).
 void BM_OlsrWorldSecond(benchmark::State& state) {
   testbed::SimWorld world(5);
   world.linear();
   if (state.range(0) != 0) world.enable_tracing();
+  if (state.range(0) == 3) world.enable_supervision();
   world.deploy_all("olsr");
-  if (state.range(0) == 2) {
+  if (state.range(0) >= 2) {
     fault::FaultPlan plan;
     plan.loss_burst(sec(1), 0.1, sec(4));  // expires during convergence
     plan.crash(sec(1'000'000'000), world.addr(4));  // pending, never reached
@@ -297,7 +302,7 @@ void BM_OlsrWorldSecond(benchmark::State& state) {
         benchmark::Counter::kAvgIterations);
   }
 }
-BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_MprSelection(benchmark::State& state) {
   // A dense neighbourhood: n neighbours, each covering a slice of 2n

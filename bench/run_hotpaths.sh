@@ -65,7 +65,11 @@ report = {
             "are the pre-change numbers for the same benchmark. "
             "BM_OlsrWorldSecond/2 adds an armed-but-idle fault plan on top "
             "of tracing (/1): the delta between the two is the fault "
-            "injection overhead when no faults fire.",
+            "injection overhead when no faults fire. "
+            "BM_OlsrWorldSecond/3 additionally routes every dispatch "
+            "through the supervision guard with all units healthy: the "
+            "delta over /2 is the armed-idle supervision budget "
+            "(acceptance bar: within 2%).",
     "context": raw.get("context", {}),
     "results": results,
 }

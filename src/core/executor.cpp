@@ -5,8 +5,17 @@
 
 namespace mk::core {
 
+void Executor::deliver(CfsUnit& target, const ev::Event& event) {
+  auto* g = guard_.load(std::memory_order_acquire);
+  if (g != nullptr) {
+    g->deliver(target, event);
+  } else {
+    target.deliver(event);
+  }
+}
+
 void InlineExecutor::dispatch(CfsUnit& target, ev::Event event) {
-  target.deliver(event);
+  deliver(target, event);
 }
 
 PoolExecutor::PoolExecutor(std::size_t threads, std::size_t batch)
@@ -29,7 +38,7 @@ void PoolExecutor::flush_locked() {
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   pool_.submit([this, work] {
     for (auto& p : *work) {
-      p.target->deliver(p.event);
+      deliver(*p.target, p.event);
     }
     if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::scoped_lock lk(idle_mutex_);
@@ -73,7 +82,11 @@ void DedicatedQueue::drain() {
 
 void DedicatedQueue::run() {
   while (auto event = queue_.pop()) {
-    unit_.deliver(*event);
+    if (auto* g = guard_.load(std::memory_order_acquire)) {
+      g->deliver(unit_, *event);
+    } else {
+      unit_.deliver(*event);
+    }
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::scoped_lock lk(idle_mutex_);
       idle_cv_.notify_all();

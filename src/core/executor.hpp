@@ -17,6 +17,7 @@
 //                           returns immediately.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 
@@ -34,6 +35,16 @@ enum class ConcurrencyModel {
   kThreadPerNMessages,
 };
 
+/// Interposes on the actual `target.deliver(event)` call — the supervision
+/// layer's isolation boundary (ISSUE 5). Implementations MUST NOT let an
+/// exception escape deliver(): from the executor's point of view a guarded
+/// delivery always completes, whatever the component did inside.
+class DispatchGuard {
+ public:
+  virtual ~DispatchGuard() = default;
+  virtual void deliver(CfsUnit& target, const ev::Event& event) = 0;
+};
+
 /// Dispatch strategy for delivering events from below.
 class Executor {
  public:
@@ -41,6 +52,20 @@ class Executor {
   virtual void dispatch(CfsUnit& target, ev::Event event) = 0;
   /// Blocks until previously dispatched events have been processed.
   virtual void drain() {}
+
+  /// Installs (or clears, with nullptr) the guard wrapped around every
+  /// deliver call. Atomic so pool workers can race a reconfiguring thread.
+  void set_guard(DispatchGuard* guard) {
+    guard_.store(guard, std::memory_order_release);
+  }
+
+ protected:
+  /// The one true deliver site: unguarded fast path is a single atomic load
+  /// and branch, so the unsupervised hot path pays ~nothing.
+  void deliver(CfsUnit& target, const ev::Event& event);
+
+ private:
+  std::atomic<DispatchGuard*> guard_{nullptr};
 };
 
 /// Single-threaded: deliver inline on the calling thread.
@@ -87,9 +112,16 @@ class DedicatedQueue {
   /// Blocks until the queue has been drained and the worker is idle.
   void drain();
 
+  /// Same contract as Executor::set_guard; the Framework Manager refreshes
+  /// this on every enqueue so dedicated threads honour supervision too.
+  void set_guard(DispatchGuard* guard) {
+    guard_.store(guard, std::memory_order_release);
+  }
+
  private:
   void run();
 
+  std::atomic<DispatchGuard*> guard_{nullptr};
   CfsUnit& unit_;
   BlockingQueue<ev::Event> queue_;
   std::atomic<std::size_t> pending_{0};

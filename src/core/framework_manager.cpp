@@ -57,6 +57,9 @@ void FrameworkManager::deregister_unit(CfsUnit* unit) {
   if (it == registrations_.end()) return;
   int layer = it->layer;
   registrations_.erase(it);
+  if (quarantined_.erase(unit) > 0) {
+    quarantined_count_.store(quarantined_.size(), std::memory_order_release);
+  }
   if (auto* proto = dynamic_cast<ManetProtocolCf*>(unit)) {
     proto->set_manager(nullptr);
   }
@@ -93,9 +96,13 @@ void FrameworkManager::rebind() {
   auto lock = quiesce();
   routes_.clear();
 
-  // Collect every event type any unit requires or provides.
+  // Collect every event type any unit requires or provides. Quarantined
+  // units contribute nothing: their tuples are unbound, so the chains and
+  // exclusive-delivery designations below are recomputed over the survivors
+  // — the breaker's "route around it" step (ISSUE 5).
   std::vector<ev::EventTypeId> all_types;
   for (const auto& r : registrations_) {
+    if (quarantined_.count(r.unit) > 0) continue;
     const auto& t = r.unit->tuple();
     for (auto id : t.required) all_types.push_back(id);
     for (auto id : t.provided) all_types.push_back(id);
@@ -107,6 +114,7 @@ void FrameworkManager::rebind() {
   for (ev::EventTypeId type : all_types) {
     Route route;
     for (const auto& r : registrations_) {
+      if (quarantined_.count(r.unit) > 0) continue;
       const auto& t = r.unit->tuple();
       bool req = t.requires_type(type);
       bool prov = t.provides(type);
@@ -134,6 +142,14 @@ void FrameworkManager::route(CfsUnit* emitter, ev::Event event) {
   std::vector<CfsUnit*> targets;
   {
     auto lock = quiesce();
+    // A quarantined unit's event sources may still be winding down; their
+    // emissions must not leak into the live composition.
+    if (emitter != nullptr && quarantined_count_.load(std::memory_order_relaxed) != 0 &&
+        quarantined_.count(emitter) > 0) {
+      ++quarantine_drops_;
+      if (quarantine_drop_ctr_ != nullptr) quarantine_drop_ctr_->inc();
+      return;
+    }
     ++events_routed_;
     if (routed_ctr_ != nullptr) routed_ctr_->inc();
     auto it = routes_.find(event.type());
@@ -213,14 +229,51 @@ void FrameworkManager::set_metrics(obs::MetricsRegistry* metrics) {
                                    : nullptr;
   dispatch_ctr_ = metrics != nullptr ? &metrics->counter("fm.dispatches")
                                      : nullptr;
+  quarantine_drop_ctr_ =
+      metrics != nullptr ? &metrics->counter("fm.quarantine_drops") : nullptr;
+}
+
+void FrameworkManager::set_dispatch_guard(DispatchGuard* guard) {
+  auto lock = quiesce();
+  guard_.store(guard, std::memory_order_release);
+  if (executor_ != nullptr) executor_->set_guard(guard);
+}
+
+void FrameworkManager::set_quarantined(CfsUnit* unit, bool on) {
+  MK_ASSERT(unit != nullptr);
+  auto lock = quiesce();
+  if (!is_registered(unit)) return;
+  bool changed = on ? quarantined_.insert(unit).second
+                    : quarantined_.erase(unit) > 0;
+  if (!changed) return;
+  quarantined_count_.store(quarantined_.size(), std::memory_order_release);
+  rebind();
+}
+
+bool FrameworkManager::is_quarantined(const CfsUnit* unit) const {
+  if (quarantined_count_.load(std::memory_order_acquire) == 0) return false;
+  auto lock = quiesce();
+  return quarantined_.count(unit) > 0;
 }
 
 void FrameworkManager::dispatch(CfsUnit& target, ev::Event event) {
+  // In-flight events towards a freshly quarantined unit are dropped here (the
+  // routes computed before the breaker tripped may still reference it). The
+  // atomic pre-check keeps the healthy path lock-free.
+  if (quarantined_count_.load(std::memory_order_acquire) != 0) {
+    auto lock = quiesce();
+    if (quarantined_.count(&target) > 0) {
+      ++quarantine_drops_;
+      if (quarantine_drop_ctr_ != nullptr) quarantine_drop_ctr_->inc();
+      return;
+    }
+  }
   if (dispatch_ctr_ != nullptr) dispatch_ctr_->inc();
   // Thread-per-ManetProtocol takes precedence over the global model: the
   // instance's dedicated FIFO decouples it from the shepherding thread.
   if (auto* proto = dynamic_cast<ManetProtocolCf*>(&target)) {
     if (auto* queue = proto->dedicated()) {
+      queue->set_guard(guard_.load(std::memory_order_acquire));
       queue->enqueue(std::move(event));
       return;
     }
@@ -244,6 +297,7 @@ void FrameworkManager::set_concurrency(ConcurrencyModel model,
       executor_ = std::make_unique<PoolExecutor>(threads, batch);
       break;
   }
+  executor_->set_guard(guard_.load(std::memory_order_acquire));
 }
 
 void FrameworkManager::drain() {

@@ -22,9 +22,11 @@
 // protocol produced them.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -90,9 +92,29 @@ class FrameworkManager : public oc::ComponentFramework {
   void set_journal(obs::Journal* journal, std::uint32_t node,
                    Scheduler* clock);
 
-  /// Mirrors the manager's counters ("fm.events_routed", "fm.dispatches")
-  /// into a shared registry. Null reverts to internal-only counting.
+  /// Mirrors the manager's counters ("fm.events_routed", "fm.dispatches",
+  /// "fm.quarantine_drops") into a shared registry. Null reverts to
+  /// internal-only counting.
   void set_metrics(obs::MetricsRegistry* metrics);
+
+  // -- supervision (ISSUE 5) --------------------------------------------------
+  /// Installs the guard wrapped around every deliver call (all executor
+  /// models, including dedicated per-protocol queues). Null uninstalls.
+  /// Survives set_concurrency(): the guard is re-applied to the new executor.
+  void set_dispatch_guard(DispatchGuard* guard);
+  DispatchGuard* dispatch_guard() const {
+    return guard_.load(std::memory_order_acquire);
+  }
+
+  /// Quarantines (or releases) a unit: its tuples drop out of the derived
+  /// bindings — rebind() recomputes interposer chains and exclusive delivery
+  /// over the remaining units, so traffic is routed *around* it — and events
+  /// already in flight towards it, or emitted by its still-running sources,
+  /// are dropped and counted ("fm.quarantine_drops"). Deregistration clears
+  /// quarantine implicitly. No-op when the unit is not registered.
+  void set_quarantined(CfsUnit* unit, bool on);
+  bool is_quarantined(const CfsUnit* unit) const;
+  std::uint64_t quarantine_drops() const { return quarantine_drops_; }
 
  private:
   struct Registration {
@@ -111,6 +133,12 @@ class FrameworkManager : public oc::ComponentFramework {
   void check_unit_rules(const std::vector<CfsUnit*>& hypothetical) const;
 
   std::vector<Registration> registrations_;
+  std::set<const CfsUnit*> quarantined_;
+  // Mirrors quarantined_.size(); lets dispatch() skip the lock entirely in
+  // the (overwhelmingly common) no-quarantine case.
+  std::atomic<std::size_t> quarantined_count_{0};
+  std::atomic<DispatchGuard*> guard_{nullptr};
+  std::uint64_t quarantine_drops_ = 0;
   std::uint64_t next_seq_ = 1;
   std::map<ev::EventTypeId, Route> routes_;
   std::vector<UnitRule> unit_rules_;
@@ -123,6 +151,7 @@ class FrameworkManager : public oc::ComponentFramework {
   Scheduler* journal_clock_ = nullptr;
   obs::Counter* routed_ctr_ = nullptr;
   obs::Counter* dispatch_ctr_ = nullptr;
+  obs::Counter* quarantine_drop_ctr_ = nullptr;
 };
 
 }  // namespace mk::core

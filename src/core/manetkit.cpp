@@ -222,4 +222,9 @@ int Manetkit::layer_of(const std::string& name) const {
   return it == deployed_.end() ? -1 : it->second.layer;
 }
 
+std::string Manetkit::category_of(const std::string& name) const {
+  auto it = specs_.find(name);
+  return it == specs_.end() ? std::string{} : it->second.category;
+}
+
 }  // namespace mk::core

@@ -24,6 +24,19 @@
 
 namespace mk::core {
 
+/// Node-health surface published by the supervision layer (ISSUE 5). The
+/// facade only *holds* the pointer: the policy engine reads it when building
+/// a ContextView, so escalated component failures become an adaptation
+/// trigger like battery level or neighbour churn.
+class HealthProvider {
+ public:
+  virtual ~HealthProvider() = default;
+  /// Units currently routed around by the circuit breaker.
+  virtual std::vector<std::string> quarantined_units() const = 0;
+  /// Units whose recovery ladder is exhausted (fallen back or escalated).
+  virtual std::vector<std::string> failed_units() const = 0;
+};
+
 class Manetkit {
  public:
   explicit Manetkit(net::SimNode& node);
@@ -107,6 +120,14 @@ class Manetkit {
   }
 
   int layer_of(const std::string& name) const;
+  /// Registered category for a protocol name ("" when unknown/uncategorised).
+  std::string category_of(const std::string& name) const;
+
+  // -- supervision (ISSUE 5) ---------------------------------------------------
+  /// Publishes (or clears, with nullptr) the node's health surface. Owned by
+  /// the caller (normally the node's Supervisor), read by the policy engine.
+  void set_health_provider(HealthProvider* provider) { health_ = provider; }
+  HealthProvider* health_provider() const { return health_; }
 
   // -- observability -----------------------------------------------------------
   /// This node's metrics registry: the Framework Manager, System CF and every
@@ -142,6 +163,7 @@ class Manetkit {
   std::unique_ptr<SystemCf> system_;
   std::map<std::string, ProtoSpec> specs_;
   std::map<std::string, DeployedProto> deployed_;
+  HealthProvider* health_ = nullptr;
 };
 
 }  // namespace mk::core

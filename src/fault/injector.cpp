@@ -109,6 +109,23 @@ void FaultInjector::fire(const FaultAction& action) {
                                            "restart control was provided");
       nodes_.restart(action.from);
       break;
+    case FaultKind::kMisbehave: {
+      journal_action(action, static_cast<std::uint64_t>(action.mode), dur_us);
+      MK_ENSURE(nodes_.misbehave != nullptr,
+                "fault plan misbehaves a component but no misbehave control "
+                "was provided (enable supervision first)");
+      nodes_.misbehave(action.from, action.component, action.mode);
+      // A windowed misbehaviour clears itself; zero duration = until cleared
+      // by a later action.
+      if (action.duration.count() > 0 && action.mode != Misbehave::kNone) {
+        const net::Addr node = action.from;
+        const std::string component = action.component;
+        sched_.schedule_after(action.duration, [this, node, component] {
+          nodes_.misbehave(node, component, Misbehave::kNone);
+        });
+      }
+      break;
+    }
   }
 }
 

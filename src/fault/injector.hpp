@@ -31,10 +31,13 @@ class FaultInjector {
  public:
   /// Crash/restart are delegated to the harness (the injector does not know
   /// what "a node" is beyond its address): crash must silence the node's
-  /// radio, restart must re-enable it.
+  /// radio, restart must re-enable it. misbehave must route the component
+  /// fault to the node's supervision layer (mode kNone clears an active
+  /// misbehaviour — the injector schedules that itself for windowed actions).
   struct NodeControl {
     std::function<void(net::Addr)> crash;
     std::function<void(net::Addr)> restart;
+    std::function<void(net::Addr, const std::string&, Misbehave)> misbehave;
   };
 
   FaultInjector(net::SimMedium& medium, Scheduler& sched, NodeControl nodes,

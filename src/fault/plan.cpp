@@ -1,6 +1,9 @@
 #include "fault/plan.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,49 +21,123 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kReorder, "reorder"}, {FaultKind::kPartition, "partition"},
     {FaultKind::kHeal, "heal"},       {FaultKind::kCrash, "crash"},
     {FaultKind::kRestart, "restart"}, {FaultKind::kDrift, "drift"},
+    {FaultKind::kMisbehave, "misbehave"},
 };
 
-[[noreturn]] void bad_line(std::size_t line_no, const std::string& line,
-                           const std::string& why) {
-  throw std::invalid_argument("fault plan line " + std::to_string(line_no) +
-                              ": " + why + ": \"" + line + "\"");
-}
+struct MisbehaveName {
+  Misbehave mode;
+  std::string_view name;
+};
+
+constexpr MisbehaveName kMisbehaveNames[] = {
+    {Misbehave::kNone, "none"},
+    {Misbehave::kThrow, "throw"},
+    {Misbehave::kStall, "stall"},
+    {Misbehave::kCorrupt, "corrupt"},
+};
+
+// Highest node index the 10.0.0.(index+1) address plan can express without
+// spilling out of the final octet.
+constexpr std::uint32_t kMaxNodeIndex = 253;
+
+/// Parse context for one line; helpers fill `error` and return false instead
+/// of throwing, so arbitrarily hostile input can at worst be rejected.
+struct LineCtx {
+  std::size_t no = 0;
+  const std::string* text = nullptr;
+  std::string error;
+
+  bool fail(const std::string& why) {
+    error = "fault plan line " + std::to_string(no) + ": " + why + ": \"" +
+            *text + "\"";
+    return false;
+  }
+};
 
 /// "250us" / "40ms" / "5s" -> Duration. Unit suffix is mandatory so plans
 /// never silently change meaning when someone assumes the wrong base unit.
-Duration parse_duration(const std::string& tok, std::size_t line_no,
-                        const std::string& line) {
-  std::size_t pos = 0;
-  long long value = 0;
-  try {
-    value = std::stoll(tok, &pos);
-  } catch (const std::exception&) {
-    bad_line(line_no, line, "bad duration \"" + tok + "\"");
+/// Rejects negatives and magnitudes that would overflow the microsecond
+/// arithmetic.
+bool parse_duration(const std::string& tok, LineCtx& ctx, Duration& out) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || ptr == tok.data()) {
+    return ctx.fail("bad duration \"" + tok + "\"");
   }
-  std::string unit = tok.substr(pos);
-  if (unit == "us") return usec(value);
-  if (unit == "ms") return msec(value);
-  if (unit == "s") return sec(static_cast<std::int64_t>(value));
-  bad_line(line_no, line, "bad duration unit \"" + tok + "\" (use us/ms/s)");
+  if (value < 0) return ctx.fail("negative duration \"" + tok + "\"");
+  std::string_view unit(ptr, static_cast<std::size_t>(tok.data() + tok.size() - ptr));
+  std::int64_t scale = 0;
+  if (unit == "us") {
+    scale = 1;
+  } else if (unit == "ms") {
+    scale = 1'000;
+  } else if (unit == "s") {
+    scale = 1'000'000;
+  } else {
+    return ctx.fail("bad duration unit \"" + tok + "\" (use us/ms/s)");
+  }
+  if (value > std::numeric_limits<std::int64_t>::max() / scale) {
+    return ctx.fail("duration out of range \"" + tok + "\"");
+  }
+  out = Duration{value * scale};
+  return true;
 }
 
-double parse_prob(const std::string& tok, std::size_t line_no,
-                  const std::string& line) {
-  try {
-    return std::stod(tok);
-  } catch (const std::exception&) {
-    bad_line(line_no, line, "bad number \"" + tok + "\"");
+/// Finite double in [lo, hi]; the whole token must be numeric (no "0.5x").
+bool parse_number(const std::string& tok, LineCtx& ctx, double lo, double hi,
+                  const char* what, double& out) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    return ctx.fail(std::string("bad ") + what + " \"" + tok + "\"");
   }
+  if (!std::isfinite(value) || value < lo || value > hi) {
+    return ctx.fail(std::string(what) + " out of range \"" + tok + "\" (want [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) + "])");
+  }
+  out = value;
+  return true;
 }
 
-net::Addr parse_node(const std::string& tok, std::size_t line_no,
-                     const std::string& line) {
-  try {
-    unsigned long idx = std::stoul(tok);
-    return net::addr_for_index(static_cast<std::uint32_t>(idx));
-  } catch (const std::exception&) {
-    bad_line(line_no, line, "bad node index \"" + tok + "\"");
+bool parse_node(const std::string& tok, LineCtx& ctx, net::Addr& out) {
+  std::uint32_t idx = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), idx);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    return ctx.fail("bad node index \"" + tok + "\"");
   }
+  if (idx > kMaxNodeIndex) {
+    return ctx.fail("node index out of range \"" + tok + "\" (max " +
+                    std::to_string(kMaxNodeIndex) + ")");
+  }
+  out = net::addr_for_index(idx);
+  return true;
+}
+
+/// CFS unit names: bounded length, identifier-ish characters only, so a
+/// hostile plan cannot smuggle control bytes into journals or logs.
+bool parse_component(const std::string& tok, LineCtx& ctx, std::string& out) {
+  if (tok.empty() || tok.size() > 64) {
+    return ctx.fail("bad component name \"" + tok + "\"");
+  }
+  for (char c : tok) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return ctx.fail("bad component name \"" + tok + "\"");
+  }
+  out = tok;
+  return true;
+}
+
+bool parse_misbehave_mode(const std::string& tok, LineCtx& ctx,
+                          Misbehave& out) {
+  for (const auto& [mode, name] : kMisbehaveNames) {
+    if (name == tok) {
+      out = mode;
+      return true;
+    }
+  }
+  return ctx.fail("bad misbehave mode \"" + tok +
+                  "\" (use throw/stall/corrupt/none)");
 }
 
 /// Renders a Duration with the coarsest exact unit, so to_text() output
@@ -87,6 +164,13 @@ std::string node_text(net::Addr a) {
 std::string_view kind_name(FaultKind kind) {
   for (const auto& [k, name] : kKindNames) {
     if (k == kind) return name;
+  }
+  return "?";
+}
+
+std::string_view misbehave_name(Misbehave mode) {
+  for (const auto& [m, name] : kMisbehaveNames) {
+    if (m == mode) return name;
   }
   return "?";
 }
@@ -176,7 +260,21 @@ FaultPlan& FaultPlan::clock_drift(Duration at, net::Addr node, double factor,
   return *this;
 }
 
-FaultPlan FaultPlan::parse(std::string_view text) {
+FaultPlan& FaultPlan::misbehave(Duration at, net::Addr node,
+                                std::string component, Misbehave mode,
+                                Duration window) {
+  FaultAction a;
+  a.kind = FaultKind::kMisbehave;
+  a.at = at;
+  a.from = node;
+  a.component = std::move(component);
+  a.mode = mode;
+  a.duration = window;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+Result<FaultPlan> FaultPlan::try_parse(std::string_view text) {
   FaultPlan plan;
   std::istringstream in{std::string(text)};
   std::string line;
@@ -192,83 +290,135 @@ FaultPlan FaultPlan::parse(std::string_view text) {
     for (std::string t; fields >> t;) tok.push_back(std::move(t));
     if (tok.empty()) continue;
 
+    LineCtx ctx;
+    ctx.no = line_no;
+    ctx.text = &line;
+
     if (tok.size() < 3 || tok[0] != "at") {
-      bad_line(line_no, line, "expected \"at <time> <action> ...\"");
+      ctx.fail("expected \"at <time> <action> ...\"");
+      return Result<FaultPlan>::fail(ctx.error);
     }
-    Duration at = parse_duration(tok[1], line_no, line);
+    Duration at{};
+    if (!parse_duration(tok[1], ctx, at)) {
+      return Result<FaultPlan>::fail(ctx.error);
+    }
     const std::string& verb = tok[2];
 
-    auto expect_for = [&](std::size_t i) -> Duration {
+    // "for <duration>" at token position i; fills `window`.
+    auto expect_for = [&](std::size_t i, Duration& window) {
       if (i + 1 >= tok.size() || tok[i] != "for") {
-        bad_line(line_no, line, "expected \"for <duration>\"");
+        return ctx.fail("expected \"for <duration>\"");
       }
-      return parse_duration(tok[i + 1], line_no, line);
+      return parse_duration(tok[i + 1], ctx, window);
     };
 
+    bool ok = true;
     if (verb == "loss") {
+      double p = 0.0;
+      Duration window{};
       if (tok.size() == 6) {  // at T loss P for D
-        plan.loss_burst(at, parse_prob(tok[3], line_no, line), expect_for(4));
+        ok = parse_number(tok[3], ctx, 0.0, 1.0, "probability", p) &&
+             expect_for(4, window);
+        if (ok) plan.loss_burst(at, p, window);
       } else if (tok.size() == 9 && tok[4] == "link") {
         // at T loss P link A B for D
-        plan.loss_burst(at, parse_prob(tok[3], line_no, line), expect_for(7),
-                        parse_node(tok[5], line_no, line),
-                        parse_node(tok[6], line_no, line));
+        net::Addr from = net::kNoAddr;
+        net::Addr to = net::kNoAddr;
+        ok = parse_number(tok[3], ctx, 0.0, 1.0, "probability", p) &&
+             parse_node(tok[5], ctx, from) && parse_node(tok[6], ctx, to) &&
+             expect_for(7, window);
+        if (ok) plan.loss_burst(at, p, window, from, to);
       } else {
-        bad_line(line_no, line,
-                 "expected \"loss <p> [link <a> <b>] for <duration>\"");
+        ok = ctx.fail("expected \"loss <p> [link <a> <b>] for <duration>\"");
       }
     } else if (verb == "dup") {
-      if (tok.size() != 6) {
-        bad_line(line_no, line, "expected \"dup <p> for <duration>\"");
-      }
-      plan.duplicate(at, parse_prob(tok[3], line_no, line), expect_for(4));
+      double p = 0.0;
+      Duration window{};
+      ok = tok.size() == 6
+               ? parse_number(tok[3], ctx, 0.0, 1.0, "probability", p) &&
+                     expect_for(4, window)
+               : ctx.fail("expected \"dup <p> for <duration>\"");
+      if (ok) plan.duplicate(at, p, window);
     } else if (verb == "reorder") {
-      if (tok.size() != 6) {
-        bad_line(line_no, line, "expected \"reorder <jitter> for <duration>\"");
-      }
-      plan.reorder(at, parse_duration(tok[3], line_no, line), expect_for(4));
+      Duration jitter{};
+      Duration window{};
+      ok = tok.size() == 6
+               ? parse_duration(tok[3], ctx, jitter) && expect_for(4, window)
+               : ctx.fail("expected \"reorder <jitter> for <duration>\"");
+      if (ok) plan.reorder(at, jitter, window);
     } else if (verb == "partition") {
       std::vector<net::Addr> side_a, side_b;
       bool after_bar = false;
-      for (std::size_t i = 3; i < tok.size(); ++i) {
+      for (std::size_t i = 3; ok && i < tok.size(); ++i) {
         if (tok[i] == "|") {
-          if (after_bar) bad_line(line_no, line, "multiple \"|\"");
+          if (after_bar) ok = ctx.fail("multiple \"|\"");
           after_bar = true;
           continue;
         }
-        (after_bar ? side_b : side_a)
-            .push_back(parse_node(tok[i], line_no, line));
+        net::Addr n = net::kNoAddr;
+        ok = parse_node(tok[i], ctx, n);
+        if (ok) (after_bar ? side_b : side_a).push_back(n);
       }
-      if (!after_bar || side_a.empty() || side_b.empty()) {
-        bad_line(line_no, line,
-                 "expected \"partition <a...> | <b...>\" with both sides");
+      if (ok && (!after_bar || side_a.empty() || side_b.empty())) {
+        ok = ctx.fail("expected \"partition <a...> | <b...>\" with both sides");
       }
-      plan.partition(at, std::move(side_a), std::move(side_b));
+      if (ok) plan.partition(at, std::move(side_a), std::move(side_b));
     } else if (verb == "heal") {
-      if (tok.size() != 3) bad_line(line_no, line, "expected \"heal\"");
-      plan.heal(at);
+      ok = tok.size() == 3 || ctx.fail("expected \"heal\"");
+      if (ok) plan.heal(at);
     } else if (verb == "crash" || verb == "restart") {
-      if (tok.size() != 4) {
-        bad_line(line_no, line, "expected \"" + verb + " <node>\"");
-      }
-      net::Addr node = parse_node(tok[3], line_no, line);
-      if (verb == "crash") {
-        plan.crash(at, node);
-      } else {
-        plan.restart(at, node);
+      net::Addr node = net::kNoAddr;
+      ok = tok.size() == 4 ? parse_node(tok[3], ctx, node)
+                           : ctx.fail("expected \"" + verb + " <node>\"");
+      if (ok) {
+        if (verb == "crash") {
+          plan.crash(at, node);
+        } else {
+          plan.restart(at, node);
+        }
       }
     } else if (verb == "drift") {
-      if (tok.size() != 7) {
-        bad_line(line_no, line,
-                 "expected \"drift <node> <factor> for <duration>\"");
+      net::Addr node = net::kNoAddr;
+      double factor = 0.0;
+      Duration window{};
+      // The medium clamps applied drift to [0.5, 2.0]; the plan accepts a
+      // wider-but-sane band so intent stays visible in round-trips.
+      ok = tok.size() == 7
+               ? parse_node(tok[3], ctx, node) &&
+                     parse_number(tok[4], ctx, 0.01, 100.0, "drift factor",
+                                  factor) &&
+                     expect_for(5, window)
+               : ctx.fail("expected \"drift <node> <factor> for <duration>\"");
+      if (ok) plan.clock_drift(at, node, factor, window);
+    } else if (verb == "misbehave") {
+      // at T misbehave N COMPONENT MODE [for D]
+      net::Addr node = net::kNoAddr;
+      std::string component;
+      Misbehave mode = Misbehave::kNone;
+      Duration window{};
+      if (tok.size() == 6 || tok.size() == 8) {
+        ok = parse_node(tok[3], ctx, node) &&
+             parse_component(tok[4], ctx, component) &&
+             parse_misbehave_mode(tok[5], ctx, mode);
+        if (ok && tok.size() == 8) ok = expect_for(6, window);
+      } else {
+        ok = ctx.fail(
+            "expected \"misbehave <node> <component> "
+            "throw|stall|corrupt [for <duration>]\"");
       }
-      plan.clock_drift(at, parse_node(tok[3], line_no, line),
-                       parse_prob(tok[4], line_no, line), expect_for(5));
+      if (ok) plan.misbehave(at, node, std::move(component), mode, window);
     } else {
-      bad_line(line_no, line, "unknown action \"" + verb + "\"");
+      ok = ctx.fail("unknown action \"" + verb + "\"");
     }
+    if (!ok) return Result<FaultPlan>::fail(ctx.error);
   }
-  return plan;
+  return Result<FaultPlan>::ok(std::move(plan));
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  auto result = try_parse(text);
+  if (!result.has_value()) throw std::invalid_argument(result.error());
+  return std::move(result.value());
 }
 
 std::string FaultPlan::to_text() const {
@@ -305,6 +455,13 @@ std::string FaultPlan::to_text() const {
       case FaultKind::kDrift:
         out << ' ' << node_text(a.from) << ' ' << prob_text(a.p) << " for "
             << duration_text(a.duration);
+        break;
+      case FaultKind::kMisbehave:
+        out << ' ' << node_text(a.from) << ' ' << a.component << ' '
+            << misbehave_name(a.mode);
+        if (a.duration.count() != 0) {
+          out << " for " << duration_text(a.duration);
+        }
         break;
     }
     out << '\n';

@@ -19,10 +19,18 @@
 //      at 9s crash 2                      # node 2 radio off
 //      at 11s restart 2                   # node 2 radio back on
 //      at 2s drift 3 1.05 for 10s         # node 3 oscillator 5% fast
+//      at 5s misbehave 1 olsr throw       # component fault, until cleared
+//      at 5s misbehave 1 mpr stall for 3s # windowed component fault
 //
 // Times are durations with a unit suffix (us/ms/s), relative to the arm
-// time. Nodes are testbed indices (net::addr_for_index). parse() throws
-// std::invalid_argument naming the offending line; to_text() round-trips.
+// time. Nodes are testbed indices (net::addr_for_index).
+//
+// The parser is hardened against untrusted input: try_parse() returns a
+// Result and never throws or invokes UB — truncated lines, out-of-range
+// numbers (negative durations, probabilities outside [0,1], node indices
+// beyond the address plan, values that would overflow the microsecond
+// arithmetic) and unknown verbs all come back as errors naming the offending
+// line. parse() is the throwing convenience wrapper; to_text() round-trips.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "util/result.hpp"
 #include "util/time.hpp"
 
 namespace mk::fault {
@@ -44,9 +53,21 @@ enum class FaultKind : std::uint8_t {
   kCrash = 6,      // node radio off
   kRestart = 7,    // node radio on
   kDrift = 8,      // clock drift factor, window
+  kMisbehave = 9,  // inject a component-level fault (supervision, ISSUE 5)
+};
+
+/// Component misbehaviour modes for kMisbehave (mirrors
+/// supervision::Misbehaviour; fault/ stays independent of supervision/, the
+/// testbed maps between them when arming a plan).
+enum class Misbehave : std::uint8_t {
+  kNone = 0,   // clear an active misbehaviour
+  kThrow = 1,  // dispatches into the component throw
+  kStall = 2,  // dispatches charge past the watchdog deadline
+  kCorrupt = 3,  // the component is fed bit-flipped copies of its events
 };
 
 std::string_view kind_name(FaultKind kind);
+std::string_view misbehave_name(Misbehave mode);
 
 struct FaultAction {
   FaultKind kind{};
@@ -58,6 +79,8 @@ struct FaultAction {
   Duration jitter{};    // reorder max jitter; duplicate spacing
   std::vector<net::Addr> group_a;  // partition sides
   std::vector<net::Addr> group_b;
+  std::string component;  // misbehave: target CFS unit name
+  Misbehave mode = Misbehave::kNone;  // misbehave: injected fault mode
 
   bool operator==(const FaultAction&) const = default;
 };
@@ -95,13 +118,25 @@ class FaultPlan {
   FaultPlan& clock_drift(Duration at, net::Addr node, double factor,
                          Duration window);
 
+  /// Injects a component-level fault: the named CFS unit on `node` starts
+  /// misbehaving in `mode` at `at`; a non-zero `window` schedules the
+  /// matching clear (zero = until cleared by another action or by hand).
+  /// Drives the supervision layer deterministically (ISSUE 5).
+  FaultPlan& misbehave(Duration at, net::Addr node, std::string component,
+                       Misbehave mode, Duration window = Duration{0});
+
   const std::vector<FaultAction>& actions() const { return actions_; }
   bool empty() const { return actions_.empty(); }
   std::size_t size() const { return actions_.size(); }
 
   // -- text format --------------------------------------------------------------
-  /// Parses the line format documented at the top of this file. Throws
-  /// std::invalid_argument with the offending line on any syntax error.
+  /// Parses the line format documented at the top of this file without ever
+  /// throwing: malformed or out-of-range input returns an Error naming the
+  /// offending line.
+  static Result<FaultPlan> try_parse(std::string_view text);
+
+  /// Throwing wrapper over try_parse: raises std::invalid_argument with the
+  /// same message on any error.
   static FaultPlan parse(std::string_view text);
 
   /// Renders the plan back into the text format (parse(to_text()) == *this).

@@ -17,7 +17,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 13> kKindNames{{
+constexpr std::array<KindName, 15> kKindNames{{
     {RecordKind::kEventDispatch, "event_dispatch"},
     {RecordKind::kFrameTx, "frame_tx"},
     {RecordKind::kFrameRx, "frame_rx"},
@@ -31,6 +31,8 @@ constexpr std::array<KindName, 13> kKindNames{{
     {RecordKind::kLinkDown, "link_down"},
     {RecordKind::kFault, "fault"},
     {RecordKind::kReconfig, "reconfig"},
+    {RecordKind::kComponentFault, "component_fault"},
+    {RecordKind::kQuarantine, "quarantine"},
 }};
 
 }  // namespace

@@ -80,6 +80,11 @@ enum class RecordKind : std::uint8_t {
   kReconfig = 13,      // a=ReconfigPhase | (extra<<8: backoff us on kRetry,
                        //    attempt count on kCommit/kRollback),
                        // b=from-name hash, c=to-name hash
+  kComponentFault = 14,  // a=stable unit-name hash (0 = unattributed timer),
+                         // b=ComponentFaultReason, c=unit's lifetime fault #
+  kQuarantine = 15,      // a=stable unit-name hash, b=QuarantinePhase,
+                         // c=phase detail (window fault count on kEnter,
+                         //   attempt # on kRestart, backoff us on kRecover)
 };
 
 /// Reasons packed into kFrameDrop's c field. Every frame that leaves the air
@@ -100,6 +105,28 @@ enum class ReconfigPhase : std::uint64_t {
   kRetry = 2,     // a deploy attempt failed; backing off (c=backoff us)
   kCommit = 3,    // replacement active (state carried if requested)
   kRollback = 4,  // permanent failure; prior protocol redeployed
+};
+
+/// Reasons packed into kComponentFault's b field (supervision, ISSUE 5).
+enum class ComponentFaultReason : std::uint64_t {
+  kException = 1,  // handler threw out of deliver()
+  kDeadline = 2,   // charged dispatch cost exceeded the watchdog deadline
+  kTimer = 3,      // a scheduled timer callback threw (trapped world-side)
+  kCorrupt = 4,    // injected output-integrity fault (misbehave corrupt)
+};
+
+/// Phases packed into kQuarantine's b field (circuit breaker + recovery
+/// ladder lifecycle; one record per transition).
+enum class QuarantinePhase : std::uint64_t {
+  kEnter = 1,     // breaker tripped; unit unbound and routed around
+  kRestart = 2,   // recovery attempt: re-instantiate with S element carried
+  kRecover = 3,   // restart committed; unit live again (c=backoff us used)
+  kFallback = 4,  // restarts exhausted; failed unit undeployed, a co-deployed
+                  // protocol keeps the node routing
+  kEscalate = 5,  // no fallback available; surfaced to the policy engine via
+                  // the ContextView health signal
+  kProbation = 6, // unit stayed clean for a full fault window post-recovery;
+                  // ladder (restart count/backoff) reset
 };
 
 std::string_view kind_name(RecordKind kind);

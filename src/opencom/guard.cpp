@@ -1,0 +1,16 @@
+#include "opencom/guard.hpp"
+
+namespace mk::oc {
+
+std::string describe_exception(std::exception_ptr ep) noexcept {
+  if (!ep) return "(no exception)";
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "(non-std exception)";
+  }
+}
+
+}  // namespace mk::oc

@@ -1,6 +1,5 @@
 #include "policy/coordinator.hpp"
 
-#include <deque>
 #include <map>
 
 #include "protocols/wire.hpp"
@@ -14,9 +13,8 @@ namespace {
 constexpr std::uint8_t kMsgReconfig = 40;
 constexpr std::uint8_t kTlvActionName = 11;
 constexpr std::uint8_t kFloodHopLimit = 16;
-constexpr std::size_t kDupWindow = 256;
 
-/// S element: registered actions, duplicate window, counters.
+/// S element: registered actions, per-origin campaign epochs, counters.
 class ReconfigState final : public oc::Component, public core::IState {
  public:
   ReconfigState() : oc::Component("policy.ReconfigState") {
@@ -29,13 +27,21 @@ class ReconfigState final : public oc::Component, public core::IState {
   std::uint16_t epoch = 0;
   std::uint64_t executed = 0;
 
+  /// True if (origin, ep) is a duplicate or stale campaign. The previous
+  /// implementation kept a bounded FIFO of (origin, epoch) pairs, which
+  /// re-admitted any epoch once 256 newer floods pushed it out — and treated
+  /// the 65535→0 wraparound as 65536 fresh campaigns. Tracking only the
+  /// newest epoch per origin under RFC 1982 serial comparison is O(origins)
+  /// and wrap-safe: an epoch is accepted iff it is serially newer than the
+  /// latest one seen from that origin.
   bool seen(net::Addr origin, std::uint16_t ep) {
-    auto key = std::make_pair(origin, ep);
-    for (const auto& k : window_) {
-      if (k == key) return true;
+    auto it = latest_.find(origin);
+    if (it == latest_.end()) {
+      latest_.emplace(origin, ep);
+      return false;
     }
-    window_.push_back(key);
-    if (window_.size() > kDupWindow) window_.pop_front();
+    if (!epoch_newer(ep, it->second)) return true;
+    it->second = ep;
     return false;
   }
 
@@ -45,7 +51,7 @@ class ReconfigState final : public oc::Component, public core::IState {
   }
 
  private:
-  std::deque<std::pair<net::Addr, std::uint16_t>> window_;
+  std::map<net::Addr, std::uint16_t> latest_;
 };
 
 ReconfigState& state_of(core::ProtocolContext& ctx) {

@@ -16,6 +16,7 @@
 //   policy::initiate(*coord, "go-reactive");   // this node + whole network
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -25,6 +26,14 @@
 namespace mk::policy {
 
 using CoordinatedAction = std::function<void(core::Manetkit&)>;
+
+/// RFC 1982 serial-number comparison over the 16-bit campaign epoch: `a` is
+/// newer than `b` iff they differ and the forward distance b→a is less than
+/// half the number space. Survives the 65535→0 wraparound, where plain
+/// `a > b` would declare every historic epoch "newer" again (ISSUE 5).
+constexpr bool epoch_newer(std::uint16_t a, std::uint16_t b) {
+  return a != b && static_cast<std::uint16_t>(a - b) < 0x8000;
+}
 
 /// Deploys (idempotently) the "reconfig" coordination CF on a kit.
 core::ManetProtocolCf* deploy_coordinator(core::Manetkit& kit);

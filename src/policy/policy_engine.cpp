@@ -48,6 +48,14 @@ ContextView Engine::snapshot() const {
     view.deployed_protocols.insert(name);
   }
   view.power_aware = proto::is_power_aware(kit_);
+  if (const core::HealthProvider* health = kit_.health_provider()) {
+    for (auto& name : health->quarantined_units()) {
+      view.quarantined_units.insert(std::move(name));
+    }
+    for (auto& name : health->failed_units()) {
+      view.failed_units.insert(std::move(name));
+    }
+  }
   return view;
 }
 
@@ -142,6 +150,27 @@ std::vector<Rule> default_adaptive_rules(std::size_t reactive_threshold,
       /*cooldown=*/sec(30), /*sustain=*/1});
 
   return rules;
+}
+
+Rule make_health_escalation_rule(std::string unit, std::string fallback) {
+  std::string rule_name = "health-escalate-" + unit + "-to-" + fallback;
+  return Rule{
+      std::move(rule_name),
+      [unit, fallback](const ContextView& c) {
+        // No deployed(unit) precondition: a failed restart whose rollback
+        // also failed leaves the unit destroyed but still flagged failed.
+        return c.failed(unit) && !c.deployed(fallback);
+      },
+      [unit, fallback](core::Manetkit& kit) {
+        // The failed unit's S element is suspect by definition — start the
+        // fallback from protocol defaults rather than carrying state over.
+        if (kit.is_deployed(unit)) {
+          kit.switch_protocol(unit, fallback, /*carry_state=*/false);
+        } else {
+          kit.deploy(fallback);
+        }
+      },
+      /*cooldown=*/sec(60), /*sustain=*/1};
 }
 
 }  // namespace mk::policy

@@ -39,12 +39,27 @@ struct ContextView {
   /// Latest value per context-event attribute stream (e.g. POWER_STATUS).
   std::map<std::string, double> signals;
   std::set<std::string> deployed_protocols;
+  /// Supervision health signal (ISSUE 5): units currently routed around by
+  /// the circuit breaker, and units whose recovery ladder is exhausted.
+  /// Empty when no supervisor is installed.
+  std::set<std::string> quarantined_units;
+  std::set<std::string> failed_units;
   /// True while the power-aware OLSR variant is applied.
   bool power_aware = false;
   TimePoint now{};
 
   bool deployed(const std::string& name) const {
     return deployed_protocols.count(name) > 0;
+  }
+  bool quarantined(const std::string& name) const {
+    return quarantined_units.count(name) > 0;
+  }
+  bool failed(const std::string& name) const {
+    return failed_units.count(name) > 0;
+  }
+  /// Quarantined or failed: the unit is not doing its job right now.
+  bool degraded(const std::string& name) const {
+    return quarantined(name) || failed(name);
   }
   double signal(const std::string& key, double fallback = 0.0) const {
     auto it = signals.find(key);
@@ -110,5 +125,11 @@ class Engine {
 /// any node reports low energy. Returns the rules so callers can tweak.
 std::vector<Rule> default_adaptive_rules(std::size_t reactive_threshold = 6,
                                          double low_battery = 0.3);
+
+/// Supervision escalation (ISSUE 5): when the supervisor reports `unit`
+/// failed — its recovery ladder exhausted with nothing to fall back to — and
+/// `fallback` is not yet deployed, replace `unit` with `fallback` (state is
+/// NOT carried: the failed unit's S element is suspect by definition).
+Rule make_health_escalation_rule(std::string unit, std::string fallback);
 
 }  // namespace mk::policy

@@ -1,0 +1,168 @@
+// Component supervision (ISSUE 5): every CFS unit is a fault domain.
+//
+// The paper's CFs police *structural* integrity (composition rules, the S/F
+// element discipline); this layer polices *behavioural* integrity at runtime.
+// The Supervisor installs itself as the Framework Manager's DispatchGuard, so
+// every `deliver()` — whatever the concurrency model — runs inside a fault
+// barrier (opencom/guard.hpp):
+//
+//  * Isolation      — a handler exception is caught, journaled
+//                     (kComponentFault), counted per component, and never
+//                     propagates past the dispatch boundary. A deterministic
+//                     watchdog flags dispatches whose *charged* sim-time cost
+//                     exceeds a configurable deadline the same way (wall
+//                     clocks would destroy digest replay; components charge
+//                     their modelled cost via Supervisor::charge, exactly as
+//                     the misbehave-stall chaos action does).
+//  * Circuit break  — fault_threshold faults inside a sliding sim-time
+//                     window quarantines the unit: the Framework Manager
+//                     unbinds its tuples and routes around it (kQuarantine).
+//  * Self-healing   — a per-unit recovery ladder: re-instantiate via
+//                     Manetkit::replace_protocol(name, name) carrying the S
+//                     element (PR 3 state-transfer machinery, including its
+//                     retry/rollback), with recorded exponential backoff;
+//                     after max_restarts either fall back to a co-deployed
+//                     routing protocol (undeploying the failed one) or
+//                     escalate through the ContextView health signal
+//                     (core::HealthProvider -> policy::ContextView).
+//
+// Fault history is keyed by *unit name*, not instance pointer, so the ladder
+// survives re-instantiation — a recovered-then-faulty-again component resumes
+// where it left off rather than restarting the breaker from scratch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/manetkit.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace mk::supervision {
+
+/// Deterministic misbehaviour injected at the guard boundary (driven by the
+/// FaultPlan `misbehave` action; see fault/plan.hpp):
+///  * kThrow   — the dispatch throws instead of delivering.
+///  * kStall   — the dispatch charges (deadline + 1ms) of modelled cost, so
+///               the watchdog flags it; the event is still delivered.
+///  * kCorrupt — the unit is fed a deterministically bit-flipped copy of the
+///               event's message and the injection is flagged as an
+///               output-integrity fault.
+enum class Misbehaviour : std::uint8_t {
+  kNone = 0,
+  kThrow = 1,
+  kStall = 2,
+  kCorrupt = 3,
+};
+
+enum class UnitHealth : std::uint8_t {
+  kHealthy = 0,
+  kQuarantined = 1,  // breaker open; recovery ladder running
+  kFailed = 2,       // ladder exhausted: fallen back or escalated
+};
+
+struct SupervisorOptions {
+  /// Faults within fault_window that trip the breaker.
+  int fault_threshold = 3;
+  Duration fault_window = sec(10);
+  /// Watchdog deadline on charged per-dispatch cost.
+  Duration deadline = msec(100);
+  /// Restart attempts before falling back / escalating.
+  int max_restarts = 3;
+  /// First recovery delay; doubles per subsequent attempt (recorded in the
+  /// kQuarantine kRecover record and "sup.backoff_us").
+  Duration initial_backoff = msec(200);
+  /// Permit undeploying an exhausted unit when another routing-category
+  /// protocol is co-deployed. When false the ladder goes straight from
+  /// restarts to escalation.
+  bool allow_fallback = true;
+};
+
+class Supervisor final : public core::DispatchGuard, public core::HealthProvider {
+ public:
+  /// Installs itself: FrameworkManager dispatch guard + Manetkit health
+  /// provider. One Supervisor per node.
+  explicit Supervisor(core::Manetkit& kit, SupervisorOptions opts = {});
+  ~Supervisor() override;
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // -- DispatchGuard ----------------------------------------------------------
+  void deliver(core::CfsUnit& target, const ev::Event& event) override;
+
+  // -- HealthProvider ---------------------------------------------------------
+  std::vector<std::string> quarantined_units() const override;
+  std::vector<std::string> failed_units() const override;
+
+  // -- misbehaviour injection (chaos) ----------------------------------------
+  void set_misbehaviour(const std::string& unit, Misbehaviour mode);
+  Misbehaviour misbehaviour(const std::string& unit) const;
+
+  // -- introspection ----------------------------------------------------------
+  UnitHealth health(const std::string& unit) const;
+  /// Lifetime fault count for the unit (survives restarts).
+  std::uint64_t faults(const std::string& unit) const;
+  const SupervisorOptions& options() const { return opts_; }
+
+  /// Drops all supervision history for `unit` (health, faults, ladder) — the
+  /// operator's "forgive" after fixing the root cause out of band.
+  void forgive(const std::string& unit);
+
+  /// Adds `cost` of modelled sim-time to the dispatch currently executing on
+  /// this thread; the watchdog compares the accumulated charge against
+  /// options().deadline when the dispatch returns. Deterministic by
+  /// construction (no wall clock).
+  static void charge(Duration cost);
+
+ private:
+  struct UnitState {
+    UnitHealth health = UnitHealth::kHealthy;
+    Misbehaviour misbehave = Misbehaviour::kNone;
+    std::uint64_t faults = 0;               // lifetime
+    std::vector<std::int64_t> window_us;    // fault times inside the window
+    std::int64_t last_fault_us = -1;
+    int restarts = 0;
+    Duration backoff{0};
+    TimerId recovery_timer = kInvalidTimer;
+    TimerId probation_timer = kInvalidTimer;
+    std::uint64_t corrupt_salt = 0;
+  };
+
+  void on_fault(const std::string& unit, obs::ComponentFaultReason reason);
+  void enter_quarantine(const std::string& unit);
+  void schedule_recovery(const std::string& unit, Duration backoff);
+  void attempt_recovery(const std::string& unit);
+  void exhaust(const std::string& unit);
+  void check_probation(const std::string& unit, std::int64_t recovered_us);
+  core::CfsUnit* find_unit(const std::string& name) const;
+  void journal(obs::RecordKind kind, const std::string& unit, std::uint64_t b,
+               std::uint64_t c) const;
+  std::int64_t now_us() const { return kit_.scheduler().now().us; }
+
+  core::Manetkit& kit_;
+  SupervisorOptions opts_;
+  mutable std::mutex mutex_;
+  std::map<std::string, UnitState> units_;
+  // Units with an active misbehaviour: lets deliver() skip the map lookup —
+  // and the lock — entirely on the healthy hot path.
+  std::atomic<int> misbehaving_{0};
+  obs::Counter* guarded_ctr_;
+  obs::Counter* faults_ctr_;
+  obs::Counter* deadline_ctr_;
+  obs::Counter* quarantines_ctr_;
+  obs::Counter* restarts_ctr_;
+  obs::Counter* recoveries_ctr_;
+  obs::Counter* fallbacks_ctr_;
+  obs::Counter* escalations_ctr_;
+};
+
+/// Categories that keep a node routing (fallback candidates).
+bool is_routing_category(std::string_view category);
+
+}  // namespace mk::supervision

@@ -1,8 +1,10 @@
 #include "testbed/world.hpp"
 
+#include "opencom/guard.hpp"
 #include "protocols/gpsr/gpsr_cf.hpp"
 #include "protocols/install.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace mk::testbed {
 
@@ -14,11 +16,14 @@ SimWorld::SimWorld(std::size_t num_nodes, std::uint64_t seed)
         static_cast<std::uint32_t>(i), medium_, sched_));
   }
   kits_.resize(num_nodes);
+  supervisors_.resize(num_nodes);
   daemons_.resize(num_nodes * 2);  // slot per (node, daemon kind)
 }
 
 SimWorld::~SimWorld() {
-  // Kits and daemons hold timers into the scheduler; drop them first.
+  // Supervisors uninstall from their kits and cancel recovery timers; kits
+  // and daemons hold timers into the scheduler; drop in that order.
+  supervisors_.clear();
   daemons_.clear();
   kits_.clear();
 }
@@ -36,6 +41,10 @@ core::Manetkit& SimWorld::kit(std::size_t i) {
     slot = std::make_unique<core::Manetkit>(*nodes_.at(i));
     proto::install_all(*slot);
     if (journal_ != nullptr) slot->set_journal(journal_.get());
+    if (supervise_) {
+      supervisors_.at(i) =
+          std::make_unique<supervision::Supervisor>(*slot, sup_opts_);
+    }
   }
   return *slot;
 }
@@ -117,12 +126,61 @@ fault::FaultInjector& SimWorld::apply_fault_plan(const fault::FaultPlan& plan,
     control.restart = [this](net::Addr a) {
       nodes_.at(net::index_for_addr(a))->device().set_up(true);
     };
+    control.misbehave = [this](net::Addr a, const std::string& component,
+                               fault::Misbehave mode) {
+      supervision::Supervisor* sup =
+          supervisors_.at(net::index_for_addr(a)).get();
+      MK_ENSURE(sup != nullptr,
+                "fault plan misbehaves a component on a node without a "
+                "supervisor (call enable_supervision() before the action "
+                "fires)");
+      supervision::Misbehaviour mapped = supervision::Misbehaviour::kNone;
+      switch (mode) {
+        case fault::Misbehave::kNone:
+          mapped = supervision::Misbehaviour::kNone;
+          break;
+        case fault::Misbehave::kThrow:
+          mapped = supervision::Misbehaviour::kThrow;
+          break;
+        case fault::Misbehave::kStall:
+          mapped = supervision::Misbehaviour::kStall;
+          break;
+        case fault::Misbehave::kCorrupt:
+          mapped = supervision::Misbehaviour::kCorrupt;
+          break;
+      }
+      sup->set_misbehaviour(component, mapped);
+    };
     injector_ = std::make_unique<fault::FaultInjector>(
         medium_, sched_, std::move(control), seed);
     injector_->set_journal(journal_.get());
   }
   injector_->arm(plan);
   return *injector_;
+}
+
+void SimWorld::enable_supervision(supervision::SupervisorOptions opts) {
+  if (supervise_) return;
+  supervise_ = true;
+  sup_opts_ = opts;
+  // Timer-fire isolation: a plug-in exception escaping a timer callback is
+  // journaled (pseudo-node 0xffffffff, unit unknown) and swallowed instead
+  // of unwinding through the scheduler loop.
+  sched_.set_fault_trap([this](std::exception_ptr ep) {
+    MK_WARN("sup", "timer callback threw: ", oc::describe_exception(ep));
+    if (journal_ != nullptr) {
+      journal_->append(
+          {obs::RecordKind::kComponentFault, 0xffffffffu, sched_.now().us, 0,
+           static_cast<std::uint64_t>(obs::ComponentFaultReason::kTimer), 0});
+    }
+    return true;
+  });
+  for (std::size_t i = 0; i < kits_.size(); ++i) {
+    if (kits_[i] != nullptr && supervisors_[i] == nullptr) {
+      supervisors_[i] =
+          std::make_unique<supervision::Supervisor>(*kits_[i], sup_opts_);
+    }
+  }
 }
 
 obs::Journal& SimWorld::enable_tracing(std::size_t capacity) {

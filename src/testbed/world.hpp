@@ -18,6 +18,7 @@
 #include "net/topology.hpp"
 #include "obs/invariants.hpp"
 #include "obs/journal.hpp"
+#include "supervision/supervisor.hpp"
 #include "util/scheduler.hpp"
 
 namespace mk::testbed {
@@ -97,6 +98,21 @@ class SimWorld {
   void crash_node(std::size_t i) { nodes_.at(i)->device().set_up(false); }
   void restart_node(std::size_t i) { nodes_.at(i)->device().set_up(true); }
 
+  // -- supervision ---------------------------------------------------------------
+  /// Installs a Supervisor on every MANETKit stack (including kits created
+  /// after this call): dispatch-boundary fault isolation, the deterministic
+  /// watchdog, circuit-breaker quarantine and the recovery ladder. Also wraps
+  /// the scheduler's timer-fire path so plug-in timer exceptions are
+  /// journaled (kComponentFault / kTimer) instead of tearing down the run,
+  /// and lets fault plans carry `misbehave` actions. Idempotent; options are
+  /// fixed by the first call.
+  void enable_supervision(supervision::SupervisorOptions opts = {});
+  bool supervision_enabled() const { return supervise_; }
+  /// The node's supervisor (null before enable_supervision / kit creation).
+  supervision::Supervisor* supervisor(std::size_t i) {
+    return supervisors_.at(i).get();
+  }
+
   // -- observability ------------------------------------------------------------
   /// Turns on whole-world tracing: one shared journal receives records from
   /// the medium (frame tx/rx/drop, link transitions), the scheduler (timer
@@ -117,6 +133,11 @@ class SimWorld {
   net::SimMedium medium_;
   std::vector<std::unique_ptr<net::SimNode>> nodes_;
   std::vector<std::unique_ptr<core::Manetkit>> kits_;
+  // Declared after kits_ so each Supervisor outlives nothing it references
+  // (destroyed first; ~SimWorld also clears explicitly for clarity).
+  std::vector<std::unique_ptr<supervision::Supervisor>> supervisors_;
+  bool supervise_ = false;
+  supervision::SupervisorOptions sup_opts_{};
   std::vector<std::unique_ptr<baseline::RoutingDaemon>> daemons_;
   std::unique_ptr<obs::Journal> journal_;
   std::unique_ptr<obs::InvariantChecker> checker_;

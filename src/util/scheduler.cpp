@@ -36,7 +36,15 @@ bool SimScheduler::step() {
   by_id_.erase(key.seq);
   now_ = TimePoint{key.us};
   if (fire_hook_) fire_hook_(key.seq, now_);
-  fn();
+  if (fault_trap_) {
+    try {
+      fn();
+    } catch (...) {
+      if (!fault_trap_(std::current_exception())) throw;
+    }
+  } else {
+    fn();
+  }
   return true;
 }
 

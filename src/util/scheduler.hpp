@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -53,6 +54,13 @@ class SimScheduler final : public Scheduler {
   using FireHook = std::function<void(TimerId, TimePoint)>;
   void set_fire_hook(FireHook hook) { fire_hook_ = std::move(hook); }
 
+  /// Fault barrier over the timer-fire path (supervision, ISSUE 5): when a
+  /// scheduled callback throws, the trap is invoked with the captured
+  /// exception; returning true swallows the fault (the event loop keeps
+  /// running), false — or no trap installed — rethrows to the driver.
+  using FaultTrap = std::function<bool(std::exception_ptr)>;
+  void set_fault_trap(FaultTrap trap) { fault_trap_ = std::move(trap); }
+
   /// Runs the next pending event; returns false if the queue is empty.
   bool step();
 
@@ -79,6 +87,7 @@ class SimScheduler final : public Scheduler {
   std::map<Key, std::function<void()>> queue_;
   std::map<TimerId, Key> by_id_;
   FireHook fire_hook_;
+  FaultTrap fault_trap_;
 };
 
 /// Wall-clock scheduler: one background thread fires callbacks at deadlines.

@@ -1,0 +1,245 @@
+// Property-based fuzzing of the FaultPlan text parser (ISSUE 5): seeded
+// random plans must round-trip exactly through to_text(), and no garbage
+// line, truncation, token mutation or out-of-range number may throw, crash
+// or invoke UB — try_parse() always comes back with a value or a
+// line-numbered error. Plans are operator-authored chaos input, so the
+// parser gets the same hardening bar as the wire-facing PacketBB parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace mk {
+namespace {
+
+using fault::FaultPlan;
+using fault::Misbehave;
+
+net::Addr n(std::uint32_t i) { return net::addr_for_index(i); }
+
+/// Durations in whole-unit steps so duration_text() round-trips exactly.
+Duration random_duration(Rng& rng) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return usec(rng.uniform_int(1, 999));
+    case 1: return msec(rng.uniform_int(1, 999));
+    default: return sec(rng.uniform_int(1, 120));
+  }
+}
+
+/// Probabilities on a 1/100 grid: ostream "<<" prints them back exactly.
+double random_prob(Rng& rng) { return rng.uniform_int(0, 100) / 100.0; }
+
+std::string random_component(Rng& rng) {
+  static const char* kNames[] = {"olsr", "mpr", "dymo", "neighbor",
+                                 "zone.irp", "my-unit_2"};
+  return kNames[rng.uniform_int(0, 5)];
+}
+
+Misbehave random_mode(Rng& rng) {
+  return static_cast<Misbehave>(rng.uniform_int(0, 3));
+}
+
+FaultPlan random_plan(Rng& rng) {
+  FaultPlan plan;
+  const int actions = rng.uniform_int(1, 12);
+  for (int i = 0; i < actions; ++i) {
+    Duration at = random_duration(rng);
+    switch (rng.uniform_int(0, 8)) {
+      case 0:
+        if (rng.bernoulli(0.5)) {
+          plan.loss_burst(at, random_prob(rng), random_duration(rng));
+        } else {
+          plan.loss_burst(at, random_prob(rng), random_duration(rng),
+                          n(static_cast<std::uint32_t>(rng.uniform_int(0, 9))),
+                          n(static_cast<std::uint32_t>(rng.uniform_int(0, 9))));
+        }
+        break;
+      case 1:
+        // Default spacing only: to_text() does not render dup spacing.
+        plan.duplicate(at, random_prob(rng), random_duration(rng));
+        break;
+      case 2:
+        plan.reorder(at, random_duration(rng), random_duration(rng));
+        break;
+      case 3:
+        plan.partition(at, {n(0), n(1)}, {n(2), n(3), n(4)});
+        break;
+      case 4:
+        plan.heal(at);
+        break;
+      case 5:
+        plan.crash(at, n(static_cast<std::uint32_t>(rng.uniform_int(0, 9))));
+        break;
+      case 6:
+        plan.restart(at, n(static_cast<std::uint32_t>(rng.uniform_int(0, 9))));
+        break;
+      case 7:
+        // Single division: the sum 1.0 + k/100.0 can land 1 ulp away from
+        // what parsing the rendered "1.xx" produces.
+        plan.clock_drift(at,
+                         n(static_cast<std::uint32_t>(rng.uniform_int(0, 9))),
+                         (100 + rng.uniform_int(1, 99)) / 100.0,
+                         random_duration(rng));
+        break;
+      default:
+        plan.misbehave(at, n(static_cast<std::uint32_t>(rng.uniform_int(0, 9))),
+                       random_component(rng), random_mode(rng),
+                       rng.bernoulli(0.5) ? random_duration(rng) : Duration{0});
+        break;
+    }
+  }
+  return plan;
+}
+
+TEST(FaultPlanFuzz, RandomPlansRoundTripExactly) {
+  Rng rng(0xf0a1);
+  for (int iter = 0; iter < 300; ++iter) {
+    FaultPlan plan = random_plan(rng);
+    std::string text = plan.to_text();
+    auto reparsed = FaultPlan::try_parse(text);
+    ASSERT_TRUE(reparsed.has_value())
+        << "iter " << iter << ": " << reparsed.error() << "\n" << text;
+    EXPECT_EQ(reparsed.value().actions(), plan.actions()) << "iter " << iter;
+  }
+}
+
+TEST(FaultPlanFuzz, EveryTruncationIsHandled) {
+  Rng rng(0xf0a2);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::string text = random_plan(rng).to_text();
+    for (std::size_t len = 0; len < text.size(); ++len) {
+      auto result = FaultPlan::try_parse(std::string_view(text.data(), len));
+      if (!result.has_value()) {
+        EXPECT_FALSE(result.error().empty());
+      }
+    }
+  }
+}
+
+TEST(FaultPlanFuzz, SingleCharacterMutationsNeverThrow) {
+  Rng rng(0xf0a3);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::string text = random_plan(rng).to_text();
+    for (std::size_t pos = 0; pos < text.size(); ++pos) {
+      std::string mutated = text;
+      mutated[pos] = static_cast<char>(rng.uniform_int(1, 126));
+      auto result = FaultPlan::try_parse(mutated);  // must return, never throw
+      if (result.has_value()) {
+        // Whatever was accepted must re-render and re-parse stably.
+        auto again = FaultPlan::try_parse(result.value().to_text());
+        ASSERT_TRUE(again.has_value());
+        EXPECT_EQ(again.value().actions(), result.value().actions());
+      }
+    }
+  }
+}
+
+TEST(FaultPlanFuzz, RandomGarbageNeverThrows) {
+  Rng rng(0xf0a4);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string garbage(
+        static_cast<std::size_t>(rng.uniform_int(0, 200)), '\0');
+    for (auto& c : garbage) {
+      c = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    (void)FaultPlan::try_parse(garbage);
+  }
+}
+
+TEST(FaultPlanFuzz, RandomTokenSoupNeverThrows) {
+  Rng rng(0xf0a5);
+  static const char* kTokens[] = {
+      "at",    "5s",    "loss",      "0.5",   "for",      "2s",    "dup",
+      "link",  "1",     "2",         "|",     "reorder",  "300us", "partition",
+      "heal",  "crash", "restart",   "drift", "1.05",     "-3",    "1e300",
+      "nan",   "inf",   "misbehave", "olsr",  "throw",    "stall", "corrupt",
+      "none",  "9999999999999999999999",      "0xff",     "",      "#x"};
+  constexpr int kTokenCount = sizeof(kTokens) / sizeof(kTokens[0]);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line;
+    for (int t = rng.uniform_int(1, 9); t > 0; --t) {
+      line += kTokens[rng.uniform_int(0, kTokenCount - 1)];
+      line += ' ';
+    }
+    (void)FaultPlan::try_parse(line);
+  }
+}
+
+TEST(FaultPlanFuzz, OutOfRangeNumbersAreRejectedNotWrapped) {
+  const char* bad[] = {
+      "at -5s loss 0.5 for 2s\n",                  // negative duration
+      "at 5s loss 1.5 for 2s\n",                   // probability > 1
+      "at 5s loss -0.1 for 2s\n",                  // probability < 0
+      "at 5s loss 0.5 for 9999999999999s\n",       // overflows microseconds
+      "at 99999999999999999999s heal\n",           // overflows from_chars
+      "at 5s crash 254\n",                         // node index off the plan
+      "at 5s crash 4294967295\n",                  // uint32 max node
+      "at 5s drift 1 0.001 for 2s\n",              // drift below sane floor
+      "at 5s drift 1 500 for 2s\n",                // drift above sane ceiling
+      "at 5s drift 1 nan for 2s\n",                // non-finite factor
+      "at 5s misbehave 1 olsr sulk\n",             // unknown misbehave mode
+      "at 5s misbehave 254 olsr throw\n",          // node off the plan
+      "at 5s misbehave 1 olsr throw for -2s\n",    // negative window
+      "at 5s misbehave 1 bad!name throw\n",        // invalid component chars
+  };
+  for (const char* text : bad) {
+    auto result = FaultPlan::try_parse(text);
+    EXPECT_FALSE(result.has_value()) << "accepted: " << text;
+    if (!result.has_value()) {
+      EXPECT_NE(result.error().find("line 1"), std::string::npos)
+          << "error must name the line: " << result.error();
+    }
+  }
+}
+
+TEST(FaultPlanFuzz, TruncatedActionLinesAreRejected) {
+  const char* bad[] = {
+      "at\n", "at 5s\n", "at 5s loss\n", "at 5s loss 0.5\n",
+      "at 5s loss 0.5 for\n", "at 5s loss 0.5 link 1 for 2s\n",
+      "at 5s partition 0 1\n", "at 5s partition 0 1 |\n", "at 5s crash\n",
+      "at 5s drift 1 1.05\n", "at 5s misbehave\n", "at 5s misbehave 1\n",
+      "at 5s misbehave 1 olsr\n", "at 5s misbehave 1 olsr throw for\n",
+      "at 5s misbehave 1 olsr throw extra tokens here\n",
+  };
+  for (const char* text : bad) {
+    auto result = FaultPlan::try_parse(text);
+    EXPECT_FALSE(result.has_value()) << "accepted: " << text;
+  }
+}
+
+TEST(FaultPlanFuzz, ParseWrapperThrowsWithSameMessage) {
+  const char* text = "at 5s loss 1.5 for 2s\n";
+  auto result = FaultPlan::try_parse(text);
+  ASSERT_FALSE(result.has_value());
+  try {
+    (void)FaultPlan::parse(text);
+    FAIL() << "parse() must throw where try_parse() errors";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(result.error(), e.what());
+  }
+}
+
+TEST(FaultPlanFuzz, MisbehaveGrammarParsesAllModes) {
+  FaultPlan plan = FaultPlan::parse(
+      "at 5s misbehave 1 olsr throw\n"
+      "at 6s misbehave 2 mpr stall for 3s\n"
+      "at 7s misbehave 3 dymo corrupt for 500ms\n"
+      "at 8s misbehave 1 olsr none\n");
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.actions()[0].mode, Misbehave::kThrow);
+  EXPECT_EQ(plan.actions()[0].component, "olsr");
+  EXPECT_EQ(plan.actions()[0].duration, Duration{0});
+  EXPECT_EQ(plan.actions()[1].mode, Misbehave::kStall);
+  EXPECT_EQ(plan.actions()[1].from, n(2));
+  EXPECT_EQ(plan.actions()[1].duration, sec(3));
+  EXPECT_EQ(plan.actions()[2].mode, Misbehave::kCorrupt);
+  EXPECT_EQ(plan.actions()[2].duration, msec(500));
+  EXPECT_EQ(plan.actions()[3].mode, Misbehave::kNone);
+}
+
+}  // namespace
+}  // namespace mk
