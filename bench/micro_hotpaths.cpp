@@ -271,8 +271,14 @@ BENCHMARK(BM_EventFanoutWithMsgJournaled)->Arg(1)->Arg(3)->Arg(8);
 // units, no misbehaviour): the guarded-deliver atomic load plus the
 // per-dispatch charge reset is the armed-idle supervision budget, within
 // ~2% of Arg(2).
+// Arg(4) reruns the traced workload of Arg(1) on the binary-heap scheduler
+// backend: the Arg(1)-vs-Arg(4) delta isolates what the hierarchical timer
+// wheel (pooled nodes, O(1) arm/cancel — the soft-state expiry layer's
+// substrate) saves per sim-second in both time and allocations.
 void BM_OlsrWorldSecond(benchmark::State& state) {
-  testbed::SimWorld world(5);
+  testbed::SimWorld world(5, /*seed=*/42,
+                          state.range(0) == 4 ? SimBackend::kHeap
+                                              : SimBackend::kWheel);
   world.linear();
   if (state.range(0) != 0) world.enable_tracing();
   if (state.range(0) == 3) world.enable_supervision();
@@ -302,7 +308,7 @@ void BM_OlsrWorldSecond(benchmark::State& state) {
         benchmark::Counter::kAvgIterations);
   }
 }
-BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_MprSelection(benchmark::State& state) {
   // A dense neighbourhood: n neighbours, each covering a slice of 2n

@@ -92,6 +92,12 @@ class FrameworkManager : public oc::ComponentFramework {
   void set_journal(obs::Journal* journal, std::uint32_t node,
                    Scheduler* clock);
 
+  /// The attached journal (null when tracing is off) and the node records
+  /// are attributed to. Lets co-located components — the soft-state expiry
+  /// layer — append their own record kinds through the same sink.
+  obs::Journal* journal() const { return journal_; }
+  std::uint32_t journal_node() const { return journal_node_; }
+
   /// Mirrors the manager's counters ("fm.events_routed", "fm.dispatches",
   /// "fm.quarantine_drops") into a shared registry. Null reverts to
   /// internal-only counting.

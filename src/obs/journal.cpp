@@ -17,7 +17,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 15> kKindNames{{
+constexpr std::array<KindName, 16> kKindNames{{
     {RecordKind::kEventDispatch, "event_dispatch"},
     {RecordKind::kFrameTx, "frame_tx"},
     {RecordKind::kFrameRx, "frame_rx"},
@@ -33,6 +33,7 @@ constexpr std::array<KindName, 15> kKindNames{{
     {RecordKind::kReconfig, "reconfig"},
     {RecordKind::kComponentFault, "component_fault"},
     {RecordKind::kQuarantine, "quarantine"},
+    {RecordKind::kSoftExpire, "soft_expire"},
 }};
 
 }  // namespace

@@ -85,6 +85,9 @@ enum class RecordKind : std::uint8_t {
   kQuarantine = 15,      // a=stable unit-name hash, b=QuarantinePhase,
                          // c=phase detail (window fault count on kEnter,
                          //   attempt # on kRestart, backoff us on kRecover)
+  kSoftExpire = 16,      // a=stable soft-state set-name hash, b=entry key
+                         // (address, or packed address|seq for duplicate
+                         // sets), c=entries left in the set after expiry
 };
 
 /// Reasons packed into kFrameDrop's c field. Every frame that leaves the air

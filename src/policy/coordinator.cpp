@@ -31,18 +31,10 @@ class ReconfigState final : public oc::Component, public core::IState {
   /// implementation kept a bounded FIFO of (origin, epoch) pairs, which
   /// re-admitted any epoch once 256 newer floods pushed it out — and treated
   /// the 65535→0 wraparound as 65536 fresh campaigns. Tracking only the
-  /// newest epoch per origin under RFC 1982 serial comparison is O(origins)
-  /// and wrap-safe: an epoch is accepted iff it is serially newer than the
-  /// latest one seen from that origin.
+  /// newest epoch per origin under RFC 1982 serial comparison is wrap-safe,
+  /// and OriginEpochMap bounds it by evicting long-silent origins.
   bool seen(net::Addr origin, std::uint16_t ep) {
-    auto it = latest_.find(origin);
-    if (it == latest_.end()) {
-      latest_.emplace(origin, ep);
-      return false;
-    }
-    if (!epoch_newer(ep, it->second)) return true;
-    it->second = ep;
-    return false;
+    return latest_.seen(origin, ep);
   }
 
   std::string describe() const override {
@@ -51,7 +43,7 @@ class ReconfigState final : public oc::Component, public core::IState {
   }
 
  private:
-  std::map<net::Addr, std::uint16_t> latest_;
+  OriginEpochMap latest_;
 };
 
 ReconfigState& state_of(core::ProtocolContext& ctx) {

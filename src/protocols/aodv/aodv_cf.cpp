@@ -1,12 +1,12 @@
 #include "protocols/aodv/aodv_cf.hpp"
 
 #include "core/attrs.hpp"
+#include "core/soft_state.hpp"
 #include "protocols/neighbor/neighbor_cf.hpp"
 #include "protocols/wire.hpp"
 #include "util/assert.hpp"
 #include "util/bytebuffer.hpp"
 #include "util/log.hpp"
-#include "util/timer.hpp"
 
 namespace mk::proto {
 
@@ -137,6 +137,12 @@ class AodvHandler final : public core::EventHandler {
 
  private:
   obs::Counter* msgs_in_ = nullptr;  // cached: interned once, then atomic inc
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
+
+  core::SoftExpiry* soft(core::ProtocolContext& ctx) {
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+    return soft_;
+  }
 
   void learn(core::ProtocolContext& ctx, net::Addr dest, std::uint16_t seq,
              bool seq_valid, net::Addr next_hop, std::uint8_t hops) {
@@ -146,7 +152,13 @@ class AodvHandler final : public core::EventHandler {
                         params_.active_route_timeout)) {
       install_route(ctx, dest, next_hop, hops);
       st.finish_pending(dest);
+      if (auto* s = soft(ctx)) s->drop(aodv_sets::kPending, dest);
       emit_route_found(ctx, dest);
+    }
+    // Track the deadline even when the update was a same-info refresh
+    // (update_route extends the lifetime without reporting change).
+    if (auto r = st.route_to(dest)) {
+      if (auto* s = soft(ctx)) s->touch_at(aodv_sets::kRoute, dest, r->expires);
     }
   }
 
@@ -165,9 +177,13 @@ class AodvHandler final : public core::EventHandler {
     learn(ctx, *msg.originator, *msg.seqnum, true, event.from,
           static_cast<std::uint8_t>(msg.hop_count + 1));
 
-    if (st.check_rreq_seen(*msg.originator, id_tlv->as_u32(), ctx.now())) {
-      return;
+    // Every sighting refreshes the tuple's holding time.
+    bool dup = st.check_rreq_seen(*msg.originator, id_tlv->as_u32(), ctx.now());
+    if (auto* s = soft(ctx)) {
+      s->touch(aodv_sets::kRreqId,
+               aodv_rreq_key(*msg.originator, id_tlv->as_u32()));
     }
+    if (dup) return;
 
     net::Addr target = msg.addr_blocks[0].addrs[0];
     const auto* want_seq = msg.addr_blocks[0].tlv_for(0, wire::kAtlvSeqnum);
@@ -283,12 +299,17 @@ class AodvNoRouteHandler final : public core::EventHandler {
     }
     if (st.has_pending(dest)) return;
     st.start_pending(dest, ctx.now(), params_.rreq_wait);
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+    if (soft_ != nullptr) {
+      soft_->touch_at(aodv_sets::kPending, dest, ctx.now() + params_.rreq_wait);
+    }
     ctx.metrics().counter("aodv.discoveries").inc();
     send_rreq_for(ctx, dest, params_);
   }
 
  private:
   AodvParams params_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 class AodvRouteUpdateHandler final : public core::EventHandler {
@@ -302,12 +323,19 @@ class AodvRouteUpdateHandler final : public core::EventHandler {
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
     auto dest = static_cast<net::Addr>(event.get_int(kDest));
-    aodv_state_of(ctx).extend_lifetime(dest, ctx.now(),
-                                       params_.active_route_timeout);
+    AodvState& st = aodv_state_of(ctx);
+    st.extend_lifetime(dest, ctx.now(), params_.active_route_timeout);
+    if (auto r = st.route_to(dest)) {
+      if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+      if (soft_ != nullptr) {
+        soft_->touch_at(aodv_sets::kRoute, dest, r->expires);
+      }
+    }
   }
 
  private:
   AodvParams params_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 class AodvInvalidationHandler final : public core::EventHandler {
@@ -341,40 +369,6 @@ class AodvInvalidationHandler final : public core::EventHandler {
 
  private:
   AodvParams params_;
-};
-
-class AodvMaintenance final : public core::EventSource {
- public:
-  explicit AodvMaintenance(AodvParams params)
-      : core::EventSource("aodv.Maintenance"), params_(params) {
-    set_instance_name("Maintenance");
-  }
-
-  void start(core::ProtocolContext& ctx) override {
-    ctx_ = &ctx;
-    timer_ = std::make_unique<PeriodicTimer>(
-        ctx.scheduler(), params_.sweep_interval, [this] { fire(); },
-        /*jitter=*/0.0, /*seed=*/ctx.self() + 5);
-    timer_->start();
-  }
-
-  void stop() override { timer_.reset(); }
-
- private:
-  void fire() {
-    AodvState& st = aodv_state_of(*ctx_);
-    TimePoint now = ctx_->now();
-    for (net::Addr dest : st.expire(now)) remove_route(*ctx_, dest);
-    std::vector<net::Addr> gave_up;
-    for (net::Addr dest : st.due_retries(now, gave_up)) {
-      send_rreq_for(*ctx_, dest, params_);
-    }
-    st.expire_rreq_cache(now, params_.rreq_id_hold);
-  }
-
-  AodvParams params_;
-  core::ProtocolContext* ctx_ = nullptr;
-  std::unique_ptr<PeriodicTimer> timer_;
 };
 
 /// The §4.3 piggybacking example: advertise a few routing-table entries in
@@ -419,6 +413,7 @@ class PiggybackBridge final : public oc::Component {
           auto* st = dynamic_cast<AodvState*>(proto->state_component());
           if (st == nullptr) return;
           auto& ctx = proto->context();
+          auto* soft = core::soft_expiry_of(ctx);
           ByteReader r(tlv.value);
           try {
             while (r.remaining() >= 11) {
@@ -435,6 +430,11 @@ class PiggybackBridge final : public oc::Component {
                                    ctx.now(), params_copy.active_route_timeout)) {
                 install_route(ctx, dest, from,
                               static_cast<std::uint8_t>(hops + 1));
+              }
+              if (soft != nullptr) {
+                if (auto learned = st->route_to(dest)) {
+                  soft->touch_at(aodv_sets::kRoute, dest, learned->expires);
+                }
               }
             }
           } catch (const BufferUnderflow&) {
@@ -464,11 +464,79 @@ std::unique_ptr<core::ManetProtocolCf> build_aodv_cf(core::Manetkit& kit,
       &kit.system().sys_state());
 
   cf->set_state(std::make_unique<AodvState>());
+
+  // Per-entry soft-state expiry (set ids fixed by definition order — see
+  // aodv_sets). Routes get RFC 3561's two-phase treatment: the route loss
+  // fn invalidates a lapsed valid entry and re-arms it for DELETE_PERIOD
+  // (seqnum memory), then lets the second lapse delete it.
+  auto soft = std::make_unique<core::SoftExpiry>();
+  core::ManetProtocolCf* raw = cf.get();
+  soft->define_set(
+      "aodv.route", params.active_route_timeout,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        AodvState& st = aodv_state_of(ctx);
+        auto dest = static_cast<net::Addr>(key);
+        bool invalidated = false;
+        auto next = st.expire_one(dest, ctx.now(), invalidated);
+        if (invalidated) remove_route(ctx, dest);
+        if (next) {
+          if (auto* s = core::soft_expiry_of(ctx)) {
+            s->touch_at(aodv_sets::kRoute, dest, *next);
+          }
+        }
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (AodvState* st = aodv_state(*raw)) {
+          for (const auto& [dest, _] : st->all_routes()) keys.push_back(dest);
+        }
+        return keys;
+      });
+  soft->define_set(
+      "aodv.pending", params.rreq_wait,
+      [params](std::uint64_t key, core::ProtocolContext& ctx) {
+        AodvState& st = aodv_state_of(ctx);
+        auto dest = static_cast<net::Addr>(key);
+        bool had = st.has_pending(dest);
+        if (auto next = st.retry_pending(dest, ctx.now())) {
+          send_rreq_for(ctx, dest, params);
+          if (auto* s = core::soft_expiry_of(ctx)) {
+            s->touch_at(aodv_sets::kPending, dest, *next);
+          }
+        } else if (had) {
+          MK_DEBUG("aodv", "discovery for ", pbb::addr_to_string(dest),
+                   " gave up after ", int{AodvState::kMaxTries}, " tries");
+        }
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (AodvState* st = aodv_state(*raw)) {
+          for (net::Addr dest : st->pending_dests()) keys.push_back(dest);
+        }
+        return keys;
+      });
+  soft->define_set(
+      "aodv.rreq_id", params.rreq_id_hold,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        aodv_state_of(ctx).drop_rreq_seen(
+            static_cast<net::Addr>(key >> 24),
+            static_cast<std::uint32_t>(key & 0xFFFFFF));
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (AodvState* st = aodv_state(*raw)) {
+          for (const auto& [origin, id] : st->rreq_seen_entries()) {
+            keys.push_back(aodv_rreq_key(origin, id));
+          }
+        }
+        return keys;
+      });
+  cf->add_source(std::move(soft));
+
   cf->add_handler(std::make_unique<AodvHandler>(params));
   cf->add_handler(std::make_unique<AodvNoRouteHandler>(params));
   cf->add_handler(std::make_unique<AodvRouteUpdateHandler>(params));
   cf->add_handler(std::make_unique<AodvInvalidationHandler>(params));
-  cf->add_source(std::make_unique<AodvMaintenance>(params));
 
   if (params.piggyback_routes) {
     if (auto* table =
@@ -505,6 +573,9 @@ void aodv_discover(core::ManetProtocolCf& cf, net::Addr target,
   AodvState& st = aodv_state_of(ctx);
   if (st.has_pending(target)) return;
   st.start_pending(target, ctx.now(), params.rreq_wait);
+  if (auto* soft = core::soft_expiry_of(ctx)) {
+    soft->touch_at(aodv_sets::kPending, target, ctx.now() + params.rreq_wait);
+  }
   send_rreq_for(ctx, target, params);
 }
 

@@ -20,6 +20,7 @@
 
 #include "core/manet_protocol.hpp"
 #include "core/manetkit.hpp"
+#include "core/soft_state.hpp"
 #include "protocols/aodv/aodv_state.hpp"
 
 namespace mk::proto {
@@ -28,10 +29,24 @@ struct AodvParams {
   Duration active_route_timeout = sec(3);
   Duration rreq_wait = sec(1);
   Duration rreq_id_hold = sec(6);
-  Duration sweep_interval = msec(500);
   std::uint8_t net_diameter = 35;  // RREQ hop limit
   bool piggyback_routes = true;    // advertise routes in HELLOs
 };
+
+/// Soft-state set ids of the AODV CF, fixed by definition order in
+/// build_aodv_cf.
+namespace aodv_sets {
+inline constexpr core::ISoftExpiry::SetId kRoute = 0;
+inline constexpr core::ISoftExpiry::SetId kPending = 1;
+inline constexpr core::ISoftExpiry::SetId kRreqId = 2;
+}  // namespace aodv_sets
+
+/// Packs an RREQ duplicate-cache tuple into SoftExpiry's 56-bit key space.
+/// The rreq id is a monotonic per-node counter, so its low 24 bits cannot
+/// collide within rreq_id_hold.
+inline std::uint64_t aodv_rreq_key(net::Addr origin, std::uint32_t rreq_id) {
+  return (static_cast<std::uint64_t>(origin) << 24) | (rreq_id & 0xFFFFFF);
+}
 
 std::unique_ptr<core::ManetProtocolCf> build_aodv_cf(core::Manetkit& kit,
                                                      AodvParams params = {});

@@ -103,6 +103,25 @@ std::vector<net::Addr> AodvState::expire(TimePoint now) {
   return out;
 }
 
+std::optional<TimePoint> AodvState::expire_one(net::Addr dest, TimePoint now,
+                                               bool& invalidated) {
+  invalidated = false;
+  auto it = routes_.find(dest);
+  if (it == routes_.end()) return std::nullopt;
+  AodvRoute& r = it->second;
+  if (r.expires > now) return r.expires;  // deadline moved; chase it
+  if (r.valid) {
+    // Phase 1: stop using it, keep the seqnum memory for DELETE_PERIOD.
+    r.valid = false;
+    ++r.dest_seq;
+    r.expires = now + kAodvDeletePeriod;
+    invalidated = true;
+    return r.expires;
+  }
+  routes_.erase(it);
+  return std::nullopt;
+}
+
 std::optional<AodvRoute> AodvState::route_to(net::Addr dest) const {
   auto it = routes_.find(dest);
   if (it == routes_.end()) return std::nullopt;
@@ -156,7 +175,48 @@ std::vector<net::Addr> AodvState::due_retries(TimePoint now,
   return retry;
 }
 
+std::optional<TimePoint> AodvState::retry_pending(net::Addr dest,
+                                                  TimePoint now) {
+  auto it = pending_.find(dest);
+  if (it == pending_.end()) return std::nullopt;
+  Pending& p = it->second;
+  if (p.tries >= kMaxTries) {
+    pending_.erase(it);
+    return std::nullopt;
+  }
+  ++p.tries;
+  p.backoff = p.backoff * 2;
+  p.next_retry = now + p.backoff;
+  return p.next_retry;
+}
+
 void AodvState::finish_pending(net::Addr dest) { pending_.erase(dest); }
+
+std::vector<net::Addr> AodvState::pending_dests() const {
+  std::vector<net::Addr> out;
+  out.reserve(pending_.size());
+  for (const auto& [dest, _] : pending_) out.push_back(dest);
+  return out;
+}
+
+bool AodvState::drop_rreq_seen(net::Addr origin, std::uint32_t rreq_id_low24) {
+  auto it = rreq_seen_.lower_bound(std::make_pair(origin, std::uint32_t{0}));
+  for (; it != rreq_seen_.end() && it->first.first == origin; ++it) {
+    if ((it->first.second & 0xFFFFFF) == rreq_id_low24) {
+      rreq_seen_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<net::Addr, std::uint32_t>> AodvState::rreq_seen_entries()
+    const {
+  std::vector<std::pair<net::Addr, std::uint32_t>> out;
+  out.reserve(rreq_seen_.size());
+  for (const auto& [key, _] : rreq_seen_) out.push_back(key);
+  return out;
+}
 
 std::string AodvState::describe() const {
   std::ostringstream os;

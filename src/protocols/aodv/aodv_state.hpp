@@ -8,6 +8,8 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/ifaces.hpp"
 #include "net/address.hpp"
@@ -59,6 +61,15 @@ class AodvState : public oc::Component, public core::IState, public IAodvState {
   /// entries invalid for longer than kAodvDeletePeriod are finally deleted.
   std::vector<net::Addr> expire(TimePoint now);
 
+  /// Single-entry two-phase expiry (soft-state layer). Phase 1 — a *valid*
+  /// entry lapsed: mark invalid, bump dest_seq, keep the seqnum memory for
+  /// kAodvDeletePeriod and return the retention deadline with `invalidated`
+  /// set (caller removes the kernel route). Phase 2 — an *invalid* entry
+  /// lapsed: delete it outright, returns nullopt. If the deadline moved into
+  /// the future meanwhile, returns it untouched so the caller can re-arm.
+  std::optional<TimePoint> expire_one(net::Addr dest, TimePoint now,
+                                      bool& invalidated);
+
   std::optional<AodvRoute> route_to(net::Addr dest) const override;
   std::size_t route_count() const override { return routes_.size(); }
   const std::map<net::Addr, AodvRoute>& all_routes() const { return routes_; }
@@ -70,6 +81,13 @@ class AodvState : public oc::Component, public core::IState, public IAodvState {
   /// RREQ duplicate cache keyed by (originator, rreq id).
   bool check_rreq_seen(net::Addr origin, std::uint32_t rreq_id, TimePoint now);
   void expire_rreq_cache(TimePoint now, Duration hold);
+  /// Removes one cache tuple by originator and the rreq id's *low 24 bits*
+  /// (the soft-state key only carries those; ids are monotonic per node, so
+  /// the truncation cannot collide within rreq_id_hold). Returns true if a
+  /// matching tuple existed.
+  bool drop_rreq_seen(net::Addr origin, std::uint32_t rreq_id_low24);
+  /// All live cache tuples (expiry re-seeding).
+  std::vector<std::pair<net::Addr, std::uint32_t>> rreq_seen_entries() const;
 
   // -- pending discoveries (same discipline as DYMO) ---------------------------
   static constexpr std::uint8_t kMaxTries = 2;  // RREQ_RETRIES in RFC 3561
@@ -77,7 +95,13 @@ class AodvState : public oc::Component, public core::IState, public IAodvState {
   void start_pending(net::Addr dest, TimePoint now, Duration wait);
   std::vector<net::Addr> due_retries(TimePoint now,
                                      std::vector<net::Addr>& gave_up);
+  /// Advances one pending discovery whose retry deadline lapsed: bumps the
+  /// try-counter, doubles the backoff and returns the new retry deadline.
+  /// Returns nullopt if the discovery is absent or just gave up (dropped).
+  std::optional<TimePoint> retry_pending(net::Addr dest, TimePoint now);
   void finish_pending(net::Addr dest);
+  /// Destinations with discoveries in flight (expiry re-seeding).
+  std::vector<net::Addr> pending_dests() const;
 
   std::string describe() const override;
 

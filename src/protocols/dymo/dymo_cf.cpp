@@ -4,7 +4,6 @@
 #include "protocols/neighbor/neighbor_cf.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
-#include "util/timer.hpp"
 
 namespace mk::proto {
 
@@ -151,6 +150,11 @@ ReHandler::ReHandler(std::string type_name, DymoParams params)
   set_instance_name("ReHandler");
 }
 
+core::SoftExpiry* ReHandler::soft(core::ProtocolContext& ctx) {
+  if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+  return soft_;
+}
+
 void ReHandler::learn(const ev::Event& event, core::ProtocolContext& ctx) {
   const pbb::Message& msg = *event.msg();
   DymoState& st = dymo_state_of(ctx);
@@ -162,7 +166,15 @@ void ReHandler::learn(const ev::Event& event, core::ProtocolContext& ctx) {
                         params_.route_lifetime)) {
       dymo_install_kernel_route(ctx, dest, event.from, hops);
       st.finish_pending(dest);
+      if (auto* s = soft(ctx)) s->drop(dymo_sets::kPending, dest);
       dymo_emit_route_found(ctx, dest);
+    }
+    // Track the route's deadline even when the update was a same-info
+    // refresh (update_route extends the lifetime without reporting change).
+    if (auto r = st.route_to(dest)) {
+      if (auto* s = soft(ctx)) {
+        s->touch_at(dymo_sets::kRoute, dest, r->expires);
+      }
     }
   };
 
@@ -214,7 +226,9 @@ bool ReHandler::should_relay_rreq(const ev::Event&, core::ProtocolContext&) {
 
 void ReHandler::on_rrep_at_origin(const ev::Event& event,
                                   core::ProtocolContext& ctx) {
-  dymo_state_of(ctx).finish_pending(*event.msg()->originator);
+  net::Addr dest = *event.msg()->originator;
+  dymo_state_of(ctx).finish_pending(dest);
+  if (auto* s = soft(ctx)) s->drop(dymo_sets::kPending, dest);
 }
 
 void ReHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
@@ -233,6 +247,9 @@ void ReHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
 
   if (rm::kind(msg) == rm::Kind::kRreq) {
     bool dup = st.check_duplicate(*msg.originator, *msg.seqnum, ctx.now());
+    if (auto* s = soft(ctx)) {
+      s->touch(dymo_sets::kDuplicate, dymo_dup_key(*msg.originator, *msg.seqnum));
+    }
     if (target == ctx.self()) {
       if (dup) {
         on_duplicate_rreq_at_target(event, ctx);
@@ -354,6 +371,10 @@ void NoRouteHandler::handle(const ev::Event& event,
   if (try_local_knowledge(dest, ctx)) return;
   if (st.has_pending(dest)) return;  // discovery already in flight
   st.start_pending(dest, ctx.now(), params_.rreq_wait);
+  if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+  if (soft_ != nullptr) {
+    soft_->touch_at(dymo_sets::kPending, dest, ctx.now() + params_.rreq_wait);
+  }
   ctx.metrics().counter("dymo.discoveries").inc();
   dymo_send_rreq(ctx, dest, params_);
 }
@@ -367,7 +388,12 @@ RouteUpdateHandler::RouteUpdateHandler(DymoParams params)
 void RouteUpdateHandler::handle(const ev::Event& event,
                                 core::ProtocolContext& ctx) {
   auto dest = static_cast<net::Addr>(event.get_int(kDest));
-  dymo_state_of(ctx).extend_lifetime(dest, ctx.now(), params_.route_lifetime);
+  DymoState& st = dymo_state_of(ctx);
+  st.extend_lifetime(dest, ctx.now(), params_.route_lifetime);
+  if (auto r = st.route_to(dest)) {
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+    if (soft_ != nullptr) soft_->touch_at(dymo_sets::kRoute, dest, r->expires);
+  }
 }
 
 RerrHandler::RerrHandler(DymoParams params)
@@ -382,7 +408,13 @@ void RerrHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
   }
   const pbb::Message& msg = *event.msg();
   DymoState& st = dymo_state_of(ctx);
-  if (st.check_duplicate(*msg.originator, *msg.seqnum, ctx.now())) return;
+  bool dup = st.check_duplicate(*msg.originator, *msg.seqnum, ctx.now());
+  if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+  if (soft_ != nullptr) {
+    soft_->touch(dymo_sets::kDuplicate,
+                 dymo_dup_key(*msg.originator, *msg.seqnum));
+  }
+  if (dup) return;
 
   std::vector<std::pair<net::Addr, std::uint16_t>> still_unreachable;
   for (const auto& block : msg.addr_blocks) {
@@ -405,41 +437,6 @@ void RerrHandler::handle(const ev::Event& event, core::ProtocolContext& ctx) {
   }
 }
 
-DymoMaintenance::DymoMaintenance(DymoParams params)
-    : core::EventSource("dymo.Maintenance"), params_(params) {
-  set_instance_name("Maintenance");
-}
-
-void DymoMaintenance::start(core::ProtocolContext& ctx) {
-  ctx_ = &ctx;
-  timer_ = std::make_unique<PeriodicTimer>(
-      ctx.scheduler(), params_.sweep_interval, [this] { fire(); },
-      /*jitter=*/0.0, /*seed=*/ctx.self() + 4);
-  timer_->start();
-}
-
-void DymoMaintenance::stop() { timer_.reset(); }
-
-void DymoMaintenance::fire() {
-  DymoState& st = dymo_state_of(*ctx_);
-  TimePoint now = ctx_->now();
-
-  for (net::Addr dest : st.expire(now)) {
-    dymo_remove_kernel_route(*ctx_, dest);
-  }
-
-  std::vector<net::Addr> gave_up;
-  for (net::Addr dest : st.due_retries(now, gave_up)) {
-    dymo_send_rreq(*ctx_, dest, params_);
-  }
-  for (net::Addr dest : gave_up) {
-    MK_DEBUG("dymo", "discovery for ", pbb::addr_to_string(dest),
-             " gave up after ", int{DymoState::kMaxTries}, " tries");
-  }
-
-  st.expire_duplicates(now, params_.duplicate_hold);
-}
-
 // -------------------------------------------------------------------- builder
 
 std::unique_ptr<core::ManetProtocolCf> build_dymo_cf(core::Manetkit& kit,
@@ -454,12 +451,75 @@ std::unique_ptr<core::ManetProtocolCf> build_dymo_cf(core::Manetkit& kit,
       &kit.system().sys_state());
 
   cf->set_state(std::make_unique<DymoState>());
+
+  // Routes, pending discoveries (RREQ retry backoff) and the RM duplicate
+  // set all live in the shared soft-state layer (set ids fixed by
+  // definition order — see dymo_sets): each entry's deadline is armed
+  // per-entry, so a route lapses — and its kernel entry goes — at its exact
+  // lifetime, and RREQ retries fire at their exact backoff deadline.
+  auto soft = std::make_unique<core::SoftExpiry>();
+  core::ManetProtocolCf* raw = cf.get();
+  soft->define_set(
+      "dymo.route", params.route_lifetime,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        auto dest = static_cast<net::Addr>(key);
+        if (dymo_state_of(ctx).drop_route(dest)) {
+          dymo_remove_kernel_route(ctx, dest);
+        }
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (DymoState* st = dymo_state(*raw)) {
+          for (const auto& [dest, _] : st->all_routes()) keys.push_back(dest);
+        }
+        return keys;
+      });
+  soft->define_set(
+      "dymo.pending", params.rreq_wait,
+      [params](std::uint64_t key, core::ProtocolContext& ctx) {
+        DymoState& st = dymo_state_of(ctx);
+        auto dest = static_cast<net::Addr>(key);
+        bool had = st.has_pending(dest);
+        if (auto next = st.retry_pending(dest, ctx.now())) {
+          dymo_send_rreq(ctx, dest, params);
+          if (auto* s = core::soft_expiry_of(ctx)) {
+            s->touch_at(dymo_sets::kPending, dest, *next);
+          }
+        } else if (had) {
+          MK_DEBUG("dymo", "discovery for ", pbb::addr_to_string(dest),
+                   " gave up after ", int{DymoState::kMaxTries}, " tries");
+        }
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (DymoState* st = dymo_state(*raw)) {
+          for (net::Addr dest : st->pending_dests()) keys.push_back(dest);
+        }
+        return keys;
+      });
+  soft->define_set(
+      "dymo.duplicate", params.duplicate_hold,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        dymo_state_of(ctx).drop_duplicate(
+            static_cast<net::Addr>(key >> 16),
+            static_cast<std::uint16_t>(key & 0xFFFF));
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (DymoState* st = dymo_state(*raw)) {
+          for (const auto& [origin, seq] : st->duplicate_entries()) {
+            keys.push_back(dymo_dup_key(origin, seq));
+          }
+        }
+        return keys;
+      });
+  cf->add_source(std::move(soft));
+
   cf->add_handler(std::make_unique<ReHandler>(params));
   cf->add_handler(std::make_unique<NoRouteHandler>(params));
   cf->add_handler(std::make_unique<RouteUpdateHandler>(params));
   cf->add_handler(std::make_unique<RouteInvalidationHandler>(params));
   cf->add_handler(std::make_unique<RerrHandler>(params));
-  cf->add_source(std::make_unique<DymoMaintenance>(params));
 
   cf->declare_events(
       /*required=*/{"RM_IN", "RERR_IN", ev::types::NO_ROUTE,
@@ -489,6 +549,9 @@ void dymo_discover(core::ManetProtocolCf& cf, net::Addr target,
   DymoState& st = dymo_state_of(ctx);
   if (st.has_pending(target)) return;
   st.start_pending(target, ctx.now(), params.rreq_wait);
+  if (auto* soft = core::soft_expiry_of(ctx)) {
+    soft->touch_at(dymo_sets::kPending, target, ctx.now() + params.rreq_wait);
+  }
   dymo_send_rreq(ctx, target, params);
 }
 

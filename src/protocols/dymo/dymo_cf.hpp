@@ -20,9 +20,9 @@
 
 #include "core/manet_protocol.hpp"
 #include "core/manetkit.hpp"
+#include "core/soft_state.hpp"
 #include "protocols/dymo/dymo_state.hpp"
 #include "protocols/wire.hpp"
-#include "util/timer.hpp"
 
 namespace mk::proto {
 
@@ -30,10 +30,22 @@ struct DymoParams {
   Duration route_lifetime = sec(5);
   Duration rreq_wait = sec(1);        // initial retry backoff
   Duration duplicate_hold = sec(5);
-  Duration sweep_interval = msec(500);
   std::uint8_t rreq_hop_limit = 10;
   std::uint8_t rerr_hop_limit = 3;
 };
+
+/// Soft-state set ids of the DYMO CF (and its ZRP/multipath/gossip
+/// derivatives), fixed by definition order in build_dymo_cf.
+namespace dymo_sets {
+inline constexpr core::ISoftExpiry::SetId kRoute = 0;
+inline constexpr core::ISoftExpiry::SetId kPending = 1;
+inline constexpr core::ISoftExpiry::SetId kDuplicate = 2;
+}  // namespace dymo_sets
+
+/// Packs an RM duplicate-set tuple into a soft-state key.
+inline std::uint64_t dymo_dup_key(net::Addr origin, std::uint16_t seq) {
+  return (static_cast<std::uint64_t>(origin) << 16) | seq;
+}
 
 // -- RM / RERR codecs (shared with tests and the DYMOUM baseline parity) -------
 namespace rm {
@@ -99,9 +111,16 @@ class ReHandler : public core::EventHandler {
   void send_rrep(const ev::Event& rreq_event, core::ProtocolContext& ctx,
                  bool bump_seq = true);
 
+  /// The CF's shared soft-state layer (lazily resolved, may be null in
+  /// stripped-down test compositions).
+  core::SoftExpiry* soft(core::ProtocolContext& ctx);
+
   DymoParams params_;
   obs::Counter* rm_in_ = nullptr;      // cached "dymo.rm_in"
   obs::Counter* rrep_sent_ = nullptr;  // cached "dymo.rrep_sent"
+
+ private:
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 /// Shared invalidation logic for SEND_ROUTE_ERR and NHOOD_CHANGE(down):
@@ -147,6 +166,9 @@ class NoRouteHandler : public core::EventHandler {
   virtual bool try_local_knowledge(net::Addr dest, core::ProtocolContext& ctx);
 
   DymoParams params_;
+
+ private:
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 /// ROUTE_UPDATE from NetLink: data-plane usage extends route lifetimes.
@@ -157,6 +179,7 @@ class RouteUpdateHandler final : public core::EventHandler {
 
  private:
   DymoParams params_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 /// RERR processing: invalidate matching routes and propagate.
@@ -167,22 +190,7 @@ class RerrHandler final : public core::EventHandler {
 
  private:
   DymoParams params_;
-};
-
-/// Periodic sweep: route expiry, RREQ retries (binary exponential backoff),
-/// duplicate-set housekeeping.
-class DymoMaintenance final : public core::EventSource {
- public:
-  explicit DymoMaintenance(DymoParams params);
-  void start(core::ProtocolContext& ctx) override;
-  void stop() override;
-
- private:
-  void fire();
-
-  DymoParams params_;
-  core::ProtocolContext* ctx_ = nullptr;
-  std::unique_ptr<PeriodicTimer> timer_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 /// Kernel-table sync helpers used by all DYMO handlers.

@@ -130,7 +130,29 @@ std::vector<net::Addr> DymoState::due_retries(TimePoint now,
   return retry;
 }
 
+std::optional<TimePoint> DymoState::retry_pending(net::Addr dest,
+                                                  TimePoint now) {
+  auto it = pending_.find(dest);
+  if (it == pending_.end()) return std::nullopt;
+  Pending& p = it->second;
+  if (p.tries >= kMaxTries) {
+    pending_.erase(it);
+    return std::nullopt;
+  }
+  ++p.tries;
+  p.backoff = p.backoff * 2;  // binary exponential backoff
+  p.next_retry = now + p.backoff;
+  return p.next_retry;
+}
+
 void DymoState::finish_pending(net::Addr dest) { pending_.erase(dest); }
+
+std::vector<net::Addr> DymoState::pending_dests() const {
+  std::vector<net::Addr> out;
+  out.reserve(pending_.size());
+  for (const auto& [dest, _] : pending_) out.push_back(dest);
+  return out;
+}
 
 bool DymoState::check_duplicate(net::Addr origin, std::uint16_t seq,
                                 TimePoint now) {
@@ -147,6 +169,18 @@ void DymoState::expire_duplicates(TimePoint now, Duration hold) {
   for (auto it = duplicates_.begin(); it != duplicates_.end();) {
     it = (now - it->second > hold) ? duplicates_.erase(it) : std::next(it);
   }
+}
+
+bool DymoState::drop_duplicate(net::Addr origin, std::uint16_t seq) {
+  return duplicates_.erase(std::make_pair(origin, seq)) > 0;
+}
+
+std::vector<std::pair<net::Addr, std::uint16_t>> DymoState::duplicate_entries()
+    const {
+  std::vector<std::pair<net::Addr, std::uint16_t>> out;
+  out.reserve(duplicates_.size());
+  for (const auto& [key, _] : duplicates_) out.push_back(key);
+  return out;
 }
 
 std::string DymoState::describe() const {

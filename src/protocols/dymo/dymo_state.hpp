@@ -12,6 +12,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ifaces.hpp"
@@ -66,6 +67,10 @@ class DymoState : public oc::Component, public core::IState, public IDymoState {
   /// Drops expired routes; returns their destinations (for kernel cleanup).
   std::vector<net::Addr> expire(TimePoint now);
 
+  /// Removes one route outright (soft-state expiry); returns true if it was
+  /// present.
+  bool drop_route(net::Addr dest) { return routes_.erase(dest) > 0; }
+
   std::optional<DymoRoute> route_to(net::Addr dest) const override;
   DymoRoute* mutable_route(net::Addr dest);
   std::size_t route_count() const override { return routes_.size(); }
@@ -85,12 +90,22 @@ class DymoState : public oc::Component, public core::IState, public IDymoState {
   /// `gave_up`.
   std::vector<net::Addr> due_retries(TimePoint now,
                                      std::vector<net::Addr>& gave_up);
+  /// Advances one pending discovery whose retry deadline lapsed: bumps the
+  /// try-counter, doubles the backoff and returns the new retry deadline.
+  /// Returns nullopt if the discovery is absent or just gave up (dropped).
+  std::optional<TimePoint> retry_pending(net::Addr dest, TimePoint now);
   void finish_pending(net::Addr dest);
+  /// Destinations with discoveries in flight (expiry re-seeding).
+  std::vector<net::Addr> pending_dests() const;
   std::size_t pending_count() const { return pending_.size(); }
 
   // -- RREQ duplicate set ------------------------------------------------------------------
   bool check_duplicate(net::Addr origin, std::uint16_t seq, TimePoint now);
   void expire_duplicates(TimePoint now, Duration hold);
+  /// Removes one tuple (soft-state expiry); returns true if it was present.
+  bool drop_duplicate(net::Addr origin, std::uint16_t seq);
+  /// All live tuples (expiry re-seeding).
+  std::vector<std::pair<net::Addr, std::uint16_t>> duplicate_entries() const;
 
   std::string describe() const override;
 

@@ -57,6 +57,9 @@ class MultipathReHandler final : public ReHandler {
         dest, event.from,
         static_cast<std::uint8_t>(event.msg()->hop_count + 1));
     st.finish_pending(dest);
+    if (auto* s = core::soft_expiry_of(ctx)) {
+      s->drop(dymo_sets::kPending, dest);
+    }
   }
 
  private:

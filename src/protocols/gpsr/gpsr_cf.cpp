@@ -72,7 +72,11 @@ class PositionBeacon final : public oc::Component {
           if (!pos) return;
           auto* st = dynamic_cast<GpsrState*>(proto->state_component());
           if (st == nullptr) return;
-          st->note_position(from, *pos, proto->context().now());
+          auto& ctx = proto->context();
+          st->note_position(from, *pos, ctx.now());
+          if (auto* soft = core::soft_expiry_of(ctx)) {
+            soft->touch(gpsr_sets::kPosition, from);
+          }
         });
   }
 
@@ -129,7 +133,12 @@ class GreedyRouteHandler final : public core::EventHandler {
     entry.metric = 1;  // geographic routing has no hop-count estimate
     entry.installed_at = ctx.now();
     ctx.sys()->kernel_table().set_route(entry);
-    st.active_dests()[dest] = ctx.now() + params_.route_lifetime;
+    TimePoint deadline = ctx.now() + params_.route_lifetime;
+    st.active_dests()[dest] = deadline;
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+    if (soft_ != nullptr) {
+      soft_->touch_at(gpsr_sets::kActive, dest, deadline);
+    }
     ctx.metrics().counter("gpsr.greedy_installs").inc();
     return true;
   }
@@ -139,9 +148,12 @@ class GreedyRouteHandler final : public core::EventHandler {
   LocationService locate_;
   core::ManetProtocolCf* neighbor_cf_;
   net::SimNode& node_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
-/// Refreshes active routes (mobility!), drops lost-neighbour routes.
+/// Re-evaluates greedy choices for active destinations (mobility!). Stale
+/// positions and lapsed active routes are handled per-entry by the CF's
+/// soft-state layer; this source only tracks the geometry.
 class GpsrMaintenance final : public core::EventSource {
  public:
   GpsrMaintenance(GpsrParams params, GreedyRouteHandler* greedy)
@@ -164,20 +176,8 @@ class GpsrMaintenance final : public core::EventSource {
  private:
   void fire() {
     GpsrState& st = state_of(*ctx_);
-    TimePoint now = ctx_->now();
-    st.expire(now, params_.position_hold);
-
-    // Re-evaluate greedy choices for destinations still in use; drop stale.
-    for (auto it = st.active_dests().begin(); it != st.active_dests().end();) {
-      if (it->second < now) {
-        if (ctx_->sys() != nullptr) {
-          ctx_->sys()->kernel_table().remove_route(it->first);
-        }
-        it = st.active_dests().erase(it);
-      } else {
-        greedy_->try_install(it->first, *ctx_);
-        ++it;
-      }
+    for (auto& [dest, _] : st.active_dests()) {
+      greedy_->try_install(dest, *ctx_);
     }
   }
 
@@ -200,11 +200,15 @@ class GpsrEventHandler final : public core::EventHandler {
 
   void handle(const ev::Event& event, core::ProtocolContext& ctx) override {
     GpsrState& st = state_of(ctx);
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
     if (event.type() == ev::etype(ev::types::ROUTE_UPDATE)) {
       auto dest = static_cast<net::Addr>(event.get_int(kDest));
       auto it = st.active_dests().find(dest);
       if (it != st.active_dests().end()) {
         it->second = ctx.now() + params_.route_lifetime;
+        if (soft_ != nullptr) {
+          soft_->touch_at(gpsr_sets::kActive, dest, it->second);
+        }
       }
       return;
     }
@@ -214,12 +218,14 @@ class GpsrEventHandler final : public core::EventHandler {
     for (net::Addr dest : ctx.sys()->kernel_table().dests_via(lost)) {
       ctx.sys()->kernel_table().remove_route(dest);
       st.active_dests().erase(dest);
+      if (soft_ != nullptr) soft_->drop(gpsr_sets::kActive, dest);
       ctx.metrics().counter("gpsr.routes_torn_down").inc();
     }
   }
 
  private:
   GpsrParams params_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 }  // namespace
@@ -241,6 +247,13 @@ void GpsrState::expire(TimePoint now, Duration hold) {
     it = (now - it->second.heard > hold) ? positions_.erase(it)
                                          : std::next(it);
   }
+}
+
+std::vector<net::Addr> GpsrState::position_addrs() const {
+  std::vector<net::Addr> out;
+  out.reserve(positions_.size());
+  for (const auto& [a, _] : positions_) out.push_back(a);
+  return out;
 }
 
 std::optional<net::Position> GpsrState::position_of(net::Addr a) const {
@@ -286,6 +299,45 @@ std::unique_ptr<core::ManetProtocolCf> build_gpsr_cf(core::Manetkit& kit,
       kit.kernel(), "gpsr", kit.scheduler(), kit.self(),
       &kit.system().sys_state());
   cf->set_state(std::make_unique<GpsrState>());
+
+  // Per-entry soft-state expiry for positions and greedily installed routes
+  // (set ids fixed by definition order — see gpsr_sets).
+  auto soft = std::make_unique<core::SoftExpiry>();
+  core::ManetProtocolCf* raw = cf.get();
+  soft->define_set(
+      "gpsr.position", params.position_hold,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        state_of(ctx).drop_position(static_cast<net::Addr>(key));
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (GpsrState* st = gpsr_state(*raw)) {
+          for (net::Addr a : st->position_addrs()) keys.push_back(a);
+        }
+        return keys;
+      });
+  soft->define_set(
+      "gpsr.active", params.route_lifetime,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        GpsrState& st = state_of(ctx);
+        auto dest = static_cast<net::Addr>(key);
+        auto it = st.active_dests().find(dest);
+        if (it == st.active_dests().end()) return;
+        st.active_dests().erase(it);
+        if (ctx.sys() != nullptr) {
+          ctx.sys()->kernel_table().remove_route(dest);
+        }
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (GpsrState* st = gpsr_state(*raw)) {
+          for (const auto& [dest, _] : st->active_dests()) {
+            keys.push_back(dest);
+          }
+        }
+        return keys;
+      });
+  cf->add_source(std::move(soft));
 
   auto greedy = std::make_unique<GreedyRouteHandler>(
       params, std::move(locate), neighbor, kit.node());

@@ -26,6 +26,7 @@
 
 #include "core/manet_protocol.hpp"
 #include "core/manetkit.hpp"
+#include "core/soft_state.hpp"
 #include "net/node.hpp"
 #include "protocols/neighbor/neighbor_state.hpp"
 
@@ -38,10 +39,19 @@ using LocationService =
 struct GpsrParams {
   /// Greedy routes are re-evaluated at least this often under mobility.
   Duration route_lifetime = sec(1);
+  /// How often greedy choices for active destinations are re-evaluated
+  /// (genuinely periodic: mobility moves neighbours between deadlines).
   Duration sweep_interval = msec(500);
   /// Positions older than this are distrusted (neighbour may have moved).
   Duration position_hold = sec(6);
 };
+
+/// Soft-state set ids of the GPSR CF, fixed by definition order in
+/// build_gpsr_cf.
+namespace gpsr_sets {
+inline constexpr core::ISoftExpiry::SetId kPosition = 0;
+inline constexpr core::ISoftExpiry::SetId kActive = 1;
+}  // namespace gpsr_sets
 
 struct IGpsrState : oc::Interface {
   virtual std::optional<net::Position> position_of(net::Addr a) const = 0;
@@ -54,6 +64,10 @@ class GpsrState : public oc::Component, public core::IState, public IGpsrState {
 
   void note_position(net::Addr a, net::Position p, TimePoint now);
   void expire(TimePoint now, Duration hold);
+  /// Forgets one neighbour position (soft-state expiry); true if present.
+  bool drop_position(net::Addr a) { return positions_.erase(a) > 0; }
+  /// Addresses with known positions (expiry re-seeding).
+  std::vector<net::Addr> position_addrs() const;
 
   std::optional<net::Position> position_of(net::Addr a) const override;
   std::size_t known_positions() const override { return positions_.size(); }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/attrs.hpp"
+#include "core/soft_state.hpp"
 #include "protocols/hello_codec.hpp"
 #include "protocols/mpr/mpr_handlers.hpp"
 #include "util/assert.hpp"
@@ -101,6 +102,11 @@ class FloodOutHandler final : public core::EventHandler {
       msg.hop_count = 0;
     }
     mpr_state_of(ctx).check_duplicate(*msg.originator, *msg.seqnum, ctx.now());
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+    if (soft_ != nullptr) {
+      soft_->touch(mpr_sets::kDuplicate,
+                   mpr_dup_key(*msg.originator, *msg.seqnum));
+    }
     ctx.emit(std::move(out));
   }
 
@@ -110,6 +116,9 @@ class FloodOutHandler final : public core::EventHandler {
     for (const auto& b : bases) out.push_back(b + "_OUT");
     return out;
   }
+
+ private:
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 /// Inbound leg: retransmits a received flood message iff the previous hop
@@ -132,7 +141,14 @@ class FloodRelayHandler final : public core::EventHandler {
     if (*msg.originator == ctx.self()) return;
 
     MprState& st = mpr_state_of(ctx);
-    if (st.check_duplicate(*msg.originator, *msg.seqnum, ctx.now())) return;
+    bool dup = st.check_duplicate(*msg.originator, *msg.seqnum, ctx.now());
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+    if (soft_ != nullptr) {
+      // Every sighting refreshes the tuple's holding time (RFC 3626 §3.4).
+      soft_->touch(mpr_sets::kDuplicate,
+                   mpr_dup_key(*msg.originator, *msg.seqnum));
+    }
+    if (dup) return;
     if (!st.is_mpr_selector(event.from)) return;  // we are not its relay
     if (msg.has_hops && msg.hop_limit <= 1) return;
 
@@ -156,6 +172,7 @@ class FloodRelayHandler final : public core::EventHandler {
 
  private:
   std::map<ev::EventTypeId, ev::EventTypeId> out_for_in_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 /// Direct-call flooding service (the F element), for callers holding an
@@ -174,13 +191,15 @@ class MprForward final : public oc::Component, public core::IForward {
   core::ManetProtocolCf& cf_;
 };
 
-/// Periodic housekeeping: neighbour/selector/duplicate expiry, hysteresis
-/// decay, MPR recalculation.
-class MprMaintenance final : public core::EventSource {
+/// Periodic hysteresis decay (RFC 3626 §14's per-interval quality update for
+/// missed HELLOs) — genuinely interval-driven, so it keeps its own timer.
+/// Link/selector/duplicate expiry is per-entry via the shared soft-state
+/// layer (see build_mpr_cf), not swept here.
+class HysteresisTick final : public core::EventSource {
  public:
-  explicit MprMaintenance(MprParams params)
-      : core::EventSource("mpr.Maintenance"), params_(params) {
-    set_instance_name("Maintenance");
+  explicit HysteresisTick(MprParams params)
+      : core::EventSource("mpr.HysteresisTick"), params_(params) {
+    set_instance_name("HysteresisTick");
   }
 
   void start(core::ProtocolContext& ctx) override {
@@ -196,27 +215,11 @@ class MprMaintenance final : public core::EventSource {
  private:
   void fire() {
     MprState& st = mpr_state_of(*ctx_);
-    TimePoint now = ctx_->now();
-
     if (auto* hyst_comp = ctx_->protocol().find("Hysteresis")) {
       if (auto* hyst = hyst_comp->interface_as<IHysteresis>("IHysteresis")) {
         for (net::Addr a : st.heard_neighbors()) hyst->on_interval(a);
       }
     }
-
-    bool changed = false;
-    for (net::Addr lost : st.expire(now, params_.hold_time)) {
-      emit_nhood_change(*ctx_, lost, false);
-      st.drop_selector(lost);
-      changed = true;
-    }
-    auto selectors_before = st.mpr_selectors();
-    st.expire_selectors(now, params_.selector_hold);
-    if (st.mpr_selectors() != selectors_before) {
-      ctx_->emit(ev::Event(ev::types::MPR_CHANGE));
-    }
-    st.expire_duplicates(now, params_.duplicate_hold);
-    if (changed) recompute_mprs(*ctx_);
   }
 
   MprParams params_;
@@ -265,13 +268,78 @@ std::unique_ptr<core::ManetProtocolCf> build_mpr_cf(core::Manetkit& kit,
   if (params.use_hysteresis) cf->insert(std::make_unique<Hysteresis>());
   cf->set_forward(std::make_unique<MprForward>(*cf));
 
+  // Link, MPR-selector and flooding-duplicate tuples live in the shared
+  // soft-state layer (set ids fixed by definition order — see mpr_sets).
+  // Every HELLO / flood sighting re-arms the entry's holding time; lapse
+  // drops it and propagates the loss (NHOOD_CHANGE / MPR_CHANGE) at the
+  // entry's own deadline instead of at sweep granularity.
+  auto soft = std::make_unique<core::SoftExpiry>();
+  core::ManetProtocolCf* raw = cf.get();
+  soft->define_set(
+      "mpr.link", params.hold_time,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        MprState& st = mpr_state_of(ctx);
+        auto addr = static_cast<net::Addr>(key);
+        if (auto* s = core::soft_expiry_of(ctx)) {
+          s->drop(mpr_sets::kSelector, addr);
+        }
+        bool was_selector = st.is_mpr_selector(addr);
+        st.drop_selector(addr);
+        if (st.remove(addr)) emit_nhood_change(ctx, addr, false);
+        if (was_selector) ctx.emit(ev::Event(ev::types::MPR_CHANGE));
+        recompute_mprs(ctx);
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (MprState* st = mpr_state(*raw)) {
+          for (net::Addr a : st->heard_neighbors()) keys.push_back(a);
+        }
+        return keys;
+      });
+  soft->define_set(
+      "mpr.selector", params.selector_hold,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        MprState& st = mpr_state_of(ctx);
+        auto addr = static_cast<net::Addr>(key);
+        if (st.is_mpr_selector(addr)) {
+          st.drop_selector(addr);
+          ctx.emit(ev::Event(ev::types::MPR_CHANGE));
+        }
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (MprState* st = mpr_state(*raw)) {
+          for (net::Addr a : st->mpr_selectors()) keys.push_back(a);
+        }
+        return keys;
+      });
+  soft->define_set(
+      "mpr.duplicate", params.duplicate_hold,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        mpr_state_of(ctx).drop_duplicate(
+            static_cast<net::Addr>(key >> 16),
+            static_cast<std::uint16_t>(key & 0xFFFF));
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (MprState* st = mpr_state(*raw)) {
+          for (const auto& [origin, seq] : st->duplicate_entries()) {
+            keys.push_back(mpr_dup_key(origin, seq));
+          }
+        }
+        return keys;
+      });
+  cf->add_source(std::move(soft));
+
   std::vector<std::string> bases = {"TC"};
   cf->add_handler(std::make_unique<MprHelloHandler>());
   cf->add_handler(std::make_unique<PowerStatusHandler>());
   cf->add_handler(std::make_unique<FloodOutHandler>(bases));
   cf->add_handler(std::make_unique<FloodRelayHandler>(bases));
   cf->add_source(std::make_unique<MprHelloSource>(params));
-  cf->add_source(std::make_unique<MprMaintenance>(params));
+  if (params.use_hysteresis) {
+    cf->add_source(std::make_unique<HysteresisTick>(params));
+  }
 
   apply_tuple(*cf, bases);
   return cf;

@@ -60,6 +60,8 @@ void MprHelloHandler::handle(const ev::Event& event,
 
   MprState& st = mpr_state_of(ctx);
   st.note_heard(from, ctx.now());
+  if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+  if (soft_ != nullptr) soft_->touch(mpr_sets::kLink, from);
   st.set_willingness_of(from, effective_willingness(msg, ctx));
 
   // Optional hysteresis plug-in gates link establishment.
@@ -73,6 +75,10 @@ void MprHelloHandler::handle(const ev::Event& event,
 
   auto our_code = hello::code_for(msg, ctx.self());
   if (our_code.has_value() && *our_code == wire::LinkCode::kLost) {
+    if (soft_ != nullptr) {
+      soft_->drop(mpr_sets::kSelector, from);
+      soft_->drop(mpr_sets::kLink, from);
+    }
     st.drop_selector(from);
     if (st.remove(from)) emit_nhood_change(ctx, from, false);
     recompute_mprs(ctx);
@@ -90,8 +96,10 @@ void MprHelloHandler::handle(const ev::Event& event,
     bool was_selector = st.is_mpr_selector(from);
     if (our_code.has_value() && *our_code == wire::LinkCode::kMpr) {
       st.note_selector(from, ctx.now());
+      if (soft_ != nullptr) soft_->touch(mpr_sets::kSelector, from);
     } else {
       st.drop_selector(from);
+      if (soft_ != nullptr) soft_->drop(mpr_sets::kSelector, from);
     }
     // Relay selection changed from the selector side too: protocols above
     // (OLSR's triggered TC) need to hear about it.

@@ -6,9 +6,23 @@
 #include <string>
 
 #include "core/manet_protocol.hpp"
+#include "core/soft_state.hpp"
 #include "protocols/mpr/mpr_state.hpp"
 
 namespace mk::proto {
+
+/// Soft-state set ids of the MPR CF, fixed by definition order in
+/// build_mpr_cf.
+namespace mpr_sets {
+inline constexpr core::ISoftExpiry::SetId kLink = 0;
+inline constexpr core::ISoftExpiry::SetId kSelector = 1;
+inline constexpr core::ISoftExpiry::SetId kDuplicate = 2;
+}  // namespace mpr_sets
+
+/// Packs a flooding duplicate-set tuple into a soft-state key.
+inline std::uint64_t mpr_dup_key(net::Addr origin, std::uint16_t seq) {
+  return (static_cast<std::uint64_t>(origin) << 16) | seq;
+}
 
 /// The MPR CF's S element, asserted present.
 MprState& mpr_state_of(core::ProtocolContext& ctx);
@@ -35,6 +49,9 @@ class MprHelloHandler : public core::EventHandler {
   /// it from the advertised residual battery (transmission-power cost).
   virtual std::uint8_t effective_willingness(const pbb::Message& msg,
                                              core::ProtocolContext& ctx);
+
+ private:
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 }  // namespace mk::proto

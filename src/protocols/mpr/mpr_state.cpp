@@ -61,6 +61,18 @@ void MprState::expire_duplicates(TimePoint now, Duration hold) {
   }
 }
 
+bool MprState::drop_duplicate(net::Addr origin, std::uint16_t seq) {
+  return duplicates_.erase(std::make_pair(origin, seq)) > 0;
+}
+
+std::vector<std::pair<net::Addr, std::uint16_t>> MprState::duplicate_entries()
+    const {
+  std::vector<std::pair<net::Addr, std::uint16_t>> out;
+  out.reserve(duplicates_.size());
+  for (const auto& [key, _] : duplicates_) out.push_back(key);
+  return out;
+}
+
 std::string MprState::describe() const {
   std::ostringstream os;
   os << NeighborTable::describe() << " mprs: " << mprs_.size()

@@ -11,6 +11,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/address.hpp"
 #include "protocols/neighbor/neighbor_state.hpp"
@@ -53,6 +55,10 @@ class MprState : public NeighborTable, public IMprState {
   /// Returns true if (origin, seq) was already seen; notes it otherwise.
   bool check_duplicate(net::Addr origin, std::uint16_t seq, TimePoint now);
   void expire_duplicates(TimePoint now, Duration hold);
+  /// Removes one tuple (soft-state expiry); returns true if it was present.
+  bool drop_duplicate(net::Addr origin, std::uint16_t seq);
+  /// All live tuples (expiry re-seeding after restart).
+  std::vector<std::pair<net::Addr, std::uint16_t>> duplicate_entries() const;
   std::size_t duplicate_count() const { return duplicates_.size(); }
 
   std::string describe() const override;

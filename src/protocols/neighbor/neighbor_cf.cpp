@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/attrs.hpp"
+#include "core/soft_state.hpp"
 #include "protocols/hello_codec.hpp"
 #include "protocols/wire.hpp"
 #include "util/assert.hpp"
@@ -29,7 +30,8 @@ void emit_nhood_change(core::ProtocolContext& ctx, net::Addr neighbor, bool up) 
   ctx.emit(std::move(e));
 }
 
-/// Periodic HELLO emission + neighbour expiry sweep.
+/// Periodic HELLO emission. Link expiry is per-entry via the shared
+/// soft-state layer (see build_neighbor_cf), not swept here.
 class HelloSource final : public core::EventSource {
  public:
   explicit HelloSource(NeighborParams params)
@@ -50,10 +52,6 @@ class HelloSource final : public core::EventSource {
  private:
   void fire() {
     NeighborTable* nt = table_of(*ctx_);
-
-    for (net::Addr lost : nt->expire(ctx_->now(), params_.hold_time)) {
-      emit_nhood_change(*ctx_, lost, false);
-    }
 
     std::vector<hello::Link> links;
     for (net::Addr a : nt->heard_neighbors()) {
@@ -77,8 +75,9 @@ class HelloSource final : public core::EventSource {
 /// Link sensing from received HELLOs.
 class HelloHandler final : public core::EventHandler {
  public:
-  HelloHandler()
-      : core::EventHandler("neighbor.HelloHandler", {ev::types::HELLO_IN}) {
+  explicit HelloHandler(core::ISoftExpiry::SetId link_set)
+      : core::EventHandler("neighbor.HelloHandler", {ev::types::HELLO_IN}),
+        link_set_(link_set) {
     set_instance_name("HelloHandler");
   }
 
@@ -88,14 +87,17 @@ class HelloHandler final : public core::EventHandler {
     net::Addr from = event.from;
     if (from == ctx.self()) return;
 
+    if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
     NeighborTable* nt = table_of(ctx);
     nt->note_heard(from, ctx.now());
+    if (soft_ != nullptr) soft_->touch(link_set_, from);
 
     // Symmetry: the sender lists every neighbour it hears; if we are listed
     // (and not LOST) the link is bidirectional.
     auto our_code = hello::code_for(msg, ctx.self());
     bool sym = our_code.has_value() && *our_code != wire::LinkCode::kLost;
     if (our_code.has_value() && *our_code == wire::LinkCode::kLost) {
+      if (soft_ != nullptr) soft_->drop(link_set_, from);
       if (nt->remove(from)) emit_nhood_change(ctx, from, false);
     } else if (nt->set_symmetric(from, sym)) {
       emit_nhood_change(ctx, from, sym);
@@ -114,6 +116,10 @@ class HelloHandler final : public core::EventHandler {
       nt->dispatch_piggyback(from, t);
     }
   }
+
+ private:
+  core::ISoftExpiry::SetId link_set_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
 };
 
 /// Alternative sensing mechanism: link-layer feedback straight from the
@@ -135,11 +141,15 @@ class LinkLayerFeedback final : public oc::Component {
           auto& ctx = proto->context();
           auto* nt = dynamic_cast<NeighborTable*>(proto->state_component());
           if (nt == nullptr) return;
+          // Set 0 is "neighbor.link" — the CF's only soft-state set.
+          auto* soft = core::soft_expiry_of(ctx);
           bool changed;
           if (up) {
             nt->note_heard(other, ctx.now());
+            if (soft != nullptr) soft->touch(0, other);
             changed = nt->set_symmetric(other, true);
           } else {
+            if (soft != nullptr) soft->drop(0, other);
             changed = nt->remove(other);
           }
           if (changed) emit_nhood_change(ctx, other, up);
@@ -162,7 +172,29 @@ std::unique_ptr<core::ManetProtocolCf> build_neighbor_cf(core::Manetkit& kit,
       kit.kernel(), "neighbor", kit.scheduler(), kit.self(),
       &kit.system().sys_state());
   cf->set_state(std::make_unique<NeighborTable>());
-  cf->add_handler(std::make_unique<HelloHandler>());
+
+  // Link tuples live in the shared soft-state layer: every HELLO (or
+  // link-layer up notification) re-arms the sender's holding time; lapse
+  // removes the entry and, if it was symmetric, emits NHOOD_CHANGE down.
+  auto soft = std::make_unique<core::SoftExpiry>();
+  core::ManetProtocolCf* raw = cf.get();
+  auto link_set = soft->define_set(
+      "neighbor.link", params.hold_time,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        auto addr = static_cast<net::Addr>(key);
+        if (table_of(ctx)->remove(addr)) emit_nhood_change(ctx, addr, false);
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        auto* nt = dynamic_cast<NeighborTable*>(raw->state_component());
+        if (nt != nullptr) {
+          for (net::Addr a : nt->heard_neighbors()) keys.push_back(a);
+        }
+        return keys;
+      });
+  cf->add_source(std::move(soft));
+
+  cf->add_handler(std::make_unique<HelloHandler>(link_set));
   cf->add_source(std::make_unique<HelloSource>(params));
   cf->declare_events({ev::types::HELLO_IN},
                      {ev::types::HELLO_OUT, ev::types::NHOOD_CHANGE});

@@ -1,5 +1,6 @@
 #include "protocols/olsr/olsr_cf.hpp"
 
+#include "core/soft_state.hpp"
 #include "protocols/mpr/mpr_cf.hpp"
 #include "protocols/olsr/route_calculator.hpp"
 #include "protocols/wire.hpp"
@@ -68,7 +69,8 @@ void recompute_routes(core::ProtocolContext& ctx) {
 }
 
 /// Periodically diffuses this node's Topology Change message (advertising
-/// its MPR-selector set) and expires stale topology entries.
+/// its MPR-selector set). Topology expiry is per-entry via the shared
+/// soft-state layer, not swept here.
 class TcGenerator final : public core::EventSource {
  public:
   TcGenerator(OlsrParams params, core::ManetProtocolCf* mpr_cf)
@@ -89,11 +91,7 @@ class TcGenerator final : public core::EventSource {
   void stop() override { timer_.reset(); }
 
  private:
-  void fire() {
-    OlsrState& st = olsr_state_of(*ctx_);
-    if (st.expire_topology(ctx_->now())) recompute_routes(*ctx_);
-    emit_tc(*ctx_, mpr_cf_);
-  }
+  void fire() { emit_tc(*ctx_, mpr_cf_); }
 
   OlsrParams params_;
   core::ManetProtocolCf* mpr_cf_;
@@ -104,10 +102,12 @@ class TcGenerator final : public core::EventSource {
 /// Applies received Topology Change messages to the topology set.
 class TcHandler final : public core::EventHandler {
  public:
-  TcHandler(OlsrParams params, core::ManetProtocolCf* mpr_cf)
+  TcHandler(OlsrParams params, core::ManetProtocolCf* mpr_cf,
+            core::ISoftExpiry::SetId topo_set)
       : core::EventHandler("olsr.TcHandler", {ev::types::TC_IN}),
         params_(params),
-        mpr_cf_(mpr_cf) {
+        mpr_cf_(mpr_cf),
+        topo_set_(topo_set) {
     set_instance_name("TcHandler");
   }
 
@@ -133,6 +133,8 @@ class TcHandler final : public core::EventHandler {
     OlsrState& st = olsr_state_of(ctx);
     if (st.update_topology(*msg.originator, ansn_tlv->as_u16(), advertised,
                            ctx.now(), params_.topology_hold)) {
+      if (soft_ == nullptr) soft_ = core::soft_expiry_of(ctx);
+      if (soft_ != nullptr) soft_->touch(topo_set_, *msg.originator);
       recompute_routes(ctx);
     }
   }
@@ -140,6 +142,8 @@ class TcHandler final : public core::EventHandler {
  private:
   OlsrParams params_;
   core::ManetProtocolCf* mpr_cf_;
+  core::ISoftExpiry::SetId topo_set_;
+  core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
   obs::Counter* tc_in_ = nullptr;  // cached: interned once, then atomic inc
 };
 
@@ -208,7 +212,30 @@ std::unique_ptr<core::ManetProtocolCf> build_olsr_cf(core::Manetkit& kit,
 
   cf->set_state(std::make_unique<OlsrState>());
   cf->insert(std::make_unique<RouteCalculator>(mpr_cf));
-  cf->add_handler(std::make_unique<TcHandler>(params, mpr_cf));
+
+  // Topology tuples live in the shared soft-state layer: each accepted TC
+  // (re)arms its origin's holding time, and lapse drops the origin's
+  // advertisements and recomputes routes — no sweep, so a partition is
+  // noticed one holding time after the last TC, not at sweep granularity.
+  auto soft = std::make_unique<core::SoftExpiry>();
+  core::ManetProtocolCf* raw = cf.get();
+  auto topo_set = soft->define_set(
+      "olsr.topology", params.topology_hold,
+      [](std::uint64_t key, core::ProtocolContext& ctx) {
+        if (olsr_state_of(ctx).drop_topology(static_cast<net::Addr>(key))) {
+          recompute_routes(ctx);
+        }
+      },
+      [raw]() {
+        std::vector<std::uint64_t> keys;
+        if (OlsrState* st = olsr_state(*raw)) {
+          for (net::Addr origin : st->topology_origins()) keys.push_back(origin);
+        }
+        return keys;
+      });
+  cf->add_source(std::move(soft));
+
+  cf->add_handler(std::make_unique<TcHandler>(params, mpr_cf, topo_set));
   cf->add_handler(
       std::make_unique<TopologyChangeHandler>(mpr_cf, kit.scheduler()));
   cf->add_source(std::make_unique<TcGenerator>(params, mpr_cf));

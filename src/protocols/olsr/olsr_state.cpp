@@ -47,6 +47,13 @@ bool OlsrState::expire_topology(TimePoint now) {
   return changed;
 }
 
+std::vector<net::Addr> OlsrState::topology_origins() const {
+  std::vector<net::Addr> out;
+  out.reserve(topology_.size());
+  for (const auto& [origin, e] : topology_) out.push_back(origin);
+  return out;
+}
+
 std::vector<std::pair<net::Addr, net::Addr>> OlsrState::topology_edges() const {
   std::vector<std::pair<net::Addr, net::Addr>> out;
   for (const auto& [origin, e] : topology_) {

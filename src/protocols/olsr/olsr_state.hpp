@@ -37,6 +37,13 @@ class OlsrState : public oc::Component, public core::IState, public IOlsrState {
   /// Removes expired entries; returns true if anything was removed.
   bool expire_topology(TimePoint now);
 
+  /// Removes one origin's advertisements (soft-state expiry); returns true
+  /// if the origin was present.
+  bool drop_topology(net::Addr origin) { return topology_.erase(origin) > 0; }
+
+  /// Origins with live advertisements (expiry re-seeding after restart).
+  std::vector<net::Addr> topology_origins() const;
+
   std::vector<std::pair<net::Addr, net::Addr>> topology_edges() const override;
   std::size_t topology_size() const override { return topology_.size(); }
 

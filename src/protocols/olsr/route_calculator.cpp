@@ -40,12 +40,15 @@ void RouteCalculator::recompute(core::ProtocolContext& ctx) {
   net::Addr self = ctx.self();
 
   // Build the adjacency view: symmetric 1-hop links, 2-hop links learned
-  // from HELLOs, and TC-advertised links (all treated bidirectionally).
+  // from HELLOs, and TC-advertised links. Edges are *directed* away from the
+  // node that vouches for them (RFC 3626 §10): a destination is reachable
+  // only through a chain of still-fresh advertisements starting at our own
+  // link set. Treating TC edges as bidirectional — the pre-ISSUE-6 bug —
+  // let a partitioned-away origin's stale TC (topology hold 15 s) resurrect
+  // the severed link from the *far* side, so mid-partition recomputes never
+  // dropped routes and kRouteDel was only ever journaled after the heal.
   std::map<net::Addr, std::set<net::Addr>> adj;
-  auto add_edge = [&adj](net::Addr a, net::Addr b) {
-    adj[a].insert(b);
-    adj[b].insert(a);
-  };
+  auto add_edge = [&adj](net::Addr a, net::Addr b) { adj[a].insert(b); };
   for (net::Addr n : nbr->sym_neighbors()) {
     add_edge(self, n);
     for (net::Addr t : nbr->two_hop_via(n)) {

@@ -8,8 +8,9 @@
 
 namespace mk::testbed {
 
-SimWorld::SimWorld(std::size_t num_nodes, std::uint64_t seed)
-    : medium_(sched_, seed) {
+SimWorld::SimWorld(std::size_t num_nodes, std::uint64_t seed,
+                   SimBackend backend)
+    : sched_(backend), medium_(sched_, seed) {
   nodes_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<net::SimNode>(

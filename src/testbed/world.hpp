@@ -25,7 +25,10 @@ namespace mk::testbed {
 
 class SimWorld {
  public:
-  explicit SimWorld(std::size_t num_nodes, std::uint64_t seed = 42);
+  /// `backend` selects the scheduler's timer store (hierarchical wheel by
+  /// default; binary heap kept for digest-parity conformance runs).
+  explicit SimWorld(std::size_t num_nodes, std::uint64_t seed = 42,
+                    SimBackend backend = SimBackend::kWheel);
   ~SimWorld();
 
   SimWorld(const SimWorld&) = delete;

@@ -13,14 +13,25 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "util/time.hpp"
+#include "util/timer_wheel.hpp"
 
 namespace mk {
 
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
+
+/// Which structure SimScheduler keeps its pending events in. Both produce
+/// the same (time, seq) execution order and the same TimerIds, so traced
+/// runs digest identically — the heap is kept as the parity oracle for the
+/// wheel (see tests/test_timer_wheel.cpp).
+enum class SimBackend {
+  kWheel,  // hierarchical timing wheel: O(1) arm/cancel, pooled nodes
+  kHeap,   // ordered-map comparison queue (the original implementation)
+};
 
 class Scheduler {
  public:
@@ -43,6 +54,11 @@ class Scheduler {
 /// via step()/run_until()/run_for(). Events at equal times run in FIFO order.
 class SimScheduler final : public Scheduler {
  public:
+  explicit SimScheduler(SimBackend backend = SimBackend::kWheel)
+      : backend_(backend) {}
+
+  SimBackend backend() const { return backend_; }
+
   TimePoint now() const override { return now_; }
   TimerId schedule_at(TimePoint t, std::function<void()> fn) override;
   bool cancel(TimerId id) override;
@@ -73,7 +89,9 @@ class SimScheduler final : public Scheduler {
   /// Returns the number of events executed.
   std::size_t run_all(std::size_t max_events = 10'000'000);
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const {
+    return backend_ == SimBackend::kWheel ? wheel_.size() : queue_.size();
+  }
 
  private:
   struct Key {
@@ -82,8 +100,13 @@ class SimScheduler final : public Scheduler {
     friend auto operator<=>(const Key&, const Key&) = default;
   };
 
+  /// Fire time of the earliest pending event (advances the wheel cursor).
+  std::optional<std::int64_t> next_event_us();
+
+  SimBackend backend_;
   TimePoint now_{};
   std::uint64_t next_seq_ = 1;
+  TimerWheel wheel_;
   std::map<Key, std::function<void()>> queue_;
   std::map<TimerId, Key> by_id_;
   FireHook fire_hook_;

@@ -1,0 +1,275 @@
+#include "util/timer_wheel.hpp"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mk {
+
+namespace {
+
+constexpr std::size_t kInitialIdCapacity = 256;  // power of two
+
+/// Mixes a sequential id into a probe start (splitmix-style finalizer).
+std::size_t id_hash(std::uint64_t seq) {
+  std::uint64_t h = seq * 0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel()
+    : id_keys_(kInitialIdCapacity, 0), id_vals_(kInitialIdCapacity, 0) {
+  for (auto& h : heads_) h = kNil;
+  std::memset(bitmap_, 0, sizeof(bitmap_));
+  pool_.reserve(256);
+}
+
+// ------------------------------------------------------------------ node pool
+
+std::uint32_t TimerWheel::alloc_node() {
+  if (free_head_ != kNil) {
+    std::uint32_t idx = free_head_;
+    free_head_ = pool_[idx].next;
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void TimerWheel::free_node(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  n.fn = nullptr;  // release the closure eagerly
+  n.prev = kNil;
+  n.loc = kLocFree;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+// ------------------------------------------------------------------ id index
+
+void TimerWheel::id_grow() {
+  std::vector<std::uint64_t> keys(id_keys_.size() * 2, 0);
+  std::vector<std::uint32_t> vals(id_vals_.size() * 2, 0);
+  const std::size_t mask = keys.size() - 1;
+  for (std::size_t i = 0; i < id_keys_.size(); ++i) {
+    if (id_keys_[i] == 0) continue;
+    std::size_t p = id_hash(id_keys_[i]) & mask;
+    while (keys[p] != 0) p = (p + 1) & mask;
+    keys[p] = id_keys_[i];
+    vals[p] = id_vals_[i];
+  }
+  id_keys_ = std::move(keys);
+  id_vals_ = std::move(vals);
+}
+
+void TimerWheel::id_put(std::uint64_t seq, std::uint32_t idx) {
+  MK_ASSERT(seq != 0, "timer sequence numbers start at 1");
+  if ((id_used_ + 1) * 10 >= id_keys_.size() * 7) id_grow();
+  const std::size_t mask = id_keys_.size() - 1;
+  std::size_t p = id_hash(seq) & mask;
+  while (id_keys_[p] != 0) p = (p + 1) & mask;
+  id_keys_[p] = seq;
+  id_vals_[p] = idx;
+  ++id_used_;
+}
+
+std::uint32_t TimerWheel::id_take(std::uint64_t seq) {
+  const std::size_t mask = id_keys_.size() - 1;
+  std::size_t p = id_hash(seq) & mask;
+  while (id_keys_[p] != seq) {
+    if (id_keys_[p] == 0) return kNil;
+    p = (p + 1) & mask;
+  }
+  const std::uint32_t val = id_vals_[p];
+  // Backward-shift deletion keeps probe chains gap-free without tombstones.
+  std::size_t q = (p + 1) & mask;
+  while (id_keys_[q] != 0) {
+    const std::size_t home = id_hash(id_keys_[q]) & mask;
+    if (((q - home) & mask) >= ((q - p) & mask)) {
+      id_keys_[p] = id_keys_[q];
+      id_vals_[p] = id_vals_[q];
+      p = q;
+    }
+    q = (q + 1) & mask;
+  }
+  id_keys_[p] = 0;
+  --id_used_;
+  return val;
+}
+
+// ------------------------------------------------------------------ placement
+
+void TimerWheel::place(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  std::int64_t t = tick_of(n.us);
+  // A deadline at or behind the cursor lands in the cursor's own slot: the
+  // scan finds it immediately and the per-slot (us, seq) ordering still fires
+  // it before anything later.
+  if (t < cursor_) t = cursor_;
+  for (int level = 0; level < kLevels; ++level) {
+    const std::int64_t base = cursor_ & ~(level_span(level) - 1);
+    if (t < base + level_span(level)) {
+      const int slot = static_cast<int>((t >> (kSlotBits * level)) &
+                                        (kSlots - 1));
+      const int loc = level * kSlots + slot;
+      n.loc = static_cast<std::int16_t>(loc);
+      n.prev = kNil;
+      n.next = heads_[loc];
+      if (n.next != kNil) pool_[n.next].prev = idx;
+      heads_[loc] = idx;
+      bitmap_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+      ++wheel_count_;
+      return;
+    }
+  }
+  n.loc = kLocOverflow;
+  overflow_.emplace(Key{n.us, n.seq}, idx);
+}
+
+void TimerWheel::unlink(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  const int loc = n.loc;
+  MK_ASSERT(loc >= 0 && loc < kLocOverflow);
+  if (n.prev != kNil) {
+    pool_[n.prev].next = n.next;
+  } else {
+    heads_[loc] = n.next;
+  }
+  if (n.next != kNil) pool_[n.next].prev = n.prev;
+  if (heads_[loc] == kNil) {
+    const int level = loc >> kSlotBits;
+    const int slot = loc & (kSlots - 1);
+    bitmap_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+  n.prev = n.next = kNil;
+}
+
+void TimerWheel::cascade(int level, int slot) {
+  const int loc = level * kSlots + slot;
+  std::uint32_t h = heads_[loc];
+  heads_[loc] = kNil;
+  bitmap_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (h != kNil) {
+    const std::uint32_t next = pool_[h].next;
+    pool_[h].prev = pool_[h].next = kNil;
+    --wheel_count_;
+    place(h);  // strictly descends: the slot's window is now cursor-local
+    h = next;
+  }
+}
+
+int TimerWheel::first_slot(int level) const {
+  for (int w = 0; w < kSlots / 64; ++w) {
+    if (bitmap_[level][w] != 0) {
+      return w * 64 + std::countr_zero(bitmap_[level][w]);
+    }
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------------ interface
+
+void TimerWheel::insert(std::int64_t us, std::uint64_t seq,
+                        std::function<void()> fn) {
+  if (size_ == 0) cursor_ = tick_of(us);  // nothing pending: re-anchor
+  const std::uint32_t idx = alloc_node();
+  Node& n = pool_[idx];
+  n.us = us;
+  n.seq = seq;
+  n.fn = std::move(fn);
+  id_put(seq, idx);
+  place(idx);
+  ++size_;
+}
+
+bool TimerWheel::cancel(std::uint64_t seq) {
+  const std::uint32_t idx = id_take(seq);
+  if (idx == kNil) return false;
+  Node& n = pool_[idx];
+  if (n.loc == kLocOverflow) {
+    overflow_.erase(Key{n.us, n.seq});
+  } else {
+    unlink(idx);
+    --wheel_count_;
+  }
+  free_node(idx);
+  --size_;
+  return true;
+}
+
+std::optional<TimerWheel::Key> TimerWheel::peek() {
+  if (size_ == 0) return std::nullopt;
+  std::optional<Key> wheel_min;
+  if (wheel_count_ > 0) {
+    for (;;) {
+      const int s0 = first_slot(0);
+      if (s0 >= 0) {
+        cursor_ = (cursor_ & ~static_cast<std::int64_t>(kSlots - 1)) + s0;
+        std::uint32_t best = kNil;
+        for (std::uint32_t i = heads_[s0]; i != kNil; i = pool_[i].next) {
+          if (best == kNil ||
+              Key{pool_[i].us, pool_[i].seq} < Key{pool_[best].us,
+                                                   pool_[best].seq}) {
+            best = i;
+          }
+        }
+        wheel_min = Key{pool_[best].us, pool_[best].seq};
+        break;
+      }
+      // Level 0 exhausted: jump to the next occupied slot at the lowest
+      // occupied level (its entries are the earliest anywhere above) and
+      // cascade it down into the window the cursor just entered.
+      int level = -1;
+      int slot = -1;
+      for (int l = 1; l < kLevels; ++l) {
+        const int s = first_slot(l);
+        if (s >= 0) {
+          level = l;
+          slot = s;
+          break;
+        }
+      }
+      MK_ASSERT(level > 0, "wheel count positive but no occupied slot");
+      const std::int64_t base = cursor_ & ~(level_span(level) - 1);
+      cursor_ = base + slot * slot_span(level);
+      cascade(level, slot);
+    }
+  }
+  if (!overflow_.empty()) {
+    const Key& front = overflow_.begin()->first;
+    if (!wheel_min || front < *wheel_min) return front;
+  }
+  return wheel_min;
+}
+
+bool TimerWheel::pop(Key& key, std::function<void()>& fn) {
+  auto k = peek();
+  if (!k) return false;
+  key = *k;
+  if (!overflow_.empty() && overflow_.begin()->first == *k) {
+    const std::uint32_t idx = overflow_.begin()->second;
+    overflow_.erase(overflow_.begin());
+    fn = std::move(pool_[idx].fn);
+    id_take(k->seq);
+    free_node(idx);
+    --size_;
+    return true;
+  }
+  // peek() left the cursor on the slot holding the minimum.
+  const int loc = static_cast<int>(cursor_) & (kSlots - 1);
+  std::uint32_t idx = heads_[loc];
+  while (idx != kNil && pool_[idx].seq != k->seq) idx = pool_[idx].next;
+  MK_ASSERT(idx != kNil, "peeked minimum vanished from its slot");
+  unlink(idx);
+  --wheel_count_;
+  fn = std::move(pool_[idx].fn);
+  id_take(k->seq);
+  free_node(idx);
+  --size_;
+  return true;
+}
+
+}  // namespace mk

@@ -144,6 +144,64 @@ TEST(Coordinator, EpochNewerComparesSerially) {
   EXPECT_FALSE(epoch_newer(0xfffe, 5));
 }
 
+// --------------------------------------------- bounded per-origin epoch map
+
+TEST(Coordinator, OriginEpochMapFiltersAndRefreshes) {
+  OriginEpochMap m(/*max_origins=*/4);
+  EXPECT_FALSE(m.seen(10, 1));  // fresh origin
+  EXPECT_TRUE(m.seen(10, 1));   // duplicate epoch
+  EXPECT_TRUE(m.seen(10, 0));   // stale epoch
+  EXPECT_FALSE(m.seen(10, 2));  // serially newer
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Coordinator, OriginEpochMapEvictsLeastRecentlySeen) {
+  OriginEpochMap m(/*max_origins=*/3);
+  EXPECT_FALSE(m.seen(1, 5));
+  EXPECT_FALSE(m.seen(2, 5));
+  EXPECT_FALSE(m.seen(3, 5));
+  // Refresh 1's last-seen stamp with a duplicate sighting: 2 is now the
+  // least recently heard from.
+  EXPECT_TRUE(m.seen(1, 5));
+  EXPECT_FALSE(m.seen(4, 5));  // over capacity: evicts origin 2
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(m.tracks(1));
+  EXPECT_FALSE(m.tracks(2));
+  EXPECT_TRUE(m.tracks(3));
+  EXPECT_TRUE(m.tracks(4));
+  // The evicted origin re-admits its old epoch once (bounded memory), but
+  // is filtered again from then on.
+  EXPECT_FALSE(m.seen(2, 5));
+  EXPECT_TRUE(m.seen(2, 5));
+}
+
+TEST(Coordinator, OriginEpochMapBoundedUnderThousandOriginChurn) {
+  OriginEpochMap m;  // default cap: 1024 origins
+  // Wave 1: a thousand distinct origins, two sightings each.
+  for (net::Addr origin = 1; origin <= 1000; ++origin) {
+    EXPECT_FALSE(m.seen(origin, 1));
+    EXPECT_TRUE(m.seen(origin, 1));
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  // Wave 2: a thousand *new* origins churn through. The map must stay at
+  // its cap, shedding the longest-silent wave-1 origins.
+  for (net::Addr origin = 2001; origin <= 3000; ++origin) {
+    EXPECT_FALSE(m.seen(origin, 1));
+  }
+  EXPECT_EQ(m.size(), OriginEpochMap::kDefaultMaxOrigins);
+  // Every wave-2 origin survived (they are the most recently seen)...
+  for (net::Addr origin = 2001; origin <= 3000; ++origin) {
+    EXPECT_TRUE(m.seen(origin, 1)) << "origin " << origin;
+  }
+  // ...and stale epochs from surviving wave-1 origins are still filtered.
+  std::size_t survivors = 0;
+  for (net::Addr origin = 1; origin <= 1000; ++origin) {
+    if (m.tracks(origin) && m.seen(origin, 0)) ++survivors;
+  }
+  EXPECT_EQ(survivors, OriginEpochMap::kDefaultMaxOrigins - 1000);
+  EXPECT_EQ(m.size(), OriginEpochMap::kDefaultMaxOrigins);
+}
+
 /// Builds a RECONFIG command as a peer would flood it (message type 40,
 /// action-name TLV 11, epoch in the message seqnum). has_hops is off so the
 /// receiver executes without relaying.

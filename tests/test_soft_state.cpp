@@ -1,0 +1,176 @@
+// The unified soft-state expiry layer (ISSUE 6): per-entry deadlines on the
+// scheduler replace the protocols' periodic sweep loops, so partition-severed
+// state lapses at its exact RFC holding time — journaled as kSoftExpire and
+// followed by kRouteDel — instead of lingering until a heal. Also the
+// heap-vs-wheel conformance bar: both scheduler backends must produce
+// bit-identical ordered trace digests for the same seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "obs/journal.hpp"
+#include "protocols/neighbor/neighbor_cf.hpp"
+#include "testbed/world.hpp"
+#include "util/scheduler.hpp"
+
+namespace mk {
+namespace {
+
+std::size_t count_kind(const obs::Journal& journal, obs::RecordKind kind) {
+  std::size_t count = 0;
+  for (const auto& r : journal.snapshot()) {
+    if (r.kind == kind) ++count;
+  }
+  return count;
+}
+
+// ------------------------------------------------------- per-entry deadlines
+
+TEST(SoftState, SilentNeighborLapsesAtItsHoldTimeWithoutSweeps) {
+  testbed::SimWorld world(2);
+  world.enable_tracing();
+  world.full_mesh();
+  world.kit(0).deploy("neighbor");
+  world.kit(1).deploy("neighbor");
+  world.run_for(sec(5));
+
+  auto* ns = proto::neighbor_state(*world.kit(0).protocol("neighbor"));
+  ASSERT_NE(ns, nullptr);
+  ASSERT_TRUE(ns->is_sym_neighbor(world.addr(1)));
+
+  // Total radio silence (no link-layer feedback, frames simply vanish): the
+  // only thing that can remove the neighbour entry is soft-state expiry.
+  world.medium().set_loss_probability(1.0);
+
+  // The last HELLO landed no earlier than 2s before the silence (2s HELLO
+  // interval), so 3s in the entry is still within its 6s holding time...
+  world.run_for(sec(3));
+  EXPECT_FALSE(ns->heard_neighbors().empty())
+      << "entry expired before its holding time";
+
+  // ...and 11s in, every possible deadline has lapsed: the entry must be
+  // gone, with the expiry journaled.
+  world.run_for(sec(8));
+  EXPECT_TRUE(ns->heard_neighbors().empty())
+      << "entry outlived its holding time";
+  EXPECT_GT(count_kind(*world.journal(), obs::RecordKind::kSoftExpire), 0u);
+}
+
+// ------------------------------------------------------ heap/wheel parity
+
+struct RunSignature {
+  std::uint64_t ordered = 0;
+  std::uint64_t canonical = 0;
+  std::uint64_t total = 0;
+
+  bool operator==(const RunSignature& o) const {
+    return ordered == o.ordered && canonical == o.canonical &&
+           total == o.total;
+  }
+};
+
+/// OLSR + DYMO co-deployed on a lossy linear world: proactive TC flooding,
+/// reactive discovery, HELLO piggybacking and the full soft-state layer all
+/// arm timers, making this the densest multi-protocol timer workload the
+/// testbed has.
+RunSignature run_coexistence(std::uint64_t seed, SimBackend backend) {
+  testbed::SimWorld world(5, seed, backend);
+  auto& journal = world.enable_tracing();
+  world.linear();
+  world.medium().set_loss_probability(0.05);
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    world.kit(i).deploy("olsr");
+    world.kit(i).deploy("dymo");
+  }
+  world.run_for(sec(25));
+  world.node(0).forwarding().send(world.addr(4), 128);
+  world.run_for(sec(5));
+  return {journal.ordered_digest(), journal.canonical_digest(),
+          journal.total()};
+}
+
+TEST(SoftState, HeapAndWheelBackendsProduceIdenticalOrderedDigests) {
+  RunSignature wheel = run_coexistence(21, SimBackend::kWheel);
+  RunSignature heap = run_coexistence(21, SimBackend::kHeap);
+  EXPECT_EQ(wheel.ordered, heap.ordered)
+      << "scheduler backend changed observable timer order";
+  EXPECT_EQ(wheel.canonical, heap.canonical);
+  EXPECT_EQ(wheel.total, heap.total);
+  EXPECT_GT(wheel.total, 0u);
+
+  // And each backend is reproducible against itself.
+  EXPECT_TRUE(wheel == run_coexistence(21, SimBackend::kWheel));
+  EXPECT_TRUE(heap == run_coexistence(21, SimBackend::kHeap));
+}
+
+// -------------------------------------------------- partition expiry (chaos)
+
+/// Seed from MK_CHAOS_SEED (CI runs a fixed seed matrix), defaulting to 1234.
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("MK_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1234;
+  return std::strtoull(env, nullptr, 10);
+}
+
+struct ChaosSig {
+  std::uint64_t ordered = 0;
+  std::uint64_t canonical = 0;
+  std::uint64_t total = 0;
+  std::size_t violations = 0;
+
+  bool operator==(const ChaosSig& o) const {
+    return ordered == o.ordered && canonical == o.canonical &&
+           total == o.total && violations == o.violations;
+  }
+};
+
+/// The ISSUE 6 acceptance scenario: a converged OLSR network is cut for 9
+/// seconds. Mid-cut, the soft-state layer must expire the severed links and
+/// topology tuples (kSoftExpire), recompute, and delete the dead kernel
+/// routes (kRouteDel) — fully_routed() must observably turn false before the
+/// heal. After the heal the network reconverges with zero invariant
+/// violations.
+ChaosSig run_partition_expiry(std::uint64_t seed) {
+  testbed::SimWorld world(5, seed);
+  world.enable_invariants();
+  world.linear();
+  world.deploy_all("olsr");
+  EXPECT_TRUE(world.run_until_routed(sec(90)).has_value());
+
+  TimePoint armed = world.now();
+  std::size_t dels_before =
+      count_kind(*world.journal(), obs::RecordKind::kRouteDel);
+  fault::FaultPlan plan = fault::FaultPlan::parse(
+      "at 1s partition 0 1 | 2 3 4\n"
+      "at 10s heal\n");
+  world.apply_fault_plan(plan, seed ^ 0x50f7);
+
+  // 8 seconds into the cut: HELLO hold (6s) and the stale-TC horizon have
+  // both passed on every node.
+  world.run_until(armed + sec(9));
+  EXPECT_GT(count_kind(*world.journal(), obs::RecordKind::kSoftExpire), 0u)
+      << "partition produced no journaled soft-state expiries";
+  EXPECT_GT(count_kind(*world.journal(), obs::RecordKind::kRouteDel),
+            dels_before)
+      << "severed routes were never deleted mid-partition";
+  EXPECT_FALSE(world.fully_routed())
+      << "stale cross-cut routes lingered through the partition";
+
+  world.run_for(sec(2));  // past the heal
+  EXPECT_TRUE(world.run_until_routed(sec(120)).has_value())
+      << "healed network failed to reconverge";
+  return {world.journal()->ordered_digest(),
+          world.journal()->canonical_digest(), world.journal()->total(),
+          world.checker()->violations().size()};
+}
+
+TEST(SoftStateChaos, PartitionExpiryReplaysIdentically) {
+  ChaosSig a = run_partition_expiry(chaos_seed());
+  ChaosSig b = run_partition_expiry(chaos_seed());
+  EXPECT_TRUE(a == b) << "same-seed partition-expiry rerun diverged";
+  EXPECT_EQ(a.violations, 0u);
+  EXPECT_GT(a.total, 0u);
+}
+
+}  // namespace
+}  // namespace mk

@@ -507,6 +507,9 @@ ChaosSig run_quarantine_under_partition(std::uint64_t seed) {
       "at 1s partition 0 1 | 2 3 4\n"
       "at 2s misbehave 3 mpr throw for 4s\n"
       "at 10s heal\n");
+  TimePoint armed = world.now();
+  std::size_t route_dels_before =
+      count_kind(*world.journal(), obs::RecordKind::kRouteDel);
   world.apply_fault_plan(plan, seed ^ 0xbadf00d);
 
   supervision::Supervisor& sup = *world.supervisor(3);
@@ -520,6 +523,19 @@ ChaosSig run_quarantine_under_partition(std::uint64_t seed) {
   // The node keeps routing while its sub-component is quarantined.
   EXPECT_TRUE(world.has_route(3, world.addr(4)));
 
+  // Mid-cut (the partition holds from +1s to +10s): the soft-state layer
+  // must have expired the cross-cut link/topology entries by now, torn the
+  // severed routes out of the kernel tables (journaled kRouteDel), and left
+  // the network observably not fully routed — no stale-route limbo.
+  if (world.now() < armed + sec(9)) {
+    world.run_until(armed + sec(9));
+  }
+  EXPECT_GT(count_kind(*world.journal(), obs::RecordKind::kRouteDel),
+            route_dels_before)
+      << "partition must journal route deletions before the heal";
+  EXPECT_FALSE(world.fully_routed())
+      << "severed routes must lapse mid-partition, not linger until heal";
+
   bool recovered = false;
   for (int i = 0; i < 200 && !recovered; ++i) {
     world.run_for(msec(100));
@@ -528,11 +544,6 @@ ChaosSig run_quarantine_under_partition(std::uint64_t seed) {
   EXPECT_TRUE(recovered) << "ladder must restart the CF post-window";
   EXPECT_NE(proto::mpr_state(*world.kit(3).protocol("mpr")), nullptr);
 
-  // The heal lands 10s after the plan was armed. Stale cross-cut routes make
-  // fully_routed() true even mid-partition (this OLSR recalculates on
-  // change events, not on timer expiry), so run past the heal explicitly
-  // before demanding that the network is genuinely converged again.
-  world.run_for(sec(12));
   EXPECT_TRUE(world.run_until_routed(sec(180)).has_value())
       << "healed network must fully reconverge with the recovered CF";
   EXPECT_GE(count_kind(*world.journal(), obs::RecordKind::kQuarantine), 2u);
