@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 
@@ -309,6 +310,96 @@ void BM_OlsrWorldSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// Mobile-world stepping at scale: n nodes under RandomWaypoint on a field
+// sized for constant density (~5 neighbours/node at range 250), one
+// sim-second (10 x 100ms mobility steps) per iteration. BM_WorldSecond runs
+// the spatial-hash grid backend with incremental link tracking;
+// BM_WorldSecondRef reruns the identical seeded scenario on the exhaustive
+// O(n²) reference oracle. The /1000 pair is the ISSUE 7 acceptance bar
+// (grid >= 10x faster); pair_evals/link_flips counters come from the
+// medium so the asymptotic claim is visible in BENCH_hotpaths.json, not
+// just the wall clock.
+void world_second(benchmark::State& state, net::topo::TopologyBackend backend) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  testbed::SimWorld world(n, /*seed=*/42);
+  net::RandomWaypoint::Params p;
+  double side = 200.0 * std::sqrt(static_cast<double>(n));
+  p.width = side;
+  p.height = side;
+  p.range = 250.0;
+  world.enable_mobility(p, /*seed=*/7, backend);
+
+  std::uint64_t evals_before = world.medium().stats().pair_evals;
+  std::uint64_t flips_before = world.medium().stats().link_flips;
+  AllocWindow window;
+  for (auto _ : state) {
+    for (int s = 0; s < 10; ++s) world.step_mobility(msec(100));
+  }
+  auto stats = world.medium().stats();
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(window.sample()), benchmark::Counter::kAvgIterations);
+  state.counters["pair_evals"] = benchmark::Counter(
+      static_cast<double>(stats.pair_evals - evals_before),
+      benchmark::Counter::kAvgIterations);
+  state.counters["link_flips"] = benchmark::Counter(
+      static_cast<double>(stats.link_flips - flips_before),
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_WorldSecond(benchmark::State& state) {
+  world_second(state, net::topo::TopologyBackend::kGrid);
+}
+BENCHMARK(BM_WorldSecond)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_WorldSecondRef(benchmark::State& state) {
+  world_second(state, net::topo::TopologyBackend::kReference);
+}
+BENCHMARK(BM_WorldSecondRef)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Quarantine churn at scale (the ROADMAP's 50-node supervision debt): a
+// 10-wide grid of OLSR nodes, and per iteration one rotating victim's MPR CF
+// is misbehaved until the breaker trips, then cleared so the recovery ladder
+// restarts it — a full trip/quarantine/restart/recover cycle through the
+// supervision machinery, with the whole world's control traffic running
+// underneath.
+void BM_QuarantineChurn(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  testbed::SimWorld world(n, /*seed=*/42);
+  world.grid(10);
+  supervision::SupervisorOptions opts;
+  opts.fault_threshold = 3;
+  opts.fault_window = sec(10);
+  opts.initial_backoff = sec(1);  // recovery fires after the clear below
+  opts.max_restarts = 5;
+  world.enable_supervision(opts);
+  world.deploy_all("olsr");
+  world.run_for(sec(10));  // HELLO/TC flows live on every node
+
+  std::size_t victim = 0;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    auto& sup = *world.supervisor(victim);
+    sup.set_misbehaviour("mpr", supervision::Misbehaviour::kThrow);
+    for (int spins = 0;
+         sup.health("mpr") != supervision::UnitHealth::kQuarantined &&
+         spins < 100;
+         ++spins) {
+      world.run_for(msec(200));
+    }
+    sup.set_misbehaviour("mpr", supervision::Misbehaviour::kNone);
+    for (int spins = 0;
+         sup.health("mpr") != supervision::UnitHealth::kHealthy && spins < 100;
+         ++spins) {
+      world.run_for(msec(200));
+    }
+    cycles += sup.health("mpr") == supervision::UnitHealth::kHealthy ? 1 : 0;
+    victim = (victim + 1) % world.size();
+  }
+  state.counters["recovered_cycles"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_QuarantineChurn)->Arg(50)->Unit(benchmark::kMillisecond);
 
 void BM_MprSelection(benchmark::State& state) {
   // A dense neighbourhood: n neighbours, each covering a slice of 2n

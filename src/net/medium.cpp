@@ -1,5 +1,7 @@
 #include "net/medium.hpp"
 
+#include <algorithm>
+
 #include "net/device.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -26,13 +28,16 @@ void SimMedium::detach(Addr addr) {
 void SimMedium::set_link(Addr a, Addr b, bool up, bool symmetric) {
   MK_ASSERT(a != b);
   auto apply = [&](Addr from, Addr to) {
-    bool was = adjacency_[from].count(to) > 0;
-    if (up) {
-      adjacency_[from].insert(to);
-    } else {
-      adjacency_[from].erase(to);
+    std::vector<Addr>& nbrs = adjacency_[from];
+    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+    bool was = it != nbrs.end() && *it == to;
+    if (up && !was) {
+      nbrs.insert(it, to);
+    } else if (!up && was) {
+      nbrs.erase(it);
     }
     if (was != up) {
+      link_flips_.inc();
       if (journal_ != nullptr) {
         journal_->append({up ? obs::RecordKind::kLinkUp
                              : obs::RecordKind::kLinkDown,
@@ -47,7 +52,8 @@ void SimMedium::set_link(Addr a, Addr b, bool up, bool symmetric) {
 
 bool SimMedium::has_link(Addr from, Addr to) const {
   auto it = adjacency_.find(from);
-  return it != adjacency_.end() && it->second.count(to) > 0;
+  if (it == adjacency_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), to);
 }
 
 void SimMedium::clear_links() {
@@ -56,6 +62,7 @@ void SimMedium::clear_links() {
   adjacency_.clear();
   for (const auto& [from, tos] : old) {
     for (Addr to : tos) {
+      link_flips_.inc();
       if (journal_ != nullptr) {
         journal_->append(
             {obs::RecordKind::kLinkDown, from, sched_.now().us, to, 0, 0});
@@ -65,10 +72,10 @@ void SimMedium::clear_links() {
   }
 }
 
-const std::set<Addr>& SimMedium::neighbors_of(Addr a) const {
-  static const std::set<Addr> kNoNeighbors;
+std::span<const Addr> SimMedium::neighbors_of(Addr a) const {
   auto it = adjacency_.find(a);
-  return it == adjacency_.end() ? kNoNeighbors : it->second;
+  if (it == adjacency_.end()) return {};
+  return it->second;
 }
 
 void SimMedium::set_clock_drift(Addr node, double factor) {
@@ -107,12 +114,16 @@ bool SimMedium::transmit(const Frame& frame) {
     } else {
       // A fault filter runs arbitrary user code per delivery; snapshot the
       // neighbour set so a filter (or anything it triggers) mutating the
-      // topology cannot invalidate the iterator mid-fan-out.
-      const auto& live = neighbors_of(frame.tx);
-      std::vector<Addr> targets(live.begin(), live.end());
+      // topology cannot invalidate the iterator mid-fan-out. The snapshot
+      // reuses a member scratch buffer (moved out for reentrancy safety), so
+      // an armed-but-idle fault plan stays allocation-free steady-state.
+      std::vector<Addr> targets = std::move(bcast_scratch_);
+      auto live = neighbors_of(frame.tx);
+      targets.assign(live.begin(), live.end());
       for (Addr to : targets) {
         deliver_later(frame, to);
       }
+      bcast_scratch_ = std::move(targets);
     }
     return true;
   }
@@ -222,6 +233,8 @@ MediumStats SimMedium::stats() const {
   out.dropped_link_lost = dropped_link_lost_.value();
   out.dropped_node_down = dropped_node_down_.value();
   out.failed_unicasts = failed_unicasts_.value();
+  out.link_flips = link_flips_.value();
+  out.pair_evals = pair_evals_.value();
   return out;
 }
 

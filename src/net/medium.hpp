@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "net/address.hpp"
@@ -43,6 +43,8 @@ struct MediumStats {
   std::uint64_t dropped_link_lost = 0;  // link dropped while frame in flight
   std::uint64_t dropped_node_down = 0;  // receiver down at delivery time
   std::uint64_t failed_unicasts = 0;
+  std::uint64_t link_flips = 0;  // link churn: every up/down transition
+  std::uint64_t pair_evals = 0;  // range-link pair tests (topology builders)
 };
 
 /// Per-delivery verdict from an installed fault filter (see
@@ -70,10 +72,10 @@ class SimMedium {
   bool has_link(Addr from, Addr to) const;
   void clear_links();
 
-  /// Current neighbours of `a`. Returns a reference into the adjacency map
-  /// (empty set if unknown) — valid until the next topology mutation; copy it
-  /// if you need it across set_link/clear_links calls.
-  const std::set<Addr>& neighbors_of(Addr a) const;
+  /// Current neighbours of `a`, sorted ascending. Returns a view into the
+  /// flat adjacency store (empty if unknown) — valid until the next topology
+  /// mutation; copy it if you need it across set_link/clear_links calls.
+  std::span<const Addr> neighbors_of(Addr a) const;
 
   /// Observer invoked on every link state change (used for link-layer
   /// feedback based neighbour detection).
@@ -118,6 +120,11 @@ class SimMedium {
   /// reporting alongside per-node registries.
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+  /// Range-link pair-test counter ("medium.pair_evals"), incremented by the
+  /// topology builders. The scale smoke test bounds it to prove the spatial
+  /// index never silently regresses to an all-pairs scan.
+  obs::Counter& pair_evals_counter() { return pair_evals_; }
+
   // -- tracing -----------------------------------------------------------------
   /// Attaches a trace journal: every transmission, delivery, drop and link
   /// transition appends a canonical record (frame payloads are FNV-hashed so
@@ -135,8 +142,16 @@ class SimMedium {
   Scheduler& sched_;
   Rng rng_;
   std::map<Addr, NetworkDevice*> devices_;
-  std::map<Addr, std::set<Addr>> adjacency_;
+  // Flat adjacency: per-node sorted vector, so has_link is a binary search
+  // and broadcast fan-out walks contiguous memory instead of a red-black
+  // tree. The outer map stays ordered for deterministic clear_links().
+  std::map<Addr, std::vector<Addr>> adjacency_;
   std::vector<LinkObserver> link_observers_;
+  // Broadcast snapshot buffer, recycled across transmissions so an armed
+  // fault filter does not cost an allocation per broadcast. Moved out while
+  // in use, so a reentrant transmit from a filter falls back to a fresh
+  // (empty, allocating) vector instead of clobbering the outer fan-out.
+  std::vector<Addr> bcast_scratch_;
   Duration base_delay_ = usec(500);
   Duration per_byte_delay_ = usec(1);  // ~8 Mbit/s effective
   double loss_prob_ = 0.0;
@@ -154,6 +169,8 @@ class SimMedium {
   obs::Counter& dropped_node_down_ =
       metrics_.counter("medium.dropped_node_down");
   obs::Counter& failed_unicasts_ = metrics_.counter("medium.failed_unicasts");
+  obs::Counter& link_flips_ = metrics_.counter("medium.link_flips");
+  obs::Counter& pair_evals_ = metrics_.counter("medium.pair_evals");
   obs::Journal* journal_ = nullptr;
   // One-entry payload-hash cache: a broadcast's tx record and its k rx
   // records all point at the same shared immutable buffer, so the FNV over

@@ -13,14 +13,10 @@
 #include "net/frame.hpp"
 #include "net/kernel_table.hpp"
 #include "net/medium.hpp"
+#include "net/position.hpp"
 #include "util/scheduler.hpp"
 
 namespace mk::net {
-
-struct Position {
-  double x = 0.0;
-  double y = 0.0;
-};
 
 class SimNode {
  public:

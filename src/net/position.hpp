@@ -1,0 +1,22 @@
+// Planar node positions for the simulated world.
+//
+// Split out of node.hpp so the spatial index (and anything else that only
+// cares about geometry) does not drag in the full SimNode stack.
+#pragma once
+
+namespace mk::net {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Squared Euclidean distance. Range tests compare this against range² —
+/// never take the sqrt on a pair-test hot path.
+constexpr double dist_sq(Position a, Position b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace mk::net

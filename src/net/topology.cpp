@@ -1,5 +1,6 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -39,28 +40,222 @@ void full_mesh(SimMedium& medium, std::span<const Addr> addrs) {
   }
 }
 
-void apply_range_links(SimMedium& medium, std::span<SimNode* const> nodes,
-                       double range) {
+namespace {
+
+LinkFlip make_flip(Addr a, Addr b, bool up) {
+  return a < b ? LinkFlip{a, b, up} : LinkFlip{b, a, up};
+}
+
+/// The conformance oracle: exhaustive all-pairs scan, squared distances,
+/// flips collected and applied in (min addr, max addr) order — the exact
+/// contract the grid backend must reproduce bit-for-bit.
+void apply_range_links_reference(SimMedium& medium,
+                                 std::span<SimNode* const> nodes,
+                                 double range) {
+  const double range2 = range * range;
+  std::vector<LinkFlip> flips;
+  std::uint64_t evals = 0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Position pi = nodes[i]->position();
+    const Addr ai = nodes[i]->addr();
     for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      Position a = nodes[i]->position();
-      Position b = nodes[j]->position();
-      double dx = a.x - b.x;
-      double dy = a.y - b.y;
-      bool in_range = std::sqrt(dx * dx + dy * dy) <= range;
-      if (medium.has_link(nodes[i]->addr(), nodes[j]->addr()) != in_range) {
-        medium.set_link(nodes[i]->addr(), nodes[j]->addr(), in_range);
+      ++evals;
+      bool in_range = dist_sq(pi, nodes[j]->position()) <= range2;
+      Addr aj = nodes[j]->addr();
+      if (medium.has_link(ai, aj) != in_range) {
+        flips.push_back(make_flip(ai, aj, in_range));
       }
     }
+  }
+  medium.pair_evals_counter().inc(evals);
+  std::sort(flips.begin(), flips.end());
+  for (const LinkFlip& f : flips) medium.set_link(f.a, f.b, f.up);
+}
+
+}  // namespace
+
+void apply_range_links(SimMedium& medium, std::span<SimNode* const> nodes,
+                       double range, TopologyBackend backend) {
+  if (backend == TopologyBackend::kReference) {
+    apply_range_links_reference(medium, nodes, range);
+  } else {
+    // A transient tracker: construction runs rebuild(), which grid-indexes
+    // the nodes and synchronises every link from scratch.
+    RangeLinkTracker tracker(medium, nodes, range);
   }
 }
 
 void random_geometric(SimMedium& medium, std::span<SimNode* const> nodes,
-                      double w, double h, double range, Rng& rng) {
+                      double w, double h, double range, Rng& rng,
+                      TopologyBackend backend) {
   for (SimNode* n : nodes) {
     n->set_position({rng.uniform(0.0, w), rng.uniform(0.0, h)});
   }
-  apply_range_links(medium, nodes, range);
+  apply_range_links(medium, nodes, range, backend);
+}
+
+// -------------------------------------------------------- RangeLinkTracker
+
+RangeLinkTracker::RangeLinkTracker(SimMedium& medium,
+                                   std::span<SimNode* const> nodes,
+                                   double range, double slack)
+    : medium_(medium),
+      nodes_(nodes.begin(), nodes.end()),
+      range_(range),
+      range2_(range * range),
+      slack2_(slack * slack),
+      grid_(range) {
+  MK_ASSERT(range > 0.0);
+  const std::size_t n = nodes_.size();
+  addr_.reserve(n);
+  for (const SimNode* node : nodes_) addr_.push_back(node->addr());
+  anchor_.resize(n);
+  dirty_.assign(n, 0);
+  mark_.assign(n, 0);
+  moved_flag_.assign(n, 0);
+  slot_of_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto [_, inserted] = slot_of_.emplace(addr_[i], i);
+    MK_ASSERT(inserted, "duplicate node address in tracked set");
+  }
+  rebuild();
+}
+
+void RangeLinkTracker::rebuild() {
+  grid_.clear();
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    anchor_[i] = nodes_[i]->position();
+    grid_.insert(i, anchor_[i]);
+  }
+  for (std::uint32_t slot : moved_) moved_flag_[slot] = 0;
+  moved_.clear();
+  bulk_sync();
+}
+
+void RangeLinkTracker::note_moved(std::size_t slot) {
+  MK_ASSERT(slot < nodes_.size());
+  if (moved_flag_[slot] != 0) return;
+  moved_flag_[slot] = 1;
+  moved_.push_back(static_cast<std::uint32_t>(slot));
+}
+
+void RangeLinkTracker::update() {
+  if (moved_.empty()) return;
+  // Dirty = noted nodes that drifted past the slack. Ascending slot order
+  // makes the pair-ownership rule in evaluate_pair deterministic.
+  std::sort(moved_.begin(), moved_.end());
+  std::size_t kept = 0;
+  for (std::uint32_t slot : moved_) {
+    moved_flag_[slot] = 0;
+    Position cur = nodes_[slot]->position();
+    if (dist_sq(cur, anchor_[slot]) <= slack2_) continue;
+    // Phase 1: relocate every dirty node in the grid before any evaluation,
+    // so each probe sees all post-move cells.
+    grid_.move(slot, anchor_[slot], cur);
+    anchor_[slot] = cur;
+    moved_[kept++] = slot;
+  }
+  moved_.resize(kept);
+  if (kept * 3 >= nodes_.size()) {
+    // Most of the fleet drifted (continuous mobility): a full half-
+    // neighbourhood sweep is cheaper than per-node incremental probes and
+    // produces the identical flip set.
+    moved_.clear();
+    bulk_sync();
+    return;
+  }
+  for (std::uint32_t slot : moved_) dirty_[slot] = 1;
+  for (std::uint32_t slot : moved_) evaluate_node(slot);
+  for (std::uint32_t slot : moved_) dirty_[slot] = 0;
+  moved_.clear();
+  apply_flips();
+}
+
+void RangeLinkTracker::evaluate_node(std::uint32_t i) {
+  ++stamp_;
+  const Addr ai = addr_[i];
+  const Position pi = anchor_[i];
+  // One adjacency fetch per node; per-candidate linkedness is then a binary
+  // search over this contiguous span instead of a medium map walk per pair.
+  const std::span<const Addr> links = medium_.neighbors_of(ai);
+  cand_.clear();
+  grid_.gather(pi, cand_);
+  // Everything now within range sits in the 9-cell probe (cell size =
+  // range). Links that must *drop* can reach beyond it, so the node's
+  // current links are scanned as a second candidate source below.
+  for (std::uint32_t j : cand_) {
+    if (j == i) continue;
+    mark_[j] = stamp_;
+    bool linked = std::binary_search(links.begin(), links.end(), addr_[j]);
+    evaluate_pair(i, j, ai, pi, linked);
+  }
+  for (Addr nb : links) {
+    auto it = slot_of_.find(nb);
+    if (it == slot_of_.end()) continue;  // link outside the tracked set
+    std::uint32_t j = it->second;
+    if (mark_[j] == stamp_) continue;  // already probed via the grid
+    evaluate_pair(i, j, ai, pi, /*linked=*/true);
+  }
+}
+
+void RangeLinkTracker::evaluate_pair(std::uint32_t i, std::uint32_t j, Addr ai,
+                                     Position pi, bool linked) {
+  // Exactly-once per pair and update: when both endpoints are dirty the
+  // lower slot owns the pair (its probe ran first and saw j's new cell).
+  if (dirty_[j] != 0 && j < i) return;
+  ++pair_evals_;
+  bool in_range = dist_sq(pi, anchor_[j]) <= range2_;
+  if (linked == in_range) return;
+  flips_.push_back(make_flip(ai, addr_[j], in_range));
+}
+
+void RangeLinkTracker::bulk_sync() {
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  if (fresh_.size() < n) fresh_.resize(n);
+  for (auto& v : fresh_) v.clear();
+  grid_.for_each_candidate_pair([this](std::uint32_t a, std::uint32_t b) {
+    ++pair_evals_;
+    if (dist_sq(anchor_[a], anchor_[b]) <= range2_) {
+      fresh_[a].push_back(addr_[b]);
+      fresh_[b].push_back(addr_[a]);
+    }
+  });
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Addr ai = addr_[i];
+    std::vector<Addr>& now = fresh_[i];
+    std::sort(now.begin(), now.end());
+    // Merge-diff against the medium's sorted span. Every changed pair is
+    // seen from both endpoints; the min endpoint emits the flip. Links to
+    // addresses outside the tracked set are left alone.
+    const std::span<const Addr> old = medium_.neighbors_of(ai);
+    std::size_t oi = 0, ni = 0;
+    while (oi < old.size() || ni < now.size()) {
+      if (ni == now.size() || (oi < old.size() && old[oi] < now[ni])) {
+        Addr gone = old[oi++];
+        // gone < ai: the other endpoint owns the flip and emits it from its
+        // own diff (adjacency and fresh lists are both symmetric).
+        if (ai < gone && slot_of_.count(gone) != 0) {
+          flips_.push_back({ai, gone, false});
+        }
+      } else if (oi == old.size() || now[ni] < old[oi]) {
+        Addr fresh_nb = now[ni++];
+        if (ai < fresh_nb) flips_.push_back({ai, fresh_nb, true});
+      } else {
+        ++oi;
+        ++ni;  // unchanged link
+      }
+    }
+  }
+  apply_flips();
+}
+
+void RangeLinkTracker::apply_flips() {
+  medium_.pair_evals_counter().inc(pair_evals_);
+  pair_evals_ = 0;
+  std::sort(flips_.begin(), flips_.end());
+  for (const LinkFlip& f : flips_) medium_.set_link(f.a, f.b, f.up);
+  flips_.clear();
 }
 
 }  // namespace mk::net::topo
@@ -68,15 +263,26 @@ void random_geometric(SimMedium& medium, std::span<SimNode* const> nodes,
 namespace mk::net {
 
 RandomWaypoint::RandomWaypoint(SimMedium& medium, std::vector<SimNode*> nodes,
-                               Params params, std::uint64_t seed)
-    : medium_(medium), nodes_(std::move(nodes)), params_(params), rng_(seed) {
+                               Params params, std::uint64_t seed,
+                               topo::TopologyBackend backend)
+    : medium_(medium),
+      nodes_(std::move(nodes)),
+      params_(params),
+      rng_(seed),
+      backend_(backend) {
   states_.resize(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->set_position(
         {rng_.uniform(0.0, params_.width), rng_.uniform(0.0, params_.height)});
     pick_waypoint(i);
   }
-  topo::apply_range_links(medium_, nodes_, params_.range);
+  if (backend_ == topo::TopologyBackend::kGrid) {
+    tracker_ = std::make_unique<topo::RangeLinkTracker>(
+        medium_, nodes_, params_.range, params_.slack);
+  } else {
+    topo::apply_range_links(medium_, nodes_, params_.range,
+                            topo::TopologyBackend::kReference);
+  }
 }
 
 void RandomWaypoint::pick_waypoint(std::size_t i) {
@@ -104,10 +310,19 @@ void RandomWaypoint::step(Duration dt) {
       s.pause_left = params_.pause;
       pick_waypoint(i);
     } else {
-      nodes_[i]->set_position({p.x + dx / dist * travel, p.y + dy / dist * travel});
+      nodes_[i]->set_position(
+          {p.x + dx / dist * travel, p.y + dy / dist * travel});
     }
+    // The tracker filters no-op moves (drift <= slack) itself, so every
+    // non-paused node is simply noted.
+    if (tracker_ != nullptr) tracker_->note_moved(i);
   }
-  topo::apply_range_links(medium_, nodes_, params_.range);
+  if (tracker_ != nullptr) {
+    tracker_->update();
+  } else {
+    topo::apply_range_links(medium_, nodes_, params_.range,
+                            topo::TopologyBackend::kReference);
+  }
 }
 
 }  // namespace mk::net

@@ -3,13 +3,33 @@
 // linear() reproduces the paper's 5-node chain testbed; the other builders
 // and the RandomWaypoint model support the wider parameter sweeps in the
 // ablation benches.
+//
+// Range-derived links come in two backends (the scheduler's wheel/heap
+// backend-oracle pattern, applied to the medium):
+//
+//  * TopologyBackend::kGrid       — spatial-hash index (cell size = radio
+//                                   range): each node probes only its 9-cell
+//                                   neighbourhood plus its current links,
+//                                   O(n·k) pair tests per pass.
+//  * TopologyBackend::kReference  — the original exhaustive O(n²) scan, kept
+//                                   as the conformance oracle.
+//
+// Both backends collect the link flips they imply, sort them by
+// (min addr, max addr) and only then apply them to the medium, so a traced
+// run produces bit-identical ordered journal digests whichever backend
+// computed the links — the digest machinery is the acceptance test for the
+// spatial index (see tests/test_topology_scale.cpp).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "net/medium.hpp"
 #include "net/node.hpp"
+#include "net/spatial_index.hpp"
 #include "util/rng.hpp"
 
 namespace mk::net::topo {
@@ -26,23 +46,116 @@ void grid(SimMedium& medium, std::span<const Addr> addrs, std::size_t cols);
 /// Every pair adjacent (single dense cell).
 void full_mesh(SimMedium& medium, std::span<const Addr> addrs);
 
-/// Links derived from node positions: adjacent iff distance <= range.
-/// Reapplies from scratch (existing links outside the rule are torn down
-/// per-pair), so it is safe to call repeatedly as nodes move.
+/// Which structure computes range-derived links (see file comment).
+enum class TopologyBackend : std::uint8_t {
+  kGrid,       // spatial-hash index, O(n·k)
+  kReference,  // exhaustive all-pairs oracle, O(n²)
+};
+
+/// One pending link transition, keyed canonically (a < b). Both backends
+/// sort their flips by (a, b) before touching the medium, which pins the
+/// journal's kLinkUp/kLinkDown order independently of how the flips were
+/// discovered.
+struct LinkFlip {
+  Addr a = kNoAddr;  // min endpoint
+  Addr b = kNoAddr;  // max endpoint
+  bool up = false;
+
+  friend bool operator<(const LinkFlip& l, const LinkFlip& r) {
+    return l.a != r.a ? l.a < r.a : l.b < r.b;
+  }
+};
+
+/// Links derived from node positions: adjacent iff dist² <= range². Brings
+/// the medium's links over `nodes` in sync with the current positions from
+/// scratch (existing links outside the rule are torn down per-pair), so it
+/// is safe to call repeatedly as nodes move. Every pair test is counted on
+/// the medium's "medium.pair_evals" counter.
 void apply_range_links(SimMedium& medium, std::span<SimNode* const> nodes,
-                       double range);
+                       double range,
+                       TopologyBackend backend = TopologyBackend::kGrid);
 
 /// Places nodes uniformly at random in [0,w]x[0,h] and applies range links.
 void random_geometric(SimMedium& medium, std::span<SimNode* const> nodes,
-                      double w, double h, double range, Rng& rng);
+                      double w, double h, double range, Rng& rng,
+                      TopologyBackend backend = TopologyBackend::kGrid);
+
+/// Incremental range-link maintenance over a fixed node set: the persistent
+/// form of apply_range_links(kGrid) for mobility stepping. Nodes are indexed
+/// by their position ("slot") in the vector handed to the constructor.
+///
+/// Protocol per mobility step: mutate positions, note_moved() each node that
+/// moved, then update(). Only noted nodes whose drift from their last-
+/// evaluated anchor exceeds the hysteresis slack are re-evaluated — each
+/// against its 9-cell grid neighbourhood plus its current links — so paused
+/// or slow nodes cost nothing. With slack = 0 (the default) the maintained
+/// links are exactly the reference backend's at every step; slack > 0 trades
+/// bounded staleness (a link can lag reality by up to the combined slack of
+/// its endpoints) for fewer re-evaluations under jittery mobility.
+class RangeLinkTracker {
+ public:
+  RangeLinkTracker(SimMedium& medium, std::span<SimNode* const> nodes,
+                   double range, double slack = 0.0);
+
+  /// Re-anchors every node at its current position and synchronises all
+  /// links from scratch (grid-indexed; called by the constructor).
+  void rebuild();
+
+  /// Marks node `slot` as having moved since the last update()/rebuild().
+  void note_moved(std::size_t slot);
+
+  /// Re-evaluates links around every noted node past the slack, applying
+  /// the resulting flips in (min addr, max addr) order.
+  void update();
+
+  double range() const { return range_; }
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  /// Evaluates one candidate pair (i, j); appends a flip if the link state
+  /// must change. `linked` is i's current adjacency verdict for j, resolved
+  /// by the caller from the span it fetched once per node. Skips pairs
+  /// already owned by an earlier dirty node.
+  void evaluate_pair(std::uint32_t i, std::uint32_t j, Addr ai, Position pi,
+                     bool linked);
+  /// Probes slot i's 9-cell neighbourhood and its current links.
+  void evaluate_node(std::uint32_t i);
+  /// Full resync: one half-neighbourhood sweep over the grid cells tests
+  /// every candidate pair exactly once, then each node's rebuilt neighbour
+  /// list is merge-diffed against the medium. Cheaper than per-node probes
+  /// when most of the fleet is dirty (no dedupe stamps, no teardown scans);
+  /// the flip set — and hence the journal — is identical.
+  void bulk_sync();
+  void apply_flips();
+
+  SimMedium& medium_;
+  std::vector<SimNode*> nodes_;
+  std::vector<Addr> addr_;  // addr_[slot] == nodes_[slot]->addr()
+  double range_;
+  double range2_;
+  double slack2_;
+  SpatialGrid grid_;
+  std::vector<Position> anchor_;      // position at last link evaluation
+  std::vector<std::uint8_t> dirty_;   // re-evaluating this update
+  std::vector<std::uint64_t> mark_;   // per-slot probe stamp (pair dedupe)
+  std::uint64_t stamp_ = 0;
+  std::vector<std::uint32_t> moved_;  // noted slots, deduped via moved_flag_
+  std::vector<std::uint8_t> moved_flag_;
+  std::vector<std::uint32_t> cand_;   // gather scratch
+  std::vector<std::vector<Addr>> fresh_;  // bulk_sync neighbour-list scratch
+  std::vector<LinkFlip> flips_;
+  std::unordered_map<Addr, std::uint32_t> slot_of_;
+  std::uint64_t pair_evals_ = 0;
+};
 
 }  // namespace mk::net::topo
 
 namespace mk::net {
 
 /// Random-waypoint mobility: each node picks a waypoint, travels at a random
-/// speed, pauses, repeats. step(dt) advances positions and recomputes
-/// range-based adjacency on the medium.
+/// speed, pauses, repeats. step(dt) advances positions and updates
+/// range-based adjacency on the medium — incrementally via a RangeLinkTracker
+/// under the grid backend, or with a full reference recompute as the oracle.
 class RandomWaypoint {
  public:
   struct Params {
@@ -52,12 +165,16 @@ class RandomWaypoint {
     double max_speed = 10.0;  // m/s
     double pause = 2.0;       // s
     double range = 250.0;     // radio range, m
+    double slack = 0.0;       // link-evaluation hysteresis, m (0 = exact)
   };
 
   RandomWaypoint(SimMedium& medium, std::vector<SimNode*> nodes, Params params,
-                 std::uint64_t seed = 7);
+                 std::uint64_t seed = 7,
+                 topo::TopologyBackend backend = topo::TopologyBackend::kGrid);
 
-  /// Advances the model by dt and reapplies range links.
+  topo::TopologyBackend backend() const { return backend_; }
+
+  /// Advances the model by dt and updates range links.
   void step(Duration dt);
 
  private:
@@ -74,6 +191,8 @@ class RandomWaypoint {
   Params params_;
   Rng rng_;
   std::vector<State> states_;
+  topo::TopologyBackend backend_;
+  std::unique_ptr<topo::RangeLinkTracker> tracker_;  // kGrid only
 };
 
 }  // namespace mk::net

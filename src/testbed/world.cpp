@@ -36,6 +36,25 @@ std::vector<net::Addr> SimWorld::addrs() const {
   return out;
 }
 
+net::RandomWaypoint& SimWorld::enable_mobility(
+    net::RandomWaypoint::Params params, std::uint64_t seed,
+    net::topo::TopologyBackend backend) {
+  if (mobility_ == nullptr) {
+    std::vector<net::SimNode*> ptrs;
+    ptrs.reserve(nodes_.size());
+    for (auto& n : nodes_) ptrs.push_back(n.get());
+    mobility_ = std::make_unique<net::RandomWaypoint>(
+        medium_, std::move(ptrs), params, seed, backend);
+  }
+  return *mobility_;
+}
+
+void SimWorld::step_mobility(Duration dt) {
+  MK_ASSERT(mobility_ != nullptr, "enable_mobility() first");
+  mobility_->step(dt);
+  run_for(dt);
+}
+
 core::Manetkit& SimWorld::kit(std::size_t i) {
   auto& slot = kits_.at(i);
   if (slot == nullptr) {

@@ -48,6 +48,19 @@ class SimWorld {
   void grid(std::size_t cols) { net::topo::grid(medium_, addrs(), cols); }
   void full_mesh() { net::topo::full_mesh(medium_, addrs()); }
 
+  // -- mobility ----------------------------------------------------------------
+  /// Places every node under RandomWaypoint mobility and applies range links
+  /// (spatial-hash grid by default; TopologyBackend::kReference selects the
+  /// O(n²) conformance oracle — same seed digests bit-identically either
+  /// way). One model per world; subsequent calls return the first.
+  net::RandomWaypoint& enable_mobility(
+      net::RandomWaypoint::Params params, std::uint64_t seed = 7,
+      net::topo::TopologyBackend backend = net::topo::TopologyBackend::kGrid);
+  net::RandomWaypoint* mobility() { return mobility_.get(); }
+
+  /// Advances mobility by dt (updating links), then runs dt of sim events.
+  void step_mobility(Duration dt);
+
   // -- time --------------------------------------------------------------------
   void run_for(Duration d) { sched_.run_for(d); }
   void run_until(TimePoint t) { sched_.run_until(t); }
@@ -142,6 +155,7 @@ class SimWorld {
   bool supervise_ = false;
   supervision::SupervisorOptions sup_opts_{};
   std::vector<std::unique_ptr<baseline::RoutingDaemon>> daemons_;
+  std::unique_ptr<net::RandomWaypoint> mobility_;
   std::unique_ptr<obs::Journal> journal_;
   std::unique_ptr<obs::InvariantChecker> checker_;
   std::unique_ptr<fault::FaultInjector> injector_;
