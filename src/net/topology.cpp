@@ -262,27 +262,55 @@ void RangeLinkTracker::apply_flips() {
 
 namespace mk::net {
 
+RangeMobilityBase::RangeMobilityBase(SimMedium& medium,
+                                     std::vector<SimNode*> nodes, double range,
+                                     double slack,
+                                     topo::TopologyBackend backend)
+    : medium_(medium),
+      nodes_(std::move(nodes)),
+      range_(range),
+      slack_(slack),
+      backend_(backend) {}
+
+void RangeMobilityBase::init_links() {
+  if (backend_ == topo::TopologyBackend::kGrid) {
+    tracker_ = std::make_unique<topo::RangeLinkTracker>(medium_, nodes_,
+                                                        range_, slack_);
+  } else {
+    topo::apply_range_links(medium_, nodes_, range_,
+                            topo::TopologyBackend::kReference);
+  }
+}
+
+void RangeMobilityBase::note_moved(std::size_t i) {
+  // The tracker filters no-op moves (drift <= slack) itself, so every moved
+  // node is simply noted; the reference backend recomputes from scratch.
+  if (tracker_ != nullptr) tracker_->note_moved(i);
+}
+
+void RangeMobilityBase::sync_links() {
+  if (tracker_ != nullptr) {
+    tracker_->update();
+  } else {
+    topo::apply_range_links(medium_, nodes_, range_,
+                            topo::TopologyBackend::kReference);
+  }
+}
+
 RandomWaypoint::RandomWaypoint(SimMedium& medium, std::vector<SimNode*> nodes,
                                Params params, std::uint64_t seed,
                                topo::TopologyBackend backend)
-    : medium_(medium),
-      nodes_(std::move(nodes)),
+    : RangeMobilityBase(medium, std::move(nodes), params.range, params.slack,
+                        backend),
       params_(params),
-      rng_(seed),
-      backend_(backend) {
+      rng_(seed) {
   states_.resize(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->set_position(
         {rng_.uniform(0.0, params_.width), rng_.uniform(0.0, params_.height)});
     pick_waypoint(i);
   }
-  if (backend_ == topo::TopologyBackend::kGrid) {
-    tracker_ = std::make_unique<topo::RangeLinkTracker>(
-        medium_, nodes_, params_.range, params_.slack);
-  } else {
-    topo::apply_range_links(medium_, nodes_, params_.range,
-                            topo::TopologyBackend::kReference);
-  }
+  init_links();
 }
 
 void RandomWaypoint::pick_waypoint(std::size_t i) {
@@ -313,16 +341,69 @@ void RandomWaypoint::step(Duration dt) {
       nodes_[i]->set_position(
           {p.x + dx / dist * travel, p.y + dy / dist * travel});
     }
-    // The tracker filters no-op moves (drift <= slack) itself, so every
-    // non-paused node is simply noted.
-    if (tracker_ != nullptr) tracker_->note_moved(i);
+    note_moved(i);
   }
-  if (tracker_ != nullptr) {
-    tracker_->update();
-  } else {
-    topo::apply_range_links(medium_, nodes_, params_.range,
-                            topo::TopologyBackend::kReference);
+  sync_links();
+}
+
+GaussMarkov::GaussMarkov(SimMedium& medium, std::vector<SimNode*> nodes,
+                         Params params, std::uint64_t seed,
+                         topo::TopologyBackend backend)
+    : RangeMobilityBase(medium, std::move(nodes), params.range, params.slack,
+                        backend),
+      params_(params),
+      rng_(seed) {
+  MK_ASSERT(params_.alpha >= 0.0 && params_.alpha < 1.0);
+  states_.resize(nodes_.size());
+  constexpr double kTau = 6.283185307179586;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->set_position(
+        {rng_.uniform(0.0, params_.width), rng_.uniform(0.0, params_.height)});
+    states_[i].speed = params_.mean_speed;
+    states_[i].mean_dir = rng_.uniform(0.0, kTau);
+    states_[i].dir = states_[i].mean_dir;
   }
+  init_links();
+}
+
+void GaussMarkov::step(Duration dt) {
+  const double t = static_cast<double>(dt.count()) / 1e6;
+  const double a = params_.alpha;
+  // The AR(1) recursion's stationary-variance weight: with this factor on
+  // the Gaussian term, speed/heading variance is sigma² independent of
+  // alpha (the standard Gauss–Markov mobility formulation).
+  const double root = std::sqrt(1.0 - a * a);
+  constexpr double kPi = 3.141592653589793;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    State& s = states_[i];
+    s.speed = a * s.speed + (1.0 - a) * params_.mean_speed +
+              root * rng_.normal(0.0, params_.speed_sigma);
+    if (s.speed < 0.0) s.speed = 0.0;
+    s.dir = a * s.dir + (1.0 - a) * s.mean_dir +
+            root * rng_.normal(0.0, params_.direction_sigma);
+    Position p = nodes_[i]->position();
+    p.x += s.speed * std::cos(s.dir) * t;
+    p.y += s.speed * std::sin(s.dir) * t;
+    // Reflect off the field boundary, mirroring both the heading and its
+    // attractor so the process does not keep pushing into the wall.
+    if (p.x < 0.0 || p.x > params_.width) {
+      p.x = p.x < 0.0 ? -p.x : 2.0 * params_.width - p.x;
+      s.dir = kPi - s.dir;
+      s.mean_dir = kPi - s.mean_dir;
+    }
+    if (p.y < 0.0 || p.y > params_.height) {
+      p.y = p.y < 0.0 ? -p.y : 2.0 * params_.height - p.y;
+      s.dir = -s.dir;
+      s.mean_dir = -s.mean_dir;
+    }
+    // A step longer than the field could reflect past the far wall; clamp as
+    // the final guarantee that positions stay inside the grid's world.
+    p.x = std::clamp(p.x, 0.0, params_.width);
+    p.y = std::clamp(p.y, 0.0, params_.height);
+    nodes_[i]->set_position(p);
+    note_moved(i);
+  }
+  sync_links();
 }
 
 }  // namespace mk::net

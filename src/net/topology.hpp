@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -152,11 +153,53 @@ class RangeLinkTracker {
 
 namespace mk::net {
 
+/// Common interface over mobility models: the scenario matrix (and
+/// testbed::SimWorld) steps any model through one pointer. step(dt) advances
+/// positions by dt of simulated time and brings range-based adjacency on the
+/// medium back in sync.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual void step(Duration dt) = 0;
+  virtual topo::TopologyBackend backend() const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Shared range-link maintenance for position-stepping models: under the
+/// grid backend an incremental RangeLinkTracker carries links across steps;
+/// under the reference backend every sync is a full O(n²) oracle recompute
+/// (bit-identical journal either way — the PR-7 conformance contract).
+class RangeMobilityBase : public MobilityModel {
+ public:
+  topo::TopologyBackend backend() const override { return backend_; }
+
+ protected:
+  RangeMobilityBase(SimMedium& medium, std::vector<SimNode*> nodes,
+                    double range, double slack, topo::TopologyBackend backend);
+
+  /// Builds the tracker (grid) or runs the first oracle pass (reference).
+  /// Called by subclasses after initial placement.
+  void init_links();
+  /// Marks node i moved this step (no-op under the reference backend).
+  void note_moved(std::size_t i);
+  /// Applies the accumulated flips / reruns the oracle.
+  void sync_links();
+
+  SimMedium& medium_;
+  std::vector<SimNode*> nodes_;
+
+ private:
+  double range_;
+  double slack_;
+  topo::TopologyBackend backend_;
+  std::unique_ptr<topo::RangeLinkTracker> tracker_;  // kGrid only
+};
+
 /// Random-waypoint mobility: each node picks a waypoint, travels at a random
 /// speed, pauses, repeats. step(dt) advances positions and updates
 /// range-based adjacency on the medium — incrementally via a RangeLinkTracker
 /// under the grid backend, or with a full reference recompute as the oracle.
-class RandomWaypoint {
+class RandomWaypoint : public RangeMobilityBase {
  public:
   struct Params {
     double width = 1000.0;
@@ -172,10 +215,9 @@ class RandomWaypoint {
                  std::uint64_t seed = 7,
                  topo::TopologyBackend backend = topo::TopologyBackend::kGrid);
 
-  topo::TopologyBackend backend() const { return backend_; }
-
   /// Advances the model by dt and updates range links.
-  void step(Duration dt);
+  void step(Duration dt) override;
+  std::string_view name() const override { return "random_waypoint"; }
 
  private:
   struct State {
@@ -186,13 +228,47 @@ class RandomWaypoint {
 
   void pick_waypoint(std::size_t i);
 
-  SimMedium& medium_;
-  std::vector<SimNode*> nodes_;
   Params params_;
   Rng rng_;
   std::vector<State> states_;
-  topo::TopologyBackend backend_;
-  std::unique_ptr<topo::RangeLinkTracker> tracker_;  // kGrid only
+};
+
+/// Gauss–Markov mobility: per-node speed and heading evolve as first-order
+/// autoregressive processes around a mean, giving temporally correlated,
+/// tunably smooth trajectories (alpha→1: near-linear; alpha→0: Brownian).
+/// Nodes reflect off the field boundary (heading and its mean are mirrored),
+/// so the fleet stays inside [0,width]×[0,height]. Link maintenance shares
+/// RandomWaypoint's incremental RangeLinkTracker path.
+class GaussMarkov : public RangeMobilityBase {
+ public:
+  struct Params {
+    double width = 1000.0;
+    double height = 1000.0;
+    double mean_speed = 5.0;       // m/s, the AR process's attractor
+    double speed_sigma = 1.0;      // stddev of the speed perturbation
+    double direction_sigma = 0.5;  // stddev of the heading perturbation, rad
+    double alpha = 0.85;           // memory in [0,1): weight of the past
+    double range = 250.0;          // radio range, m
+    double slack = 0.0;            // link-evaluation hysteresis, m
+  };
+
+  GaussMarkov(SimMedium& medium, std::vector<SimNode*> nodes, Params params,
+              std::uint64_t seed = 7,
+              topo::TopologyBackend backend = topo::TopologyBackend::kGrid);
+
+  void step(Duration dt) override;
+  std::string_view name() const override { return "gauss_markov"; }
+
+ private:
+  struct State {
+    double speed = 0.0;
+    double dir = 0.0;       // current heading, rad
+    double mean_dir = 0.0;  // per-node heading attractor
+  };
+
+  Params params_;
+  Rng rng_;
+  std::vector<State> states_;
 };
 
 }  // namespace mk::net

@@ -96,6 +96,13 @@ std::uint64_t Journal::canonical_digest() const {
   return fnv1a_u64(fnv1a_u64(fnv1a_u64(kFnvOffset, sum_), sum_sq_), total_);
 }
 
+Journal::DigestSnapshot Journal::digests() const {
+  SpinGuard lock(*this);
+  return {ordered_,
+          fnv1a_u64(fnv1a_u64(fnv1a_u64(kFnvOffset, sum_), sum_sq_), total_),
+          total_};
+}
+
 std::vector<Record> Journal::snapshot() const {
   SpinGuard lock(*this);
   std::vector<Record> out;

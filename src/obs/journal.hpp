@@ -199,6 +199,16 @@ class Journal {
   std::uint64_t ordered_digest() const;
   std::uint64_t canonical_digest() const;
 
+  /// Consistent one-lock capture of both digests plus the record count, for
+  /// per-cell evidence in the scenario matrix (reading the three accessors
+  /// separately could interleave with appends from a pool executor).
+  struct DigestSnapshot {
+    std::uint64_t ordered = 0;
+    std::uint64_t canonical = 0;
+    std::uint64_t records = 0;
+  };
+  DigestSnapshot digests() const;
+
   /// Copy of the retained window, oldest first.
   std::vector<Record> snapshot() const;
 

@@ -1,5 +1,8 @@
 #include "testbed/traffic.hpp"
 
+#include "testbed/world.hpp"
+#include "util/assert.hpp"
+
 namespace mk::testbed {
 
 CbrFlow::CbrFlow(net::SimNode& src, net::Addr dst, Duration interval,
@@ -19,13 +22,183 @@ CbrFlow::~CbrFlow() { stop(); }
 void CbrFlow::start() { timer_.start(); }
 void CbrFlow::stop() { timer_.stop(); }
 
+// ---------------------------------------------------------------- OnOffFlow
+
+OnOffFlow::OnOffFlow(net::SimNode& src, net::Addr dst, Params params,
+                     std::uint64_t seed)
+    : sched_(src.scheduler()),
+      flow_(src, dst, params.interval, params.payload),
+      params_(params),
+      rng_(seed),
+      toggle_(src.scheduler()) {}
+
+OnOffFlow::~OnOffFlow() { stop(); }
+
+void OnOffFlow::start() {
+  if (flow_.running() || toggle_.pending()) return;
+  flow_.start();
+  flips_.push_back({sched_.now(), true});
+  arm_next();
+}
+
+void OnOffFlow::stop() {
+  toggle_.cancel();
+  flow_.stop();
+}
+
+Duration OnOffFlow::draw(Duration mean) {
+  if (params_.deterministic) return mean;
+  const double us = rng_.exponential(static_cast<double>(mean.count()));
+  // Clamp to >= 1us so a tiny draw can't re-arm the toggle at "now" forever.
+  return Duration{us < 1.0 ? 1 : static_cast<std::int64_t>(us)};
+}
+
+void OnOffFlow::arm_next() {
+  const bool ending_on = flow_.running();
+  toggle_.schedule(draw(ending_on ? params_.mean_on : params_.mean_off),
+                   [this] {
+                     if (flow_.running()) {
+                       flow_.stop();
+                     } else {
+                       flow_.start();
+                     }
+                     flips_.push_back({sched_.now(), flow_.running()});
+                     arm_next();
+                   });
+}
+
+// ------------------------------------------------------------- DeliverySink
+
 DeliverySink::DeliverySink(net::SimNode& node) : node_(node) {
   node_.set_delivery_callback([this](const net::SimNode::Delivery& d) {
+    const double ms = to_ms(d.at - d.hdr.sent_at);
     ++received_;
-    latencies_.add(to_ms(d.at - d.hdr.sent_at));
+    latencies_.add(ms);
+    auto& per = per_source_[d.hdr.src];
+    ++per.received;
+    per.latencies_ms.add(ms);
   });
 }
 
 DeliverySink::~DeliverySink() { node_.set_delivery_callback(nullptr); }
+
+const DeliverySink::PerSource& DeliverySink::from(net::Addr src) const {
+  static const PerSource kEmpty{};
+  auto it = per_source_.find(src);
+  return it == per_source_.end() ? kEmpty : it->second;
+}
+
+// ------------------------------------------------------------ TrafficMatrix
+
+TrafficMatrix::TrafficMatrix(SimWorld& world, std::vector<FlowSpec> flows,
+                             std::uint64_t seed)
+    : world_(world), specs_(std::move(flows)) {
+  cbr_.resize(specs_.size());
+  onoff_.resize(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FlowSpec& f = specs_[i];
+    MK_ASSERT(f.src != f.dst);
+    net::SimNode& src = world_.node(f.src);
+    const net::Addr dst = world_.addr(f.dst);
+    if (f.on_off) {
+      OnOffFlow::Params p = f.on_off_params;
+      p.interval = f.interval;
+      p.payload = f.payload;
+      onoff_[i] = std::make_unique<OnOffFlow>(src, dst, p,
+                                              seed ^ static_cast<std::uint64_t>(i));
+    } else {
+      cbr_[i] = std::make_unique<CbrFlow>(src, dst, f.interval, f.payload);
+    }
+    if (sinks_.find(f.dst) == sinks_.end()) {
+      sinks_.emplace(f.dst, std::make_unique<DeliverySink>(world_.node(f.dst)));
+    }
+  }
+}
+
+TrafficMatrix::~TrafficMatrix() { stop(); }
+
+void TrafficMatrix::start() {
+  for (auto& f : cbr_) {
+    if (f) f->start();
+  }
+  for (auto& f : onoff_) {
+    if (f) f->start();
+  }
+}
+
+void TrafficMatrix::stop() {
+  for (auto& f : cbr_) {
+    if (f) f->stop();
+  }
+  for (auto& f : onoff_) {
+    if (f) f->stop();
+  }
+}
+
+std::uint64_t TrafficMatrix::flow_sent(std::size_t i) const {
+  return cbr_[i] ? cbr_[i]->sent() : onoff_[i]->sent();
+}
+
+const DeliverySink::PerSource& TrafficMatrix::flow_deliveries(
+    std::size_t i) const {
+  const FlowSpec& f = specs_[i];
+  return sinks_.at(f.dst)->from(net::addr_for_index(f.src));
+}
+
+FlowStats TrafficMatrix::flow_stats(std::size_t i) const {
+  const FlowSpec& f = specs_.at(i);
+  const auto& per = flow_deliveries(i);
+  FlowStats out;
+  out.src = f.src;
+  out.dst = f.dst;
+  out.sent = flow_sent(i);
+  out.received = per.received;
+  out.pdr = out.sent == 0
+                ? 0.0
+                : static_cast<double>(out.received) / static_cast<double>(out.sent);
+  if (per.received > 0) {
+    out.latency_mean_ms = per.latencies_ms.mean();
+    out.latency_p50_ms = per.latencies_ms.quantile(0.50);
+    out.latency_p99_ms = per.latencies_ms.quantile(0.99);
+    out.latency_max_ms = per.latencies_ms.max();
+  }
+  return out;
+}
+
+std::vector<FlowStats> TrafficMatrix::all_flow_stats() const {
+  std::vector<FlowStats> out;
+  out.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) out.push_back(flow_stats(i));
+  return out;
+}
+
+std::uint64_t TrafficMatrix::total_sent() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) n += flow_sent(i);
+  return n;
+}
+
+std::uint64_t TrafficMatrix::total_received() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    n += flow_deliveries(i).received;
+  }
+  return n;
+}
+
+Samples TrafficMatrix::merged_latencies_ms() const {
+  Samples out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    for (double ms : flow_deliveries(i).latencies_ms.values()) out.add(ms);
+  }
+  return out;
+}
+
+bool TrafficMatrix::all_flows_routed() const {
+  for (const FlowSpec& f : specs_) {
+    if (!world_.has_route(f.src, net::addr_for_index(f.dst))) return false;
+  }
+  return true;
+}
 
 }  // namespace mk::testbed

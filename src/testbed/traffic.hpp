@@ -1,15 +1,35 @@
 // Application traffic generation + delivery statistics (PDR, latency),
-// used by examples and the ablation benches.
+// used by examples, the ablation benches and the scenario matrix.
+//
+// Three generator layers:
+//  * CbrFlow     — constant-bit-rate unicast flow (one packet per interval).
+//  * OnOffFlow   — a CbrFlow gated by an on-off process (exponential or
+//                  deterministic period draws from an explicit seed), the
+//                  classic bursty-source model of the ns-3 comparisons.
+//  * TrafficMatrix — a set of flows over a SimWorld with per-flow
+//                  sent/received/latency accounting through DeliverySink's
+//                  per-source demux.
+//
+// All latency figures are *simulated* time (DataHeader::sent_at is stamped
+// from the scheduler at origination and compared against the scheduler at
+// delivery), so clock-drift fault plans shift latencies deterministically
+// and two same-seed runs report bit-identical statistics.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/node.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace mk::testbed {
+
+class SimWorld;
 
 /// Constant-bit-rate flow from one node to a destination address.
 class CbrFlow {
@@ -20,7 +40,10 @@ class CbrFlow {
 
   void start();
   void stop();
+  bool running() const { return timer_.running(); }
 
+  net::Addr src() const { return src_.addr(); }
+  net::Addr dst() const { return dst_; }
   std::uint64_t sent() const { return sent_; }
 
  private:
@@ -31,8 +54,59 @@ class CbrFlow {
   PeriodicTimer timer_;
 };
 
+/// On-off gating over a CbrFlow: the source alternates between an ON period
+/// (packets at the CBR interval) and a silent OFF period. Period lengths are
+/// drawn per transition from the flow's own seeded Rng — exponential with
+/// the configured means (default), or exactly the means in deterministic
+/// mode — so one seed fully determines the burst schedule independently of
+/// everything else in the world.
+class OnOffFlow {
+ public:
+  struct Params {
+    Duration interval = msec(100);  // packet spacing while ON
+    std::uint16_t payload = 512;
+    Duration mean_on = sec(1);
+    Duration mean_off = sec(1);
+    bool deterministic = false;  // true: periods are exactly the means
+  };
+
+  OnOffFlow(net::SimNode& src, net::Addr dst, Params params,
+            std::uint64_t seed);
+  ~OnOffFlow();
+
+  /// Starts in the ON state; the first OFF transition is one draw away.
+  void start();
+  void stop();
+
+  net::Addr src() const { return flow_.src(); }
+  net::Addr dst() const { return flow_.dst(); }
+  std::uint64_t sent() const { return flow_.sent(); }
+  bool on() const { return flow_.running(); }
+
+  /// Every ON/OFF transition so far: (sim time, entered-ON?). The schedule
+  /// is the determinism witness for the mobility-model tests.
+  struct Flip {
+    TimePoint at{};
+    bool on = false;
+  };
+  const std::vector<Flip>& flips() const { return flips_; }
+
+ private:
+  void arm_next();
+  Duration draw(Duration mean);
+
+  Scheduler& sched_;
+  CbrFlow flow_;
+  Params params_;
+  Rng rng_;
+  OneShotTimer toggle_;
+  std::vector<Flip> flips_;
+};
+
 /// Aggregates deliveries at a destination node: packet delivery ratio and
-/// end-to-end latency.
+/// end-to-end latency, in aggregate and demuxed per source address (so a
+/// TrafficMatrix can attribute deliveries at a shared destination back to
+/// individual flows).
 class DeliverySink {
  public:
   explicit DeliverySink(net::SimNode& node);
@@ -41,10 +115,83 @@ class DeliverySink {
   std::uint64_t received() const { return received_; }
   const Samples& latencies_ms() const { return latencies_; }
 
+  struct PerSource {
+    std::uint64_t received = 0;
+    Samples latencies_ms;
+  };
+  /// Stats for packets whose DataHeader::src is `src` (empty stats when the
+  /// source never delivered here).
+  const PerSource& from(net::Addr src) const;
+
  private:
   net::SimNode& node_;
   std::uint64_t received_ = 0;
   Samples latencies_;
+  std::map<net::Addr, PerSource> per_source_;
+};
+
+/// One flow of a TrafficMatrix: src/dst are testbed node indices.
+struct FlowSpec {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  Duration interval = msec(100);
+  std::uint16_t payload = 512;
+  bool on_off = false;                  // false: plain CBR
+  OnOffFlow::Params on_off_params{};    // interval/payload fields ignored
+};
+
+/// Snapshot of one flow's end-to-end outcome.
+struct FlowStats {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  double pdr = 0.0;             // received / sent (0 when nothing sent)
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+};
+
+/// Multi-flow traffic over a SimWorld: owns the generators and one
+/// DeliverySink per distinct destination node, and reports per-flow and
+/// aggregate statistics. Two flows sharing the same (src, dst) pair would
+/// alias in the per-source demux; the scenario builders never emit that.
+class TrafficMatrix {
+ public:
+  /// `seed` derives each on-off flow's schedule seed (seed ^ flow index),
+  /// keeping burst schedules independent of deployment order.
+  TrafficMatrix(SimWorld& world, std::vector<FlowSpec> flows,
+                std::uint64_t seed);
+  ~TrafficMatrix();
+
+  void start();
+  void stop();
+
+  std::size_t size() const { return specs_.size(); }
+  const FlowSpec& spec(std::size_t i) const { return specs_.at(i); }
+
+  FlowStats flow_stats(std::size_t i) const;
+  std::vector<FlowStats> all_flow_stats() const;
+
+  std::uint64_t total_sent() const;
+  std::uint64_t total_received() const;
+  /// Merged latency samples across every flow (built per call).
+  Samples merged_latencies_ms() const;
+
+  /// True when every flow's source currently holds a kernel route to its
+  /// destination (the scenario runner's convergence probe).
+  bool all_flows_routed() const;
+
+ private:
+  std::uint64_t flow_sent(std::size_t i) const;
+  const DeliverySink::PerSource& flow_deliveries(std::size_t i) const;
+
+  SimWorld& world_;
+  std::vector<FlowSpec> specs_;
+  std::vector<std::unique_ptr<CbrFlow>> cbr_;      // slot per flow (or null)
+  std::vector<std::unique_ptr<OnOffFlow>> onoff_;  // slot per flow (or null)
+  std::map<std::size_t, std::unique_ptr<DeliverySink>> sinks_;  // by dst node
 };
 
 }  // namespace mk::testbed

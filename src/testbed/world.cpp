@@ -36,16 +36,34 @@ std::vector<net::Addr> SimWorld::addrs() const {
   return out;
 }
 
-net::RandomWaypoint& SimWorld::enable_mobility(
+std::vector<net::SimNode*> SimWorld::node_ptrs() const {
+  std::vector<net::SimNode*> ptrs;
+  ptrs.reserve(nodes_.size());
+  for (const auto& n : nodes_) ptrs.push_back(n.get());
+  return ptrs;
+}
+
+net::MobilityModel& SimWorld::enable_mobility(
     net::RandomWaypoint::Params params, std::uint64_t seed,
     net::topo::TopologyBackend backend) {
   if (mobility_ == nullptr) {
-    std::vector<net::SimNode*> ptrs;
-    ptrs.reserve(nodes_.size());
-    for (auto& n : nodes_) ptrs.push_back(n.get());
     mobility_ = std::make_unique<net::RandomWaypoint>(
-        medium_, std::move(ptrs), params, seed, backend);
+        medium_, node_ptrs(), params, seed, backend);
   }
+  MK_ASSERT(mobility_->name() == "random_waypoint",
+            "world already has a different mobility model");
+  return *mobility_;
+}
+
+net::MobilityModel& SimWorld::enable_mobility(
+    net::GaussMarkov::Params params, std::uint64_t seed,
+    net::topo::TopologyBackend backend) {
+  if (mobility_ == nullptr) {
+    mobility_ = std::make_unique<net::GaussMarkov>(medium_, node_ptrs(),
+                                                   params, seed, backend);
+  }
+  MK_ASSERT(mobility_->name() == "gauss_markov",
+            "world already has a different mobility model");
   return *mobility_;
 }
 

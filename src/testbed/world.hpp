@@ -49,14 +49,19 @@ class SimWorld {
   void full_mesh() { net::topo::full_mesh(medium_, addrs()); }
 
   // -- mobility ----------------------------------------------------------------
-  /// Places every node under RandomWaypoint mobility and applies range links
-  /// (spatial-hash grid by default; TopologyBackend::kReference selects the
-  /// O(n²) conformance oracle — same seed digests bit-identically either
-  /// way). One model per world; subsequent calls return the first.
-  net::RandomWaypoint& enable_mobility(
+  /// Places every node under RandomWaypoint (resp. Gauss–Markov) mobility and
+  /// applies range links (spatial-hash grid by default;
+  /// TopologyBackend::kReference selects the O(n²) conformance oracle — same
+  /// seed digests bit-identically either way). One model per world;
+  /// subsequent calls return the first (whatever its type — mixing overloads
+  /// after the first call is a caller bug, asserted in the .cpp).
+  net::MobilityModel& enable_mobility(
       net::RandomWaypoint::Params params, std::uint64_t seed = 7,
       net::topo::TopologyBackend backend = net::topo::TopologyBackend::kGrid);
-  net::RandomWaypoint* mobility() { return mobility_.get(); }
+  net::MobilityModel& enable_mobility(
+      net::GaussMarkov::Params params, std::uint64_t seed = 7,
+      net::topo::TopologyBackend backend = net::topo::TopologyBackend::kGrid);
+  net::MobilityModel* mobility() { return mobility_.get(); }
 
   /// Advances mobility by dt (updating links), then runs dt of sim events.
   void step_mobility(Duration dt);
@@ -155,7 +160,10 @@ class SimWorld {
   bool supervise_ = false;
   supervision::SupervisorOptions sup_opts_{};
   std::vector<std::unique_ptr<baseline::RoutingDaemon>> daemons_;
-  std::unique_ptr<net::RandomWaypoint> mobility_;
+  /// Node pointers in index order (the mobility ctors' node set).
+  std::vector<net::SimNode*> node_ptrs() const;
+
+  std::unique_ptr<net::MobilityModel> mobility_;
   std::unique_ptr<obs::Journal> journal_;
   std::unique_ptr<obs::InvariantChecker> checker_;
   std::unique_ptr<fault::FaultInjector> injector_;

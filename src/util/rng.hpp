@@ -31,6 +31,11 @@ class Rng {
     return std::exponential_distribution<double>{1.0 / mean}(eng_);
   }
 
+  /// Gaussian draw (Gauss–Markov mobility perturbations).
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(eng_);
+  }
+
   std::uint64_t next_u64() { return eng_(); }
 
   std::mt19937_64& engine() { return eng_; }

@@ -33,9 +33,14 @@ class Summary {
 /// Sample-retaining distribution for quantiles (benchmark latencies).
 class Samples {
  public:
-  void add(double x) { xs_.push_back(x); }
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;  // a quantile may already have sorted the samples
+  }
 
   std::size_t count() const { return xs_.size(); }
+  /// Raw samples (ordering unspecified: quantile queries sort in place).
+  const std::vector<double>& values() const { return xs_; }
   double mean() const;
   /// q in [0,1]; nearest-rank on the sorted samples.
   double quantile(double q) const;

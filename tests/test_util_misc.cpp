@@ -128,6 +128,20 @@ TEST(Stats, SamplesQuantiles) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
+TEST(Stats, SamplesAddAfterQuantileResorts) {
+  // Regression: add() must invalidate the quantile sort cache — a stale
+  // cache made later quantiles ignore (or misplace) newly added samples.
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_EQ(s.max(), 5.0);  // sorts {1, 5} and caches
+  s.add(9.0);
+  s.add(0.5);
+  EXPECT_EQ(s.min(), 0.5);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.median(), 5.0, 4.0);
+}
+
 TEST(Memtrack, ScopeSeesAllocations) {
   memtrack::Scope scope;
   auto* p = new std::vector<int>(10000);
