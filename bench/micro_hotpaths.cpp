@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <new>
+#include <optional>
 
 #include "core/manetkit.hpp"
 #include "net/medium.hpp"
@@ -22,6 +23,7 @@
 #include "protocols/mpr/mpr_calculator.hpp"
 #include "protocols/olsr/olsr_cf.hpp"
 #include "testbed/world.hpp"
+#include "util/mem.hpp"
 #include "util/scheduler.hpp"
 
 namespace {
@@ -276,7 +278,14 @@ BENCHMARK(BM_EventFanoutWithMsgJournaled)->Arg(1)->Arg(3)->Arg(8);
 // backend: the Arg(1)-vs-Arg(4) delta isolates what the hierarchical timer
 // wheel (pooled nodes, O(1) arm/cancel — the soft-state expiry layer's
 // substrate) saves per sim-second in both time and allocations.
+// Arg(5) reruns the traced workload of Arg(1) with MemBackend::kHeap — every
+// pooled acquire (messages, events, payloads, control blocks) degenerates to
+// plain heap allocation. The Arg(1)-vs-Arg(5) allocs_per_op delta is what
+// the arena/pool layer removes per sim-second; run_hotpaths.sh gates Arg(1)
+// against the 50 allocs/op steady-state budget.
 void BM_OlsrWorldSecond(benchmark::State& state) {
+  std::optional<mk::mem::BackendGuard> heap_backend;
+  if (state.range(0) == 5) heap_backend.emplace(mk::mem::MemBackend::kHeap);
   testbed::SimWorld world(5, /*seed=*/42,
                           state.range(0) == 4 ? SimBackend::kHeap
                                               : SimBackend::kWheel);
@@ -284,7 +293,7 @@ void BM_OlsrWorldSecond(benchmark::State& state) {
   if (state.range(0) != 0) world.enable_tracing();
   if (state.range(0) == 3) world.enable_supervision();
   world.deploy_all("olsr");
-  if (state.range(0) >= 2) {
+  if (state.range(0) >= 2 && state.range(0) != 5) {
     fault::FaultPlan plan;
     plan.loss_burst(sec(1), 0.1, sec(4));  // expires during convergence
     plan.crash(sec(1'000'000'000), world.addr(4));  // pending, never reached
@@ -309,7 +318,7 @@ void BM_OlsrWorldSecond(benchmark::State& state) {
         benchmark::Counter::kAvgIterations);
   }
 }
-BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_OlsrWorldSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
 // Mobile-world stepping at scale: n nodes under RandomWaypoint on a field
 // sized for constant density (~5 neighbours/node at range 250), one

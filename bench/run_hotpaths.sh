@@ -3,6 +3,11 @@
 # pre-zero-copy baseline measured on the same container class) in
 # BENCH_hotpaths.json at the repo root.
 #
+# Also enforces the steady-state allocation budget: BM_OlsrWorldSecond/1
+# (traced 5-node OLSR world, pooled memory backend) must stay within
+# MK_ALLOC_BUDGET allocs/op (default 50) plus 10% headroom, or the script
+# exits non-zero — the CI-facing regression gate for the arena/pool layer.
+#
 # Usage: bench/run_hotpaths.sh [build-dir]
 set -euo pipefail
 
@@ -24,6 +29,7 @@ trap 'rm -f "$raw"' EXIT
 # its reference point.
 python3 - "$raw" "$repo_root/BENCH_hotpaths.json" <<'EOF'
 import json
+import os
 import sys
 
 BASELINE_NS = {
@@ -100,6 +106,13 @@ report = {
             "hierarchical timer wheel's saving per sim-second now that the "
             "soft-state expiry layer arms per-entry timers (pre-wheel "
             "sweep-loop builds measured ~440 allocs/op on /1). "
+            "BM_OlsrWorldSecond/5 reruns the traced workload of /1 with "
+            "MemBackend::kHeap, so every pooled acquire (messages, events, "
+            "payloads, shared_ptr control blocks) degenerates to plain heap "
+            "allocation: the /1-vs-/5 allocs_per_op delta is what the "
+            "arena/pool layer removes per sim-second (pre-pool builds "
+            "measured ~385 allocs/op on /1; the budget gate holds /1 at "
+            "<= 50 +10%). "
             "BM_WorldSecond/{100,1000} steps a RandomWaypoint world one "
             "sim-second on the spatial-hash grid topology backend; its "
             "baseline_ns column is BM_WorldSecondRef (the exhaustive O(n^2) "
@@ -113,4 +126,26 @@ report = {
 }
 json.dump(report, open(sys.argv[2], "w"), indent=2)
 print(f"wrote {sys.argv[2]} ({len(results)} benchmarks)")
+
+# Allocation-budget gate: the pooled steady state (BM_OlsrWorldSecond/1) may
+# not creep past budget + 10% headroom. The gate lives here (not only in the
+# alloc-labelled ctest suite) so a plain bench refresh fails loudly too.
+GATE = "BM_OlsrWorldSecond/1"
+budget = float(os.environ.get("MK_ALLOC_BUDGET", "50"))
+ceiling = budget * 1.10
+gated = [e for e in results if e["name"] == GATE]
+if not gated:
+    print(f"error: allocation gate benchmark {GATE} missing from run",
+          file=sys.stderr)
+    sys.exit(1)
+measured = gated[0].get("allocs_per_op")
+if measured is None:
+    print(f"error: {GATE} reported no allocs_per_op counter", file=sys.stderr)
+    sys.exit(1)
+if measured > ceiling:
+    print(f"error: {GATE} measured {measured} allocs/op, over the "
+          f"{budget} budget (+10% headroom = {ceiling:.1f})", file=sys.stderr)
+    sys.exit(1)
+print(f"alloc gate: {GATE} at {measured} allocs/op "
+      f"(budget {budget}, ceiling {ceiling:.1f})")
 EOF

@@ -33,18 +33,36 @@ void PoolExecutor::dispatch(CfsUnit& target, ev::Event event) {
 
 void PoolExecutor::flush_locked() {
   if (buffer_.empty()) return;
-  auto work = std::make_shared<std::vector<Pending>>(std::move(buffer_));
-  buffer_.clear();
+  // Swap the accumulated buffer into a recycled batch: the displaced (warm)
+  // vector becomes the next accumulation buffer, so steady-state flushes
+  // allocate nothing. The [this, raw pointer] capture fits std::function's
+  // small-buffer slot, avoiding the old shared_ptr control block per flush.
+  Batch* b;
+  if (!free_batches_.empty()) {
+    b = free_batches_.back();
+    free_batches_.pop_back();
+  } else {
+    batches_.push_back(std::make_unique<Batch>());
+    b = batches_.back().get();
+  }
+  b->items.swap(buffer_);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  pool_.submit([this, work] {
-    for (auto& p : *work) {
-      deliver(*p.target, p.event);
-    }
-    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::scoped_lock lk(idle_mutex_);
-      idle_cv_.notify_all();
-    }
-  });
+  pool_.submit([this, b] { run_batch(b); });
+}
+
+void PoolExecutor::run_batch(Batch* b) {
+  for (auto& p : b->items) {
+    deliver(*p.target, p.event);
+  }
+  b->items.clear();  // destroys events outside the lock; capacity survives
+  {
+    std::scoped_lock lock(mutex_);
+    free_batches_.push_back(b);
+  }
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::scoped_lock lk(idle_mutex_);
+    idle_cv_.notify_all();
+  }
 }
 
 void PoolExecutor::drain() {
@@ -81,13 +99,21 @@ void DedicatedQueue::drain() {
 }
 
 void DedicatedQueue::run() {
-  while (auto event = queue_.pop()) {
-    if (auto* g = guard_.load(std::memory_order_acquire)) {
-      g->deliver(unit_, *event);
-    } else {
-      unit_.deliver(*event);
+  // Reused across rounds: a busy queue drains up to kMaxBatch events per
+  // lock round-trip into warm capacity, delivered strictly front-to-back.
+  std::vector<ev::Event> batch;
+  for (;;) {
+    batch.clear();
+    std::size_t n = queue_.pop_batch(batch, kMaxBatch);
+    if (n == 0) return;  // closed and drained
+    for (ev::Event& event : batch) {
+      if (auto* g = guard_.load(std::memory_order_acquire)) {
+        g->deliver(unit_, event);
+      } else {
+        unit_.deliver(event);
+      }
     }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (pending_.fetch_sub(n, std::memory_order_acq_rel) == n) {
       std::scoped_lock lk(idle_mutex_);
       idle_cv_.notify_all();
     }

@@ -6,6 +6,7 @@
 
 #include "core/manet_protocol.hpp"
 #include "util/assert.hpp"
+#include "util/inline_vector.hpp"
 #include "util/log.hpp"
 
 namespace mk::core {
@@ -139,7 +140,10 @@ void FrameworkManager::rebind() {
 }
 
 void FrameworkManager::route(CfsUnit* emitter, ev::Event event) {
-  std::vector<CfsUnit*> targets;
+  // Stack-local, not member scratch: route() reenters (a handler's emit()
+  // routes before the outer fan-out finishes). The inline capacity covers
+  // any realistic co-deployment, so the common case never touches the heap.
+  InlinedVector<CfsUnit*, 8> targets;
   {
     auto lock = quiesce();
     // A quarantined unit's event sources may still be winding down; their

@@ -4,6 +4,7 @@
 
 #include "core/framework_manager.hpp"
 #include "util/assert.hpp"
+#include "util/inline_vector.hpp"
 #include "util/log.hpp"
 
 namespace mk::core {
@@ -112,11 +113,15 @@ void ManetProtocolCf::deliver(const ev::Event& event) {
   auto lock = quiesce();  // the critical section of §4.4
   ++events_delivered_;
   delivered_ctr_->inc();
-  // Copy the handler list: a handler may reconfigure the protocol (replace
-  // handlers) while we iterate.
-  std::vector<EventHandler*> handlers = control_->handlers_for(event.type());
-  for (EventHandler* h : handlers) {
-    h->handle(event, ctx_);
+  // Snapshot the handler list: a handler may reconfigure the protocol
+  // (replace handlers) while we iterate. Stack-local inline storage — a
+  // delivery can reenter through emit(), and the few handlers per type fit
+  // without touching the heap.
+  const std::vector<EventHandler*>& live = control_->handlers_for(event.type());
+  InlinedVector<EventHandler*, 8> handlers;
+  for (EventHandler* h : live) handlers.push_back(h);
+  for (std::size_t i = 0; i < handlers.size(); ++i) {
+    handlers[i]->handle(event, ctx_);
   }
 }
 

@@ -5,6 +5,8 @@
 
 #include "core/attrs.hpp"
 #include "core/framework_manager.hpp"
+#include "net/payload_pool.hpp"
+#include "packetbb/message_pool.hpp"
 #include "packetbb/packetbb.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -338,10 +340,13 @@ void SystemCf::transmit(const ev::Event& event) {
       event.get_int(attrs::kUnicastTo, net::kBroadcast));
 
   if (aggregation_window_.count() <= 0) {
-    send_packet({*event.msg()}, dest);
+    // Reference the event's shared message directly — no deep copy of the
+    // nested TLV/address-block structure on the per-transmission path.
+    const pbb::Message* one[1] = {event.msg()};
+    send_messages(one, dest);
     return;
   }
-  pending_out_[dest].push_back(*event.msg());
+  pending_out_[dest].push_back(event.shared_msg());
   if (flush_timer_ == nullptr) {
     flush_timer_ = std::make_unique<OneShotTimer>(scheduler());
   }
@@ -351,15 +356,14 @@ void SystemCf::transmit(const ev::Event& event) {
   }
 }
 
-void SystemCf::send_packet(std::vector<pbb::Message> msgs, net::Addr dest) {
-  pbb::Packet pkt;
-  pkt.messages = std::move(msgs);
-  messages_sent_->inc(pkt.messages.size());
+void SystemCf::send_messages(std::span<const pbb::Message* const> msgs,
+                             net::Addr dest) {
+  messages_sent_->inc(msgs.size());
   packets_sent_->inc();
-  // Serialize straight into a shared buffer: one exact-sized allocation that
-  // the medium then fans out to every neighbour without copying.
-  auto buf = std::make_shared<net::PayloadBuffer>();
-  pbb::serialize_into(pkt, *buf);
+  // Serialize straight into a recycled shared buffer that the medium then
+  // fans out to every neighbour without copying.
+  auto buf = net::acquire_payload();
+  pbb::serialize_msgs_into(msgs, *buf);
   node_.send_control(net::PayloadPtr(std::move(buf)), dest);
 }
 
@@ -370,11 +374,12 @@ void SystemCf::flush_aggregation() {
   for (auto& [dest, msgs] : pending) {
     // PacketBB caps messages per packet at 255; chunk defensively.
     for (std::size_t i = 0; i < msgs.size(); i += 255) {
-      std::vector<pbb::Message> chunk(
-          msgs.begin() + static_cast<std::ptrdiff_t>(i),
-          msgs.begin() + static_cast<std::ptrdiff_t>(
-                             std::min(msgs.size(), i + 255)));
-      send_packet(std::move(chunk), dest);
+      std::size_t end = std::min(msgs.size(), i + 255);
+      msg_ptr_scratch_.clear();
+      for (std::size_t j = i; j < end; ++j) {
+        msg_ptr_scratch_.push_back(msgs[j].get());
+      }
+      send_messages(msg_ptr_scratch_, dest);
     }
   }
 }
@@ -405,22 +410,28 @@ void SystemCf::emit(ev::Event event) {
 void SystemCf::on_control_frame(const net::Frame& frame) {
   frames_received_->inc();
   if (linkq_timer_ != nullptr) ++frames_from_[frame.tx];
-  auto parsed = pbb::parse(frame.payload_view());
+  // Parse into the member scratch: nested vectors are slot-filled, so a
+  // steady stream of same-shaped frames parses with zero allocations.
+  auto parsed = pbb::parse_into(frame.payload_view(), parse_scratch_);
   if (!parsed) {
     parse_errors_->inc();
     MK_WARN("system", "dropping malformed packet from ",
             pbb::addr_to_string(frame.tx), ": ", parsed.error());
     return;
   }
-  for (auto& msg : parsed.value().messages) {
+  for (auto& msg : parse_scratch_.messages) {
     auto it = msg_registry_.find(msg.type);
     if (it == msg_registry_.end()) continue;  // no protocol interested
 
     ev::Event e(it->second.in);
     e.from = frame.tx;
-    // One shared allocation per message: every protocol the Framework
-    // Manager fans this event out to sees the same immutable pbb::Message.
-    e.set_msg(std::move(msg));
+    // One shared (pool-recycled) message per RX: every protocol the
+    // Framework Manager fans this event out to sees the same immutable
+    // pbb::Message. Copy-assign keeps the parse scratch warm for the next
+    // frame and fills the recycled slot's warm buffers in place.
+    auto owned = pbb::acquire_message();
+    *owned = msg;
+    e.set_msg(ev::MsgPtr(std::move(owned)));
 
     if (profiling_) {
       auto t0 = std::chrono::steady_clock::now();

@@ -22,7 +22,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/cfs.hpp"
 #include "core/ifaces.hpp"
@@ -156,7 +158,8 @@ class SystemCf : public oc::ComponentFramework, public CfsUnit {
  private:
   void on_control_frame(const net::Frame& frame);
   void transmit(const ev::Event& event);
-  void send_packet(std::vector<pbb::Message> msgs, net::Addr dest);
+  /// Frames `msgs` (referenced, not copied) into one packet and transmits.
+  void send_messages(std::span<const pbb::Message* const> msgs, net::Addr dest);
   void flush_aggregation();
   void refresh_tuple();
 
@@ -183,8 +186,14 @@ class SystemCf : public oc::ComponentFramework, public CfsUnit {
   std::map<net::Addr, double> link_quality_;
 
   Duration aggregation_window_{0};
-  std::map<net::Addr, std::vector<pbb::Message>> pending_out_;
+  // Shared handles, not copies: an aggregated message stays owned by its
+  // (pooled) allocation until the flush serializes it.
+  std::map<net::Addr, std::vector<ev::MsgPtr>> pending_out_;
   std::unique_ptr<OneShotTimer> flush_timer_;
+
+  // RX/TX scratch, reused across frames (allocation-free steady state).
+  pbb::Packet parse_scratch_;
+  std::vector<const pbb::Message*> msg_ptr_scratch_;
 
   bool profiling_ = false;
   std::map<std::string, Samples> processing_times_;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "obs/journal.hpp"
+#include "packetbb/message_pool.hpp"
 #include "util/assert.hpp"
 
 namespace mk::ev {
@@ -94,7 +95,17 @@ std::string Event::type_name() const {
 }
 
 pbb::Message& Event::set_msg(pbb::Message m) {
-  auto owned = std::make_shared<pbb::Message>(std::move(m));
+  // Pool-backed: the shell and control block are recycled; the moved-in
+  // message donates its nested buffers to the slot.
+  auto owned = pbb::acquire_message();
+  *owned = std::move(m);
+  pbb::Message& ref = *owned;
+  msg_ = std::move(owned);
+  return ref;
+}
+
+pbb::Message& Event::acquire_msg() {
+  auto owned = pbb::acquire_message();
   pbb::Message& ref = *owned;
   msg_ = std::move(owned);
   return ref;
@@ -102,12 +113,21 @@ pbb::Message& Event::set_msg(pbb::Message m) {
 
 pbb::Message& Event::mutable_msg() {
   if (msg_ == nullptr) {
-    msg_ = std::make_shared<pbb::Message>();
+    // Contract: absent message -> an *empty* one, so clear the recycled
+    // slot's stale-warm vectors (shell fields are reset by the pool).
+    auto fresh = pbb::acquire_message();
+    fresh->tlvs.clear();
+    fresh->addr_blocks.clear();
+    msg_ = std::move(fresh);
   } else if (msg_.use_count() > 1) {
-    msg_ = std::make_shared<pbb::Message>(*msg_);
+    // COW clone via copy-assign into a recycled slot: when the slot's nested
+    // vectors are warm from a previous tenant, the clone allocates nothing.
+    auto clone = pbb::acquire_message();
+    *clone = *msg_;
+    msg_ = std::move(clone);
   }
   // Safe: every message reachable here was allocated non-const via
-  // make_shared<pbb::Message> above or in set_msg, and is uniquely owned.
+  // acquire_message above or in set_msg, and is uniquely owned.
   return const_cast<pbb::Message&>(*msg_);
 }
 

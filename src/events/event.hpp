@@ -127,6 +127,8 @@ class AttrMap {
 
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
+  /// Drops all entries but keeps the flat vector's capacity (arena reuse).
+  void clear() { entries_.clear(); }
   const_iterator begin() const { return entries_.begin(); }
   const_iterator end() const { return entries_.end(); }
 
@@ -162,6 +164,12 @@ class Event {
   pbb::Message& set_msg(pbb::Message m);
   /// Attaches an already-shared message without copying.
   void set_msg(MsgPtr m) { msg_ = std::move(m); }
+  /// Attaches a recycled pool message (pbb::acquire_message) and returns a
+  /// mutable reference for in-place building. The message arrives STALE WARM:
+  /// its nested vectors still hold the previous tenant's size and capacity,
+  /// so the caller must overwrite every field (the *_into builder
+  /// discipline) before the event is emitted.
+  pbb::Message& acquire_msg();
   void clear_msg() { msg_.reset(); }
   /// Copy-on-write access: clones the message only if it is shared with
   /// other events (or creates an empty one if absent).
@@ -182,6 +190,18 @@ class Event {
   bool has_attr(std::string_view key) const { return attrs_.contains(key); }
 
   const AttrMap& attrs() const { return attrs_; }
+
+  /// Returns the event to a default-constructed state (new type `type`),
+  /// releasing the carried message but keeping the attr vector's capacity.
+  /// Used by core::EventArena when recycling pooled events.
+  void reset(EventTypeId type = kInvalidEventType) {
+    type_ = type;
+    from = 0;
+    local = 0;
+    raised_at = TimePoint{};
+    msg_.reset();
+    attrs_.clear();
+  }
 
  private:
   EventTypeId type_ = kInvalidEventType;

@@ -177,27 +177,59 @@ void SimMedium::deliver_later(const Frame& frame, Addr to) {
 }
 
 void SimMedium::schedule_delivery(const Frame& frame, Addr to, Duration delay) {
-  sched_.schedule_after(delay, [this, frame, to] {
-    // Re-check adjacency at delivery time: the topology may have changed
-    // while the frame was "on the air". Both late-drop paths are journaled —
-    // faults that cut links or down nodes mid-flight must leave a drop
-    // record, not silently elide the frame (keeps first_divergence useful).
-    if (frame.rx == kBroadcast && !has_link(frame.tx, to)) {
-      dropped_link_lost_.inc();
-      journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
-                    obs::DropReason::kLinkLost);
-      return;
+  // Park the frame in a recycled slot and capture only [this, slot]: the
+  // two fit std::function's small-buffer slot, so scheduling a delivery
+  // performs no heap allocation (a by-value Frame capture would).
+  std::uint32_t slot;
+  {
+    std::lock_guard<std::mutex> lock(delivery_mu_);
+    if (free_delivery_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(delivery_slots_.size());
+      delivery_slots_.emplace_back();
+    } else {
+      slot = free_delivery_slots_.back();
+      free_delivery_slots_.pop_back();
     }
-    auto it = devices_.find(to);
-    if (it == devices_.end() || !it->second->is_up()) {
-      dropped_node_down_.inc();
-      journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
-                    obs::DropReason::kNodeDown);
-      return;
-    }
-    journal_frame(obs::RecordKind::kFrameRx, to, frame.tx, frame);
-    it->second->receive(frame);
-  });
+    PendingDelivery& p = delivery_slots_[slot];
+    p.frame = frame;  // shares the payload buffer; no byte copy
+    p.to = to;
+  }
+  sched_.schedule_after(delay, [this, slot] { fire_delivery(slot); });
+}
+
+void SimMedium::fire_delivery(std::uint32_t slot) {
+  Frame frame;
+  Addr to;
+  {
+    // Move the frame out and free the slot *before* processing: receive()
+    // may transmit, and a reentrant schedule_delivery must not find this
+    // slot still occupied.
+    std::lock_guard<std::mutex> lock(delivery_mu_);
+    PendingDelivery& p = delivery_slots_[slot];
+    frame = std::move(p.frame);
+    to = p.to;
+    p.frame = Frame{};
+    free_delivery_slots_.push_back(slot);
+  }
+  // Re-check adjacency at delivery time: the topology may have changed
+  // while the frame was "on the air". Both late-drop paths are journaled —
+  // faults that cut links or down nodes mid-flight must leave a drop
+  // record, not silently elide the frame (keeps first_divergence useful).
+  if (frame.rx == kBroadcast && !has_link(frame.tx, to)) {
+    dropped_link_lost_.inc();
+    journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
+                  obs::DropReason::kLinkLost);
+    return;
+  }
+  auto it = devices_.find(to);
+  if (it == devices_.end() || !it->second->is_up()) {
+    dropped_node_down_.inc();
+    journal_frame(obs::RecordKind::kFrameDrop, to, frame.tx, frame,
+                  obs::DropReason::kNodeDown);
+    return;
+  }
+  journal_frame(obs::RecordKind::kFrameRx, to, frame.tx, frame);
+  it->second->receive(frame);
 }
 
 void SimMedium::journal_frame(obs::RecordKind kind, Addr at, std::uint64_t peer,

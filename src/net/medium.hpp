@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -135,6 +137,7 @@ class SimMedium {
  private:
   void deliver_later(const Frame& frame, Addr to);
   void schedule_delivery(const Frame& frame, Addr to, Duration delay);
+  void fire_delivery(std::uint32_t slot);
   void journal_frame(obs::RecordKind kind, Addr at, std::uint64_t peer,
                      const Frame& frame, obs::DropReason reason = {}) const;
   std::uint64_t payload_hash(const Frame& frame) const;
@@ -152,6 +155,20 @@ class SimMedium {
   // in use, so a reentrant transmit from a filter falls back to a fresh
   // (empty, allocating) vector instead of clobbering the outer fan-out.
   std::vector<Addr> bcast_scratch_;
+  // In-flight delivery slots. Capturing a Frame by value in the scheduled
+  // closure overflows std::function's small-buffer slot (one heap block per
+  // delivery); instead the frame parks in a recycled slot and the closure
+  // captures only [this, index] — which fits. Slots live in a deque so
+  // references stay stable across growth; the freelist is guarded because
+  // executor worker threads transmit concurrently (same reason the traffic
+  // counters are atomic).
+  struct PendingDelivery {
+    Frame frame{};
+    Addr to = 0;
+  };
+  std::deque<PendingDelivery> delivery_slots_;
+  std::vector<std::uint32_t> free_delivery_slots_;
+  std::mutex delivery_mu_;
   Duration base_delay_ = usec(500);
   Duration per_byte_delay_ = usec(1);  // ~8 Mbit/s effective
   double loss_prob_ = 0.0;

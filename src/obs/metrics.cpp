@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "util/mem.hpp"
+
 namespace mk::obs {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -55,6 +57,22 @@ std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::gauges()
 std::size_t MetricsRegistry::size() const {
   std::shared_lock lock(mutex_);
   return counters_.size() + gauges_.size();
+}
+
+void MetricsRegistry::publish_pool_gauges() {
+  std::string name;
+  for (const mem::PoolSnapshot& p : mem::pool_snapshots()) {
+    name.assign("mem.pool.").append(p.name);
+    std::size_t base = name.size();
+    name.append(".hits");
+    gauge(name).set(static_cast<std::int64_t>(p.hits));
+    name.resize(base);
+    name.append(".misses");
+    gauge(name).set(static_cast<std::int64_t>(p.misses));
+    name.resize(base);
+    name.append(".outstanding");
+    gauge(name).set(p.outstanding);
+  }
 }
 
 void MetricsRegistry::reset_counters() {

@@ -72,6 +72,12 @@ class MetricsRegistry {
   /// Zeroes every counter (names and handles stay registered).
   void reset_counters();
 
+  /// Refreshes the mem.pool.* gauges from the memory-discipline pools
+  /// (mem::pool_snapshots): for each registered pool `<p>`, sets
+  /// mem.pool.<p>.hits, .misses and .outstanding. Pull-based — call before
+  /// reading (the pools themselves never touch the registry on hot paths).
+  void publish_pool_gauges();
+
  private:
   mutable std::shared_mutex mutex_;
   // node-based maps: handles must stay stable across later registrations.

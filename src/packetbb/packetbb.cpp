@@ -22,12 +22,26 @@ void write_tlv(ByteWriter& w, std::uint8_t type,
   w.put_bytes(value);
 }
 
-Tlv read_tlv(ByteReader& r) {
-  Tlv t;
+/// Reads a TLV into an existing slot, reusing the value vector's capacity.
+void read_tlv_into(ByteReader& r, Tlv& t) {
   t.type = r.get_u8();
   std::uint16_t len = r.get_u16();
-  t.value = r.get_bytes(len);
-  return t;
+  auto view = r.get_view(len);
+  t.value.assign(view.begin(), view.end());
+}
+
+/// Slot-fill: returns v[i], default-constructing it only when the vector is
+/// shorter. Combined with trim() this refills a scratch vector without
+/// clear(), which would destroy elements and free their nested buffers.
+template <class T>
+T& slot(std::vector<T>& v, std::size_t i) {
+  if (i == v.size()) v.emplace_back();
+  return v[i];
+}
+
+template <class T>
+void trim(std::vector<T>& v, std::size_t n) {
+  if (v.size() > n) v.resize(n);
 }
 
 }  // namespace
@@ -164,6 +178,58 @@ std::size_t serialized_size(const Packet& packet) {
   return n;
 }
 
+namespace {
+
+/// Emits one message (type + flags + u16 size + body). Shared by
+/// serialize_into and serialize_msgs_into so sizing and emit stay in
+/// lockstep for both entry points.
+void emit_message(ByteWriter& w, const Message& m) {
+  w.put_u8(m.type);
+  std::uint8_t flags = 0;
+  if (m.originator) flags |= kMsgFlagOrig;
+  if (m.has_hops) flags |= kMsgFlagHops;
+  if (m.seqnum) flags |= kMsgFlagSeqnum;
+  w.put_u8(flags);
+  // The size field is known up front from the sizing pass, so the message
+  // is emitted straight-line with no back-patching.
+  std::size_t body = message_body_size(m);
+  MK_ASSERT(body <= 0xFFFF, "message too large");
+  w.put_u16(static_cast<std::uint16_t>(body));
+  std::size_t msg_start = w.size();
+
+  if (m.originator) w.put_u32(*m.originator);
+  if (m.has_hops) {
+    w.put_u8(m.hop_limit);
+    w.put_u8(m.hop_count);
+  }
+  if (m.seqnum) w.put_u16(*m.seqnum);
+
+  MK_ASSERT(m.tlvs.size() <= 255, "too many message tlvs");
+  w.put_u8(static_cast<std::uint8_t>(m.tlvs.size()));
+  for (const auto& t : m.tlvs) write_tlv(w, t.type, t.value);
+
+  MK_ASSERT(m.addr_blocks.size() <= 255, "too many address blocks");
+  w.put_u8(static_cast<std::uint8_t>(m.addr_blocks.size()));
+  for (const auto& b : m.addr_blocks) {
+    MK_ASSERT(b.addrs.size() <= 255, "address block too large");
+    w.put_u8(static_cast<std::uint8_t>(b.addrs.size()));
+    for (Addr a : b.addrs) w.put_u32(a);
+    MK_ASSERT(b.tlvs.size() <= 255, "too many address tlvs");
+    w.put_u8(static_cast<std::uint8_t>(b.tlvs.size()));
+    for (const auto& t : b.tlvs) {
+      MK_ASSERT(t.value.size() <= 0xFFFF, "addr tlv too large");
+      w.put_u8(t.type);
+      w.put_u8(t.index_start);
+      w.put_u8(t.index_stop);
+      w.put_u16(static_cast<std::uint16_t>(t.value.size()));
+      w.put_bytes(t.value);
+    }
+  }
+  MK_ASSERT(w.size() - msg_start == body, "sizing pass out of sync");
+}
+
+}  // namespace
+
 void serialize_into(const Packet& packet, std::vector<std::uint8_t>& out) {
   ByteWriter w(std::move(out));
   w.reserve(serialized_size(packet));
@@ -179,52 +245,26 @@ void serialize_into(const Packet& packet, std::vector<std::uint8_t>& out) {
   MK_ASSERT(packet.messages.size() <= 255, "too many messages");
   w.put_u8(static_cast<std::uint8_t>(packet.messages.size()));
 
-  for (const auto& m : packet.messages) {
-    w.put_u8(m.type);
-    std::uint8_t flags = 0;
-    if (m.originator) flags |= kMsgFlagOrig;
-    if (m.has_hops) flags |= kMsgFlagHops;
-    if (m.seqnum) flags |= kMsgFlagSeqnum;
-    w.put_u8(flags);
-    // The size field is known up front from the sizing pass, so the message
-    // is emitted straight-line with no back-patching.
-    std::size_t body = message_body_size(m);
-    MK_ASSERT(body <= 0xFFFF, "message too large");
-    w.put_u16(static_cast<std::uint16_t>(body));
-    std::size_t msg_start = w.size();
-
-    if (m.originator) w.put_u32(*m.originator);
-    if (m.has_hops) {
-      w.put_u8(m.hop_limit);
-      w.put_u8(m.hop_count);
-    }
-    if (m.seqnum) w.put_u16(*m.seqnum);
-
-    MK_ASSERT(m.tlvs.size() <= 255, "too many message tlvs");
-    w.put_u8(static_cast<std::uint8_t>(m.tlvs.size()));
-    for (const auto& t : m.tlvs) write_tlv(w, t.type, t.value);
-
-    MK_ASSERT(m.addr_blocks.size() <= 255, "too many address blocks");
-    w.put_u8(static_cast<std::uint8_t>(m.addr_blocks.size()));
-    for (const auto& b : m.addr_blocks) {
-      MK_ASSERT(b.addrs.size() <= 255, "address block too large");
-      w.put_u8(static_cast<std::uint8_t>(b.addrs.size()));
-      for (Addr a : b.addrs) w.put_u32(a);
-      MK_ASSERT(b.tlvs.size() <= 255, "too many address tlvs");
-      w.put_u8(static_cast<std::uint8_t>(b.tlvs.size()));
-      for (const auto& t : b.tlvs) {
-        MK_ASSERT(t.value.size() <= 0xFFFF, "addr tlv too large");
-        w.put_u8(t.type);
-        w.put_u8(t.index_start);
-        w.put_u8(t.index_stop);
-        w.put_u16(static_cast<std::uint16_t>(t.value.size()));
-        w.put_bytes(t.value);
-      }
-    }
-    MK_ASSERT(w.size() - msg_start == body, "sizing pass out of sync");
-  }
+  for (const auto& m : packet.messages) emit_message(w, m);
   out = w.take();
   MK_ASSERT(out.size() == serialized_size(packet), "sizing pass out of sync");
+}
+
+void serialize_msgs_into(std::span<const Message* const> msgs,
+                         std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  std::size_t total = 4;  // version + flags + ntlvs(0) + nmsgs
+  for (const Message* m : msgs) total += 4 + message_body_size(*m);
+  w.reserve(total);
+
+  w.put_u8(0);  // version (Packet default)
+  w.put_u8(0);  // no packet seqnum
+  w.put_u8(0);  // no packet tlvs
+  MK_ASSERT(msgs.size() <= 255, "too many messages");
+  w.put_u8(static_cast<std::uint8_t>(msgs.size()));
+  for (const Message* m : msgs) emit_message(w, *m);
+  out = w.take();
+  MK_ASSERT(out.size() == total, "sizing pass out of sync");
 }
 
 std::vector<std::uint8_t> serialize(const Packet& packet) {
@@ -234,74 +274,85 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
 }
 
 Result<Packet> parse(std::span<const std::uint8_t> data) {
+  Packet p;
+  Result<bool> r = parse_into(data, p);
+  if (!r) return Result<Packet>::fail(r.error());
+  return Result<Packet>::ok(std::move(p));
+}
+
+Result<bool> parse_into(std::span<const std::uint8_t> data, Packet& out) {
   try {
     ByteReader r(data);
-    Packet p;
-    p.version = r.get_u8();
+    out.version = r.get_u8();
     std::uint8_t pflags = r.get_u8();
-    if (pflags & kPktFlagSeqnum) p.seqnum = r.get_u16();
+    out.seqnum.reset();
+    if (pflags & kPktFlagSeqnum) out.seqnum = r.get_u16();
 
     std::uint8_t ntlvs = r.get_u8();
-    p.tlvs.reserve(ntlvs);
-    for (std::uint8_t i = 0; i < ntlvs; ++i) p.tlvs.push_back(read_tlv(r));
+    for (std::uint8_t i = 0; i < ntlvs; ++i) read_tlv_into(r, slot(out.tlvs, i));
+    trim(out.tlvs, ntlvs);
 
     std::uint8_t nmsgs = r.get_u8();
-    p.messages.reserve(nmsgs);
     for (std::uint8_t i = 0; i < nmsgs; ++i) {
-      Message m;
+      Message& m = slot(out.messages, i);
       m.type = r.get_u8();
       std::uint8_t flags = r.get_u8();
       std::uint16_t size = r.get_u16();
       ByteReader mr = r.slice(size);
 
+      m.originator.reset();
       if (flags & kMsgFlagOrig) m.originator = mr.get_u32();
-      if (flags & kMsgFlagHops) {
-        m.has_hops = true;
+      m.has_hops = (flags & kMsgFlagHops) != 0;
+      m.hop_limit = 0;
+      m.hop_count = 0;
+      if (m.has_hops) {
         m.hop_limit = mr.get_u8();
         m.hop_count = mr.get_u8();
       }
+      m.seqnum.reset();
       if (flags & kMsgFlagSeqnum) m.seqnum = mr.get_u16();
 
       std::uint8_t mtlvs = mr.get_u8();
-      m.tlvs.reserve(mtlvs);
-      for (std::uint8_t j = 0; j < mtlvs; ++j) m.tlvs.push_back(read_tlv(mr));
+      for (std::uint8_t j = 0; j < mtlvs; ++j) {
+        read_tlv_into(mr, slot(m.tlvs, j));
+      }
+      trim(m.tlvs, mtlvs);
 
       std::uint8_t nblocks = mr.get_u8();
-      m.addr_blocks.reserve(nblocks);
       for (std::uint8_t j = 0; j < nblocks; ++j) {
-        AddressBlock b;
+        AddressBlock& b = slot(m.addr_blocks, j);
         std::uint8_t naddrs = mr.get_u8();
-        b.addrs.reserve(naddrs);
+        b.addrs.clear();  // trivial elements: capacity survives
         for (std::uint8_t k = 0; k < naddrs; ++k) b.addrs.push_back(mr.get_u32());
         std::uint8_t natlvs = mr.get_u8();
-        b.tlvs.reserve(natlvs);
         for (std::uint8_t k = 0; k < natlvs; ++k) {
-          AddressTlv t;
+          AddressTlv& t = slot(b.tlvs, k);
           t.type = mr.get_u8();
           t.index_start = mr.get_u8();
           t.index_stop = mr.get_u8();
           std::uint16_t len = mr.get_u16();
-          t.value = mr.get_bytes(len);
+          auto view = mr.get_view(len);
+          t.value.assign(view.begin(), view.end());
           if (!b.addrs.empty() &&
               (t.index_start >= b.addrs.size() ||
                t.index_stop >= b.addrs.size() || t.index_start > t.index_stop)) {
-            return Result<Packet>::fail("address tlv index out of range");
+            return Result<bool>::fail("address tlv index out of range");
           }
-          b.tlvs.push_back(std::move(t));
         }
-        m.addr_blocks.push_back(std::move(b));
+        trim(b.tlvs, natlvs);
       }
+      trim(m.addr_blocks, nblocks);
       if (!mr.at_end()) {
-        return Result<Packet>::fail("trailing bytes inside message");
+        return Result<bool>::fail("trailing bytes inside message");
       }
-      p.messages.push_back(std::move(m));
     }
+    trim(out.messages, nmsgs);
     if (!r.at_end()) {
-      return Result<Packet>::fail("trailing bytes after packet");
+      return Result<bool>::fail("trailing bytes after packet");
     }
-    return Result<Packet>::ok(std::move(p));
+    return Result<bool>::ok(true);
   } catch (const BufferUnderflow&) {
-    return Result<Packet>::fail("truncated packet");
+    return Result<bool>::fail("truncated packet");
   }
 }
 

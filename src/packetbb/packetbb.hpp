@@ -121,9 +121,23 @@ std::size_t serialized_size(const Packet& packet);
 std::vector<std::uint8_t> serialize(const Packet& packet);
 void serialize_into(const Packet& packet, std::vector<std::uint8_t>& out);
 
+/// Serializes messages referenced by pointer under the default packet
+/// wrapper (version 0, no packet seqnum, no packet TLVs) — wire-identical to
+/// serialize_into on a Packet holding copies of the same messages, without
+/// deep-copying them into a Packet first. Buffer-recycling like
+/// serialize_into.
+void serialize_msgs_into(std::span<const Message* const> msgs,
+                         std::vector<std::uint8_t>& out);
+
 /// Parses an untrusted byte string; returns an error (never throws, never
 /// crashes) on malformed input.
 Result<Packet> parse(std::span<const std::uint8_t> data);
+
+/// Parse into a reusable scratch packet: nested vectors are slot-filled and
+/// trimmed instead of rebuilt, so parsing a steady stream of same-shaped
+/// packets into one scratch performs zero allocations. On failure `out` is
+/// left in an unspecified (but destructible/reusable) state.
+Result<bool> parse_into(std::span<const std::uint8_t> data, Packet& out);
 
 /// Address pretty-printer ("10.0.0.7" style).
 std::string addr_to_string(Addr a);

@@ -1,8 +1,7 @@
 #include "protocols/mpr/mpr_calculator.hpp"
 
 #include <algorithm>
-#include <map>
-#include <vector>
+#include <cstddef>
 
 namespace mk::proto {
 
@@ -33,59 +32,103 @@ std::set<net::Addr> MprCalculator::compute(const MprState& state,
                                            net::Addr self) const {
   std::set<net::Addr> mprs;
 
-  // Candidate neighbours (willingness > NEVER) and their 2-hop coverage.
-  std::map<net::Addr, std::set<net::Addr>> coverage;
+  // One pass over the symmetric neighbourhood fills all scratch at once:
+  // candidate coverage slices (willingness > NEVER only) and the strict
+  // 2-hop set (union over *all* symmetric neighbours — a node reachable only
+  // through a WILL_NEVER neighbour still counts as uncovered, exactly as the
+  // former strict_two_hop() computed it).
+  cands_.clear();
+  covers_flat_.clear();
+  uncovered_.clear();
   for (net::Addr n : state.sym_neighbors()) {
-    if (state.willingness_of(n) == wire::kWillNever) continue;
-    std::set<net::Addr> covers;
+    bool candidate = state.willingness_of(n) != wire::kWillNever;
+    auto begin = static_cast<std::uint32_t>(covers_flat_.size());
     for (net::Addr t : state.two_hop_via(n)) {
-      if (t != self && !state.is_sym_neighbor(t)) covers.insert(t);
+      if (t == self || state.is_sym_neighbor(t)) continue;
+      uncovered_.push_back(t);
+      if (candidate) covers_flat_.push_back(t);
     }
-    coverage[n] = std::move(covers);
-    if (state.willingness_of(n) == wire::kWillAlways) mprs.insert(n);
+    if (candidate) {
+      cands_.push_back(
+          {n, begin, static_cast<std::uint32_t>(covers_flat_.size()), false});
+      if (state.willingness_of(n) == wire::kWillAlways) {
+        mprs.insert(n);
+        cands_.back().selected = true;
+      }
+    }
+  }
+  std::sort(uncovered_.begin(), uncovered_.end());
+  uncovered_.erase(std::unique(uncovered_.begin(), uncovered_.end()),
+                   uncovered_.end());
+  covered_.assign(uncovered_.size(), 0);
+  std::size_t remaining = uncovered_.size();
+
+  auto upos = [this](net::Addr t) -> std::ptrdiff_t {
+    auto it = std::lower_bound(uncovered_.begin(), uncovered_.end(), t);
+    if (it == uncovered_.end() || *it != t) return -1;
+    return it - uncovered_.begin();
+  };
+  auto mark_covers = [&](const Candidate& c) {
+    for (std::uint32_t i = c.begin; i < c.end; ++i) {
+      std::ptrdiff_t p = upos(covers_flat_[i]);
+      if (p >= 0 && covered_[static_cast<std::size_t>(p)] == 0) {
+        covered_[static_cast<std::size_t>(p)] = 1;
+        --remaining;
+      }
+    }
+  };
+  for (const auto& c : cands_) {
+    if (c.selected) mark_covers(c);
   }
 
-  std::set<net::Addr> uncovered = state.strict_two_hop(self);
-  for (net::Addr m : mprs) {
-    for (net::Addr t : coverage[m]) uncovered.erase(t);
-  }
-
-  // Neighbours that are the *only* path to some 2-hop node.
-  std::map<net::Addr, std::size_t> reach_count;
-  for (net::Addr t : uncovered) {
+  // Neighbours that are the *only* path to some 2-hop node. Each candidate's
+  // coverage slice is sorted (two-hop sets iterate ascending), so membership
+  // is a binary search; the last covering candidate in address order is the
+  // sole path when n_paths == 1, matching the old map iteration.
+  for (std::size_t p = 0; p < uncovered_.size(); ++p) {
+    if (covered_[p] != 0) continue;
+    net::Addr t = uncovered_[p];
     net::Addr sole = net::kNoAddr;
     std::size_t n_paths = 0;
-    for (const auto& [n, covers] : coverage) {
-      if (covers.count(t) > 0) {
+    for (const auto& c : cands_) {
+      if (std::binary_search(covers_flat_.begin() + c.begin,
+                             covers_flat_.begin() + c.end, t)) {
         ++n_paths;
-        sole = n;
+        sole = c.addr;
       }
     }
     if (n_paths == 1) mprs.insert(sole);
   }
-  for (net::Addr m : mprs) {
-    for (net::Addr t : coverage[m]) uncovered.erase(t);
+  for (auto& c : cands_) {
+    if (!c.selected && mprs.count(c.addr) > 0) {
+      c.selected = true;
+      mark_covers(c);
+    }
   }
 
   // Greedy cover of the remainder.
-  while (!uncovered.empty()) {
-    net::Addr best = net::kNoAddr;
+  while (remaining > 0) {
+    std::size_t best = cands_.size();
     std::size_t best_cover = 0;
-    for (const auto& [n, covers] : coverage) {
-      if (mprs.count(n) > 0) continue;
-      std::size_t c = 0;
-      for (net::Addr t : covers) {
-        if (uncovered.count(t) > 0) ++c;
+    for (std::size_t ci = 0; ci < cands_.size(); ++ci) {
+      const Candidate& c = cands_[ci];
+      if (c.selected) continue;
+      std::size_t cnt = 0;
+      for (std::uint32_t i = c.begin; i < c.end; ++i) {
+        std::ptrdiff_t p = upos(covers_flat_[i]);
+        if (p >= 0 && covered_[static_cast<std::size_t>(p)] == 0) ++cnt;
       }
-      if (c == 0) continue;
-      if (best == net::kNoAddr || prefer(state, n, best, c, best_cover)) {
-        best = n;
-        best_cover = c;
+      if (cnt == 0) continue;
+      if (best == cands_.size() ||
+          prefer(state, c.addr, cands_[best].addr, cnt, best_cover)) {
+        best = ci;
+        best_cover = cnt;
       }
     }
-    if (best == net::kNoAddr) break;  // some 2-hop nodes are unreachable
-    mprs.insert(best);
-    for (net::Addr t : coverage[best]) uncovered.erase(t);
+    if (best == cands_.size()) break;  // some 2-hop nodes are unreachable
+    mprs.insert(cands_[best].addr);
+    cands_[best].selected = true;
+    mark_covers(cands_[best]);
   }
   return mprs;
 }

@@ -3,7 +3,9 @@
 // which prefers high-willingness (high-battery) relays.
 #pragma once
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "net/address.hpp"
 #include "opencom/component.hpp"
@@ -33,6 +35,23 @@ class MprCalculator : public oc::Component, public IMprCalculator {
   /// uncovered nodes. Overridden by the energy-aware variant.
   virtual bool prefer(const MprState& state, net::Addr a, net::Addr b,
                       std::size_t cover_a, std::size_t cover_b) const;
+
+ private:
+  // Selection scratch, reused across computes (mutable: compute() is const).
+  // Candidates sit in sym-neighbour (= address) order; each owns a
+  // [begin, end) slice of covers_flat_, sorted ascending. The uncovered
+  // 2-hop set is a sorted vector with a parallel covered-mark array, so the
+  // greedy cover runs without per-node allocation.
+  struct Candidate {
+    net::Addr addr = net::kNoAddr;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    bool selected = false;
+  };
+  mutable std::vector<Candidate> cands_;
+  mutable std::vector<net::Addr> covers_flat_;
+  mutable std::vector<net::Addr> uncovered_;
+  mutable std::vector<char> covered_;
 };
 
 /// Power-aware variant [Mahfoudh & Minet 2008 flavour]: willingness (derived

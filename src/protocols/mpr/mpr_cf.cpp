@@ -39,18 +39,22 @@ class MprHelloSource final : public core::EventSource {
  private:
   void fire() {
     MprState& st = mpr_state_of(*ctx_);
-    std::vector<hello::Link> links;
-    for (net::Addr a : st.heard_neighbors()) {
+    links_scratch_.clear();
+    st.for_each_neighbor([&](net::Addr a, bool sym) {
       wire::LinkCode code = wire::LinkCode::kAsym;
-      if (st.is_sym_neighbor(a)) {
+      if (sym) {
         code = st.is_mpr(a) ? wire::LinkCode::kMpr : wire::LinkCode::kSym;
       }
-      links.push_back(hello::Link{a, code});
-    }
+      links_scratch_.push_back(hello::Link{a, code});
+    });
     ev::Event e(ev::types::HELLO_OUT);
-    pbb::Message& m =
-        e.set_msg(hello::build(ctx_->self(), seq_++, links,
-                               st.own_willingness(), st.collect_piggyback()));
+    // Build straight into a pooled message slot (stale-warm: build_into
+    // rewrites every field); TLV order matches the old build() + push_back
+    // path byte for byte.
+    pbb::Message& m = e.acquire_msg();
+    hello::build_into(m, ctx_->self(), seq_++, links_scratch_,
+                      st.own_willingness());
+    st.append_piggyback(m.tlvs);
     m.tlvs.push_back(pbb::Tlv::empty(wire::kTlvMprAware));
     ctx_->emit(std::move(e));
   }
@@ -59,6 +63,7 @@ class MprHelloSource final : public core::EventSource {
   core::ProtocolContext* ctx_ = nullptr;
   std::unique_ptr<PeriodicTimer> timer_;
   std::uint16_t seq_ = 1;
+  std::vector<hello::Link> links_scratch_;  // reused per emission
 };
 
 /// POWER_STATUS context events drive this node's advertised willingness —

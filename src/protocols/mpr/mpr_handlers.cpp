@@ -1,5 +1,7 @@
 #include "protocols/mpr/mpr_handlers.hpp"
 
+#include <algorithm>
+
 #include "core/attrs.hpp"
 #include "protocols/hello_codec.hpp"
 #include "protocols/mpr/mpr_calculator.hpp"
@@ -108,18 +110,21 @@ void MprHelloHandler::handle(const ev::Event& event,
     }
   }
 
-  std::set<net::Addr> two_hop;
-  for (const hello::Link& l : hello::links(msg)) {
+  two_hop_scratch_.clear();
+  hello::for_each_link(msg, [&](const hello::Link& l) {
     if ((l.code == wire::LinkCode::kSym || l.code == wire::LinkCode::kMpr) &&
         l.addr != ctx.self()) {
-      two_hop.insert(l.addr);
+      two_hop_scratch_.push_back(l.addr);
     }
-  }
-  st.set_two_hop(from, std::move(two_hop));
+  });
+  std::sort(two_hop_scratch_.begin(), two_hop_scratch_.end());
+  two_hop_scratch_.erase(
+      std::unique(two_hop_scratch_.begin(), two_hop_scratch_.end()),
+      two_hop_scratch_.end());
+  st.set_two_hop(from, std::span<const net::Addr>(two_hop_scratch_));
 
-  for (const pbb::Tlv& t : hello::piggyback(msg)) {
-    st.dispatch_piggyback(from, t);
-  }
+  hello::for_each_piggyback(
+      msg, [&](const pbb::Tlv& t) { st.dispatch_piggyback(from, t); });
 
   recompute_mprs(ctx);
 }

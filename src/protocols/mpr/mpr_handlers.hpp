@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/manet_protocol.hpp"
 #include "core/soft_state.hpp"
@@ -52,6 +53,9 @@ class MprHelloHandler : public core::EventHandler {
 
  private:
   core::SoftExpiry* soft_ = nullptr;  // cached per composition epoch
+  // Advertised 2-hop addresses of the HELLO being handled, reused across
+  // deliveries so link-list extraction is allocation-free.
+  std::vector<net::Addr> two_hop_scratch_;
 };
 
 }  // namespace mk::proto

@@ -1,8 +1,23 @@
 #include "protocols/neighbor/neighbor_state.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mk::proto {
+
+namespace {
+
+void sorted_insert(std::vector<net::Addr>& v, net::Addr a) {
+  auto it = std::lower_bound(v.begin(), v.end(), a);
+  if (it == v.end() || *it != a) v.insert(it, a);
+}
+
+void sorted_erase(std::vector<net::Addr>& v, net::Addr a) {
+  auto it = std::lower_bound(v.begin(), v.end(), a);
+  if (it != v.end() && *it == a) v.erase(it);
+}
+
+}  // namespace
 
 NeighborTable::NeighborTable() : oc::Component("neighbor.NeighborTable") {
   provide("INeighborState", static_cast<INeighborState*>(this));
@@ -17,6 +32,11 @@ bool NeighborTable::set_symmetric(net::Addr a, bool sym) {
   auto& e = entries_[a];
   if (e.symmetric == sym) return false;
   e.symmetric = sym;
+  if (sym) {
+    sorted_insert(sym_cache_, a);
+  } else {
+    sorted_erase(sym_cache_, a);
+  }
   return true;
 }
 
@@ -24,11 +44,34 @@ void NeighborTable::set_two_hop(net::Addr a, std::set<net::Addr> nbrs) {
   entries_[a].two_hop = std::move(nbrs);
 }
 
+void NeighborTable::set_two_hop(net::Addr a,
+                                std::span<const net::Addr> sorted) {
+  std::set<net::Addr>& cur = entries_[a].two_hop;
+  auto it = cur.begin();
+  auto sit = sorted.begin();
+  while (it != cur.end() && sit != sorted.end()) {
+    if (*it < *sit) {
+      it = cur.erase(it);
+    } else if (*sit < *it) {
+      cur.insert(it, *sit);  // hinted: lands just before `it`
+      ++sit;
+    } else {
+      ++it;
+      ++sit;
+    }
+  }
+  while (it != cur.end()) it = cur.erase(it);
+  for (; sit != sorted.end(); ++sit) cur.insert(cur.end(), *sit);
+}
+
 std::vector<net::Addr> NeighborTable::expire(TimePoint now, Duration hold) {
   std::vector<net::Addr> lost;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now - it->second.last_heard > hold) {
-      if (it->second.symmetric) lost.push_back(it->first);
+      if (it->second.symmetric) {
+        lost.push_back(it->first);
+        sorted_erase(sym_cache_, it->first);
+      }
       it = entries_.erase(it);
     } else {
       ++it;
@@ -41,6 +84,7 @@ bool NeighborTable::remove(net::Addr a) {
   auto it = entries_.find(a);
   if (it == entries_.end()) return false;
   bool was_sym = it->second.symmetric;
+  if (was_sym) sorted_erase(sym_cache_, a);
   entries_.erase(it);
   return was_sym;
 }
@@ -50,12 +94,8 @@ bool NeighborTable::is_sym_neighbor(net::Addr a) const {
   return it != entries_.end() && it->second.symmetric;
 }
 
-std::vector<net::Addr> NeighborTable::sym_neighbors() const {
-  std::vector<net::Addr> out;
-  for (const auto& [a, e] : entries_) {
-    if (e.symmetric) out.push_back(a);
-  }
-  return out;
+const std::vector<net::Addr>& NeighborTable::sym_neighbors() const {
+  return sym_cache_;
 }
 
 std::vector<net::Addr> NeighborTable::heard_neighbors() const {
@@ -65,9 +105,10 @@ std::vector<net::Addr> NeighborTable::heard_neighbors() const {
   return out;
 }
 
-std::set<net::Addr> NeighborTable::two_hop_via(net::Addr n) const {
+const std::set<net::Addr>& NeighborTable::two_hop_via(net::Addr n) const {
+  static const std::set<net::Addr> kEmpty;
   auto it = entries_.find(n);
-  return it == entries_.end() ? std::set<net::Addr>{} : it->second.two_hop;
+  return it == entries_.end() ? kEmpty : it->second.two_hop;
 }
 
 std::set<net::Addr> NeighborTable::strict_two_hop(net::Addr self) const {
@@ -96,10 +137,14 @@ void NeighborTable::add_piggyback_provider(PiggybackProvider p) {
 
 std::vector<pbb::Tlv> NeighborTable::collect_piggyback() const {
   std::vector<pbb::Tlv> out;
+  append_piggyback(out);
+  return out;
+}
+
+void NeighborTable::append_piggyback(std::vector<pbb::Tlv>& out) const {
   for (const auto& p : providers_) {
     if (auto tlv = p()) out.push_back(std::move(*tlv));
   }
-  return out;
 }
 
 void NeighborTable::add_piggyback_observer(PiggybackObserver o) {

@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,10 +22,14 @@ namespace mk::proto {
 
 struct INeighborState : core::IState {
   virtual bool is_sym_neighbor(net::Addr a) const = 0;
-  virtual std::vector<net::Addr> sym_neighbors() const = 0;
+  /// Symmetric neighbours, sorted ascending. The reference stays valid until
+  /// the next table mutation — route/MPR recomputes read it in place instead
+  /// of copying (allocation-free steady state).
+  virtual const std::vector<net::Addr>& sym_neighbors() const = 0;
   virtual std::vector<net::Addr> heard_neighbors() const = 0;
   /// Symmetric neighbours of neighbour `n` (as reported in its HELLOs).
-  virtual std::set<net::Addr> two_hop_via(net::Addr n) const = 0;
+  /// Same lifetime contract as sym_neighbors().
+  virtual const std::set<net::Addr>& two_hop_via(net::Addr n) const = 0;
   /// Nodes exactly two hops away (reachable via some sym neighbour, not
   /// neighbours themselves, not us).
   virtual std::set<net::Addr> strict_two_hop(net::Addr self) const = 0;
@@ -39,6 +44,10 @@ class NeighborTable : public oc::Component, public INeighborState {
   /// Returns true if the symmetric status changed.
   bool set_symmetric(net::Addr a, bool sym);
   void set_two_hop(net::Addr a, std::set<net::Addr> nbrs);
+  /// In-place variant: `sorted` must be ascending and duplicate-free. The
+  /// stored set is diffed against it, so an unchanged advertisement (the
+  /// steady state between topology changes) allocates nothing.
+  void set_two_hop(net::Addr a, std::span<const net::Addr> sorted);
 
   /// Removes entries not heard within `hold`; returns the lost symmetric
   /// neighbours (for NHOOD_CHANGE down-notifications).
@@ -49,11 +58,19 @@ class NeighborTable : public oc::Component, public INeighborState {
 
   // -- INeighborState ---------------------------------------------------------------
   bool is_sym_neighbor(net::Addr a) const override;
-  std::vector<net::Addr> sym_neighbors() const override;
+  const std::vector<net::Addr>& sym_neighbors() const override;
   std::vector<net::Addr> heard_neighbors() const override;
-  std::set<net::Addr> two_hop_via(net::Addr n) const override;
+  const std::set<net::Addr>& two_hop_via(net::Addr n) const override;
   std::set<net::Addr> strict_two_hop(net::Addr self) const override;
   std::string describe() const override;
+
+  /// Visits (addr, is_symmetric) for every tracked neighbour in address
+  /// order — the HELLO emitter's allocation-free alternative to copying
+  /// heard_neighbors() out.
+  template <class Fn>
+  void for_each_neighbor(Fn&& fn) const {
+    for (const auto& [a, e] : entries_) fn(a, e.symmetric);
+  }
 
   // -- piggybacking ---------------------------------------------------------------
   /// Provider called at each HELLO emission; a returned TLV rides along.
@@ -61,6 +78,8 @@ class NeighborTable : public oc::Component, public INeighborState {
   void add_piggyback_provider(PiggybackProvider p);
   void clear_piggyback_providers() { providers_.clear(); }
   std::vector<pbb::Tlv> collect_piggyback() const;
+  /// Appends the providers' TLVs to `out` (no intermediate vector).
+  void append_piggyback(std::vector<pbb::Tlv>& out) const;
 
   /// Observer of piggyback TLVs found in received HELLOs.
   using PiggybackObserver = std::function<void(net::Addr from, const pbb::Tlv&)>;
@@ -74,6 +93,9 @@ class NeighborTable : public oc::Component, public INeighborState {
     std::set<net::Addr> two_hop;
   };
   std::map<net::Addr, Entry> entries_;
+  // Sorted mirror of the symmetric subset of entries_, maintained on every
+  // symmetric-status transition so sym_neighbors() is a reference return.
+  std::vector<net::Addr> sym_cache_;
   std::vector<PiggybackProvider> providers_;
   std::vector<PiggybackObserver> observers_;
 };

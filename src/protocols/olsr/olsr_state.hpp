@@ -45,6 +45,10 @@ class OlsrState : public oc::Component, public core::IState, public IOlsrState {
   std::vector<net::Addr> topology_origins() const;
 
   std::vector<std::pair<net::Addr, net::Addr>> topology_edges() const override;
+  /// Appends the directed edges to `out` without clearing it — the route
+  /// recompute collects its whole edge view in one reused scratch vector.
+  void append_topology_edges(
+      std::vector<std::pair<net::Addr, net::Addr>>& out) const;
   std::size_t topology_size() const override { return topology_.size(); }
 
   // -- sequence numbers ---------------------------------------------------------
@@ -59,7 +63,10 @@ class OlsrState : public oc::Component, public core::IState, public IOlsrState {
   }
 
   // -- installed kernel routes owned by OLSR ---------------------------------------
-  std::set<net::Addr>& installed_dests() { return installed_; }
+  /// Sorted ascending; the route calculator swaps a freshly computed set in
+  /// each recompute (vector, not set: the hot path only needs ordered
+  /// iteration and binary search, without per-node allocation).
+  std::vector<net::Addr>& installed_dests() { return installed_; }
 
   // -- residual energy (power-aware variant) -----------------------------------------
   void set_energy(net::Addr node, double level) { energy_[node] = level; }
@@ -79,7 +86,7 @@ class OlsrState : public oc::Component, public core::IState, public IOlsrState {
   std::uint16_t msg_seq_ = 1;
   std::uint16_t ansn_ = 1;
   std::set<net::Addr> last_advertised_;
-  std::set<net::Addr> installed_;
+  std::vector<net::Addr> installed_;
   std::map<net::Addr, double> energy_;
   double own_battery_ = 1.0;
 };

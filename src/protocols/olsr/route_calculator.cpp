@@ -1,9 +1,8 @@
 #include "protocols/olsr/route_calculator.hpp"
 
 #include <algorithm>
-#include <map>
-#include <queue>
-#include <set>
+#include <functional>
+#include <limits>
 
 #include "core/manet_protocol.hpp"
 #include "protocols/mpr/mpr_state.hpp"
@@ -47,66 +46,103 @@ void RouteCalculator::recompute(core::ProtocolContext& ctx) {
   // let a partitioned-away origin's stale TC (topology hold 15 s) resurrect
   // the severed link from the *far* side, so mid-partition recomputes never
   // dropped routes and kRouteDel was only ever journaled after the heal.
-  std::map<net::Addr, std::set<net::Addr>> adj;
-  auto add_edge = [&adj](net::Addr a, net::Addr b) { adj[a].insert(b); };
+  //
+  // The whole computation runs on reused member scratch over a dense index
+  // space: addresses sort into scratch_nodes_ (position = index), edges
+  // dedupe into a CSR adjacency, and Dijkstra's maps become flat arrays.
+  // Index order equals address order, so every tie-break (heap pops, edge
+  // iteration, install order) matches the former std::map-based version.
+  scratch_edges_.clear();
   for (net::Addr n : nbr->sym_neighbors()) {
-    add_edge(self, n);
+    scratch_edges_.emplace_back(self, n);
     for (net::Addr t : nbr->two_hop_via(n)) {
-      if (t != self) add_edge(n, t);
+      if (t != self) scratch_edges_.emplace_back(n, t);
     }
   }
-  for (const auto& [origin, dest] : st->topology_edges()) {
-    add_edge(origin, dest);
+  st->append_topology_edges(scratch_edges_);
+
+  scratch_nodes_.clear();
+  scratch_nodes_.push_back(self);
+  for (const auto& [a, b] : scratch_edges_) {
+    scratch_nodes_.push_back(a);
+    scratch_nodes_.push_back(b);
   }
+  std::sort(scratch_nodes_.begin(), scratch_nodes_.end());
+  scratch_nodes_.erase(
+      std::unique(scratch_nodes_.begin(), scratch_nodes_.end()),
+      scratch_nodes_.end());
+  const auto n = static_cast<std::uint32_t>(scratch_nodes_.size());
+  auto idx_of = [this](net::Addr a) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(scratch_nodes_.begin(), scratch_nodes_.end(), a) -
+        scratch_nodes_.begin());
+  };
+
+  edge_idx_.clear();
+  for (const auto& [a, b] : scratch_edges_) {
+    edge_idx_.emplace_back(idx_of(a), idx_of(b));
+  }
+  std::sort(edge_idx_.begin(), edge_idx_.end());
+  edge_idx_.erase(std::unique(edge_idx_.begin(), edge_idx_.end()),
+                  edge_idx_.end());
+  adj_start_.assign(n + 1, 0);
+  for (const auto& [u, v] : edge_idx_) adj_start_[u + 1]++;
+  for (std::uint32_t i = 1; i <= n; ++i) adj_start_[i] += adj_start_[i - 1];
 
   // Dijkstra from self; edge weight = node_cost(entered node).
-  std::map<net::Addr, double> dist;
-  std::map<net::Addr, net::Addr> parent;
-  std::map<net::Addr, std::uint32_t> hops;
-  using QItem = std::pair<double, net::Addr>;
-  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  dist[self] = 0.0;
-  hops[self] = 0;
-  pq.emplace(0.0, self);
-  while (!pq.empty()) {
-    auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[u]) continue;
-    auto it = adj.find(u);
-    if (it == adj.end()) continue;
-    for (net::Addr v : it->second) {
-      double w = node_cost(*st, v);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::uint32_t kNoParent = 0xFFFF'FFFFu;
+  dist_.assign(n, kInf);
+  parent_.assign(n, kNoParent);
+  hops_.assign(n, 0);
+  heap_.clear();
+  const std::uint32_t self_idx = idx_of(self);
+  dist_[self_idx] = 0.0;
+  heap_.emplace_back(0.0, self_idx);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d > dist_[u]) continue;
+    for (std::uint32_t e = adj_start_[u]; e < adj_start_[u + 1]; ++e) {
+      std::uint32_t v = edge_idx_[e].second;
+      double w = node_cost(*st, scratch_nodes_[v]);
       double nd = d + w;
-      auto dit = dist.find(v);
-      if (dit == dist.end() || nd < dit->second - 1e-12) {
-        dist[v] = nd;
-        parent[v] = u;
-        hops[v] = hops[u] + 1;
-        pq.emplace(nd, v);
+      if (nd < dist_[v] - 1e-12) {
+        dist_[v] = nd;
+        parent_[v] = u;
+        hops_[v] = hops_[u] + 1;
+        heap_.emplace_back(nd, v);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
   }
 
   // Resolve next hops and sync the kernel table.
   net::KernelRouteTable& kernel = ctx.sys()->kernel_table();
-  std::set<net::Addr> fresh;
-  for (const auto& [dest, _] : dist) {
-    if (dest == self) continue;
-    net::Addr hop = dest;
-    while (parent.count(hop) > 0 && parent[hop] != self) hop = parent[hop];
-    if (parent.count(hop) == 0) continue;  // unreachable glitch
+  fresh_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i == self_idx || parent_[i] == kNoParent) continue;
+    std::uint32_t hop = i;
+    while (parent_[hop] != kNoParent && parent_[hop] != self_idx) {
+      hop = parent_[hop];
+    }
+    if (parent_[hop] == kNoParent) continue;  // unreachable glitch
     net::RouteEntry entry;
-    entry.dest = dest;
-    entry.next_hop = hop;
-    entry.metric = hops[dest];
+    entry.dest = scratch_nodes_[i];
+    entry.next_hop = scratch_nodes_[hop];
+    entry.metric = hops_[i];
     entry.installed_at = ctx.now();
     kernel.set_route(entry);
-    fresh.insert(dest);
+    fresh_.push_back(scratch_nodes_[i]);  // ascending: index order
   }
   for (net::Addr old_dest : st->installed_dests()) {
-    if (fresh.count(old_dest) == 0) kernel.remove_route(old_dest);
+    if (!std::binary_search(fresh_.begin(), fresh_.end(), old_dest)) {
+      kernel.remove_route(old_dest);
+    }
   }
-  st->installed_dests() = std::move(fresh);
+  // Swap, don't move: fresh_ keeps the displaced capacity for next time.
+  st->installed_dests().swap(fresh_);
 }
 
 EnergyRouteCalculator::EnergyRouteCalculator(core::ManetProtocolCf* mpr_cf)

@@ -5,7 +5,10 @@
 // (maximise route lifetime by avoiding low-battery relays).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cfs.hpp"
 #include "net/address.hpp"
@@ -35,6 +38,21 @@ class RouteCalculator : public oc::Component, public IRouteCalculator {
   virtual double node_cost(const OlsrState& st, net::Addr via) const;
 
   core::ManetProtocolCf* mpr_cf_;
+
+ private:
+  // Dijkstra scratch, reused across recomputes: addresses are mapped onto a
+  // dense index space so distance/parent lookups are array reads and the
+  // whole computation performs no steady-state allocation (the capacity of
+  // every vector survives between calls).
+  std::vector<std::pair<net::Addr, net::Addr>> scratch_edges_;
+  std::vector<net::Addr> scratch_nodes_;  // sorted; position = dense index
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_idx_;
+  std::vector<std::uint32_t> adj_start_;  // CSR offsets into edge_idx_
+  std::vector<std::pair<double, std::uint32_t>> heap_;
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> hops_;
+  std::vector<net::Addr> fresh_;
 };
 
 /// Energy-aware path selection: traversal cost grows steeply as the relay's

@@ -64,6 +64,15 @@ class ByteReader {
   /// Returns a sub-reader over the next n bytes and advances past them.
   ByteReader slice(std::size_t n);
 
+  /// Zero-copy variant of get_bytes: a view into the underlying buffer,
+  /// valid only while the source data outlives the reader's caller.
+  std::span<const std::uint8_t> get_view(std::size_t n) {
+    require(n);
+    auto v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
  private:
   void require(std::size_t n) const {
     if (pos_ + n > data_.size()) throw BufferUnderflow{};

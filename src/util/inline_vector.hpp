@@ -1,0 +1,59 @@
+// Small-buffer vector for trivially-copyable elements on dispatch hot paths
+// (fan-out target lists, handler snapshots). Stays on the stack up to N
+// elements and only then spills to a heap vector, so the common case — a
+// handful of targets — performs zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace mk {
+
+template <class T, std::size_t N>
+class InlinedVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlinedVector is for trivially-copyable elements");
+
+ public:
+  void push_back(T v) {
+    if (size_ < N) {
+      inline_[size_++] = v;
+      return;
+    }
+    if (heap_.empty() && size_ == N) {
+      heap_.reserve(2 * N);
+      heap_.assign(inline_, inline_ + N);
+    }
+    heap_.push_back(v);
+    ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T* data() { return size_ <= N ? inline_ : heap_.data(); }
+  const T* data() const { return size_ <= N ? inline_ : heap_.data(); }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& back() { return data()[size_ - 1]; }
+
+  void clear() {
+    size_ = 0;
+    heap_.clear();
+  }
+
+ private:
+  T inline_[N];
+  std::vector<T> heap_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mk

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace mk {
 
@@ -32,6 +33,22 @@ class BlockingQueue {
     T value = std::move(items_.front());
     items_.pop_front();
     return value;
+  }
+
+  /// Drains up to `max` items into `out` (appended in FIFO order), blocking
+  /// until at least one is available or the queue is closed and empty.
+  /// Returns the number appended — 0 means closed-and-drained. Callers pass
+  /// the same vector each round so steady-state batches reuse its capacity.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    std::size_t n = 0;
+    while (n < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    return n;
   }
 
   /// Non-blocking pop.

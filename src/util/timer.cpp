@@ -60,16 +60,22 @@ void PeriodicTimer::fire() {
 
 void OneShotTimer::schedule(Duration d, std::function<void()> fn) {
   cancel();
-  id_ = sched_.schedule_after(d, [this, fn = std::move(fn)] {
-    id_ = kInvalidTimer;
-    fn();
-  });
+  fn_ = std::move(fn);
+  id_ = sched_.schedule_after(d, [this] { fire(); });
+}
+
+void OneShotTimer::fire() {
+  id_ = kInvalidTimer;
+  // Move out first: the callback may destroy this timer or reschedule it.
+  std::function<void()> fn = std::move(fn_);
+  fn();
 }
 
 void OneShotTimer::cancel() {
   if (id_ != kInvalidTimer) {
     sched_.cancel(id_);
     id_ = kInvalidTimer;
+    fn_ = nullptr;  // release captured resources with the shot
   }
 }
 

@@ -67,8 +67,15 @@ class OneShotTimer {
   bool pending() const { return id_ != kInvalidTimer; }
 
  private:
+  void fire();
+
   Scheduler& sched_;
   TimerId id_ = kInvalidTimer;
+  // The pending callback lives here, not in the scheduled closure: the
+  // closure then captures only `this` (fits std::function's small-buffer
+  // slot), so arming a one-shot performs no heap allocation when `fn`
+  // itself is small.
+  std::function<void()> fn_;
 };
 
 }  // namespace mk

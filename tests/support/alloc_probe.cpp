@@ -1,0 +1,53 @@
+#include "support/alloc_probe.hpp"
+
+#include "util/memtrack.hpp"
+
+namespace mk::test {
+
+AllocScope::AllocScope() {
+  memtrack::Stats s = memtrack::snapshot();
+  start_allocs_ = s.total_allocs;
+  start_bytes_ = s.total_bytes;
+}
+
+std::uint64_t AllocScope::allocs() const {
+  return memtrack::snapshot().total_allocs - start_allocs_;
+}
+
+std::uint64_t AllocScope::bytes() const {
+  return memtrack::snapshot().total_bytes - start_bytes_;
+}
+
+namespace {
+
+constexpr bool compiled_with_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool AllocProbe::available() {
+  if (compiled_with_sanitizer()) return false;
+  // Runtime probe: an allocation the optimizer cannot elide must move the
+  // total_allocs counter, or the interposer is not the one being linked.
+  static const bool live = [] {
+    std::uint64_t before = memtrack::snapshot().total_allocs;
+    auto* volatile p = new std::uint64_t(0xA110C);
+    delete p;
+    return memtrack::snapshot().total_allocs > before;
+  }();
+  return live;
+}
+
+}  // namespace mk::test

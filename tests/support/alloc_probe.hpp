@@ -1,0 +1,44 @@
+// Allocation-accounting probe for the `alloc`-labelled budget tests.
+//
+// Built on mk::memtrack's counting operator new/delete (linked in via
+// mk_util). This file must NOT define allocation operators of its own: the
+// interposer already counts every global new, and a second definition would
+// collide at link time.
+//
+// Budgets are only meaningful when that interposer actually sees the
+// traffic. Under ASan/TSan/MSan the sanitizer runtime owns allocation (and
+// adds bookkeeping allocations of its own), so available() reports false and
+// the budget tests GTEST_SKIP. The plain-Release CI job is the one that
+// enforces budgets; the sanitizer jobs run the same `alloc` label for its
+// backend-parity and pool-poison assertions only (see
+// .github/workflows/sanitizers.yml).
+#pragma once
+
+#include <cstdint>
+
+namespace mk::test {
+
+/// Window over the process-wide allocation counters: allocs()/bytes() are
+/// the *total* (churn, not live) deltas since construction.
+class AllocScope {
+ public:
+  AllocScope();
+
+  std::uint64_t allocs() const;
+  std::uint64_t bytes() const;
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_bytes_;
+};
+
+struct AllocProbe {
+  /// True when the counting interposer is live (compile-time sanitizer
+  /// checks plus a runtime probe allocation that must move the counter).
+  static bool available();
+
+  /// Opens a counting window.
+  static AllocScope scoped() { return AllocScope{}; }
+};
+
+}  // namespace mk::test
