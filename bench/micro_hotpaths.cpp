@@ -3,16 +3,15 @@
 // OLSR route calculation. These quantify the per-operation cost behind
 // Table 1's Time-to-Process-Message numbers.
 //
-// The fan-out benches additionally report an `allocs_per_op` counter (via a
-// global operator-new hook) so the zero-copy claims — one payload allocation
-// per broadcast, one message allocation per event fan-out — are measurable,
-// not just asserted.
+// The fan-out benches additionally report an `allocs_per_op` counter (via
+// mk::memtrack's counting operator-new interposer in mk_util — the same one
+// that backs the supervision alloc budget) so the zero-copy claims — one
+// payload allocation per broadcast, one message allocation per event fan-out
+// — are measurable, not just asserted.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <cmath>
 #include <cstdlib>
-#include <new>
 #include <optional>
 
 #include "core/manetkit.hpp"
@@ -24,24 +23,8 @@
 #include "protocols/olsr/olsr_cf.hpp"
 #include "testbed/world.hpp"
 #include "util/mem.hpp"
+#include "util/memtrack.hpp"
 #include "util/scheduler.hpp"
-
-namespace {
-std::atomic<std::uint64_t> g_heap_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t n) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
-  throw std::bad_alloc{};
-}
-
-void* operator new[](std::size_t n) { return ::operator new(n); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace mk {
 namespace {
@@ -49,9 +32,9 @@ namespace {
 /// RAII window counting heap allocations between construction and sample().
 class AllocWindow {
  public:
-  AllocWindow() : start_(g_heap_allocs.load(std::memory_order_relaxed)) {}
+  AllocWindow() : start_(memtrack::snapshot().total_allocs) {}
   std::uint64_t sample() const {
-    return g_heap_allocs.load(std::memory_order_relaxed) - start_;
+    return memtrack::snapshot().total_allocs - start_;
   }
 
  private:
@@ -409,6 +392,55 @@ void BM_QuarantineChurn(benchmark::State& state) {
       static_cast<double>(cycles), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_QuarantineChurn)->Arg(50)->Unit(benchmark::kMillisecond);
+
+// Crash-reconverge pair (ISSUE 10): a mid-grid relay in a 50-node OLSR world
+// suffers a full crash (every protocol stopped, S elements wiped, kernel
+// table cleared), stays dark 2s, restarts, and the bench clocks the run
+// until it holds kernel routes to all 49 peers again. The `none` capture
+// cold-starts from protocol defaults; `checkpoint` rehydrates from 1-hop
+// peer replicas. `reconverge_us` is the matching sim-time figure (restart ->
+// fully routed) recorded for docs/REPLICATION.md.
+void BM_CrashReconverge(benchmark::State& state,
+                        core::ReplicationStrategy strategy) {
+  constexpr std::size_t kNodes = 50;
+  testbed::SimWorld world(kNodes, /*seed=*/42);
+  repl::ReplicationParams params;
+  params.initial = strategy;
+  world.enable_replication(params);
+  world.grid(10);
+  world.deploy_all("olsr");
+  const std::size_t relay = kNodes / 2;
+  auto relay_routed = [&] {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      if (i != relay && !world.has_route(relay, world.addr(i))) return false;
+    }
+    return true;
+  };
+  for (int i = 0; i < 1200 && !relay_routed(); ++i) world.run_for(msec(100));
+  world.run_for(sec(5));  // a checkpoint cycle spreads the relay's S element
+
+  std::int64_t reconverge_us = 0;
+  for (auto _ : state) {
+    world.crash_node(relay);
+    world.run_for(sec(2));
+    world.restart_node(relay);
+    const std::int64_t restart_us = world.now().us;
+    for (int i = 0; i < 2400 && !relay_routed(); ++i) world.run_for(msec(50));
+    reconverge_us += world.now().us - restart_us;
+    world.run_for(sec(5));  // settle + re-replicate before the next crash
+  }
+  state.counters["reconverge_us"] = benchmark::Counter(
+      static_cast<double>(reconverge_us), benchmark::Counter::kAvgIterations);
+  state.counters["rehydrates"] = benchmark::Counter(
+      static_cast<double>(
+          world.kit(relay).metrics().counter_value("repl.rehydrates")),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK_CAPTURE(BM_CrashReconverge, none, core::ReplicationStrategy::kNone)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CrashReconverge, checkpoint,
+                  core::ReplicationStrategy::kCheckpoint)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MprSelection(benchmark::State& state) {
   // A dense neighbourhood: n neighbours, each covering a slice of 2n

@@ -78,7 +78,8 @@ for b in benches:
         "cpu_time_ns": round(b["cpu_time"], 1),
     }
     for counter in ("allocs_per_op", "faults_fired", "pair_evals",
-                    "link_flips", "recovered_cycles"):
+                    "link_flips", "recovered_cycles", "reconverge_us",
+                    "rehydrates"):
         if counter in b:
             entry[counter] = round(b[counter], 2)
     if b["name"] in BASELINE_NS:
@@ -120,7 +121,15 @@ report = {
             "(acceptance bar: >= 10x at /1000). pair_evals/link_flips come "
             "from the medium's counters. BM_QuarantineChurn/50 cycles a "
             "rotating victim's MPR CF through a full supervision "
-            "trip/quarantine/restart/recover ladder on a 50-node OLSR grid.",
+            "trip/quarantine/restart/recover ladder on a 50-node OLSR grid. "
+            "BM_CrashReconverge/{none,checkpoint} crash a mid-grid relay in "
+            "a 50-node OLSR world (full crash: S elements wiped, kernel "
+            "table cleared, 2s dark) and report `reconverge_us`, the sim "
+            "time from restart until the relay again routes to all 49 "
+            "peers; `none` cold-starts while `checkpoint` rehydrates from "
+            "1-hop peer replicas (`rehydrates` counts applied offers), so "
+            "the none-vs-checkpoint reconverge_us gap is the replication "
+            "layer's crash-recovery win (ISSUE 10).",
     "context": raw.get("context", {}),
     "results": results,
 }

@@ -171,6 +171,12 @@ Manetkit::ReplaceReport Manetkit::replace_protocol(const std::string& from,
       journal_reconfig(obs::ReconfigPhase::kCommit, from, to,
                        static_cast<std::uint64_t>(report.attempts));
       metrics_.counter("fm.replace_commits").inc();
+      // Split by outcome so recovery rungs are individually countable: an
+      // in-place restart (same protocol back) vs a switch to another one.
+      metrics_
+          .counter(from == to ? "fm.replace_commits_inplace"
+                              : "fm.replace_commits_switch")
+          .inc();
       report.instance = fresh;
       report.committed = true;
       return report;

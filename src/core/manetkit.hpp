@@ -37,6 +37,49 @@ class HealthProvider {
   virtual std::vector<std::string> failed_units() const = 0;
 };
 
+/// Replication strategy for a node's S elements (ISSUE 10). Runtime-
+/// switchable through ReplicationControl (the policy engine flips it from
+/// context rules, like any other adaptation).
+enum class ReplicationStrategy {
+  kNone,        ///< no checkpoints; a crash cold-starts
+  kCheckpoint,  ///< periodic full snapshots piggybacked to 1-hop peers
+  kHotStandby,  ///< continuous deltas at a faster cadence
+};
+
+inline const char* to_string(ReplicationStrategy s) {
+  switch (s) {
+    case ReplicationStrategy::kNone: return "none";
+    case ReplicationStrategy::kCheckpoint: return "checkpoint";
+    case ReplicationStrategy::kHotStandby: return "hot-standby";
+  }
+  return "?";
+}
+
+/// Control surface of the replication CF (ISSUE 10), published on the facade
+/// the same way HealthProvider is: the facade only holds the pointer, so the
+/// supervision and policy layers can consult peer replicas without linking
+/// the replication library.
+class ReplicationControl {
+ public:
+  virtual ~ReplicationControl() = default;
+
+  virtual ReplicationStrategy strategy() const = 0;
+  virtual void set_strategy(ReplicationStrategy s) = 0;
+
+  /// Replicas this node holds on behalf of its peers.
+  virtual std::size_t replicas_held() const = 0;
+
+  /// Age (µs) of the freshest peer-held replica of this node's own state
+  /// that this node knows was acknowledged-by-piggyback; -1 when none. The
+  /// policy engine reads this as a context signal.
+  virtual std::int64_t own_replica_age_us() const = 0;
+
+  /// Broadcasts a solicit for `unit`'s state ("" = every unit) and applies
+  /// the freshest offer when it arrives. Returns true if the solicit was
+  /// sent (peers may still hold nothing).
+  virtual bool request_rehydrate(const std::string& unit) = 0;
+};
+
 class Manetkit {
  public:
   explicit Manetkit(net::SimNode& node);
@@ -129,6 +172,13 @@ class Manetkit {
   void set_health_provider(HealthProvider* provider) { health_ = provider; }
   HealthProvider* health_provider() const { return health_; }
 
+  // -- replication (ISSUE 10) ---------------------------------------------------
+  /// Publishes (or clears) the node's replication control surface. Owned by
+  /// the replication CF's S element; read by supervision (rehydrate before
+  /// cold start) and the policy engine (strategy switching).
+  void set_replication(ReplicationControl* control) { replication_ = control; }
+  ReplicationControl* replication() const { return replication_; }
+
   // -- observability -----------------------------------------------------------
   /// This node's metrics registry: the Framework Manager, System CF and every
   /// protocol deployed through this facade record their counters here.
@@ -164,6 +214,7 @@ class Manetkit {
   std::map<std::string, ProtoSpec> specs_;
   std::map<std::string, DeployedProto> deployed_;
   HealthProvider* health_ = nullptr;
+  ReplicationControl* replication_ = nullptr;
 };
 
 }  // namespace mk::core

@@ -1,0 +1,115 @@
+// State serialization for S-element replication (ISSUE 10).
+//
+// A protocol's S element implements IStateCodec so the replication CF can
+// snapshot it into a checkpoint blob that a 1-hop peer stores and — after a
+// crash/restart fault — hands back to rehydrate the restarted unit. The
+// format is owned by each protocol (a versioned byte string produced with
+// the helpers below); the replication layer treats blobs as opaque.
+//
+// Codec discipline:
+//  * encode only *protocol* state (tables, sequence numbers) — never derived
+//    artefacts that a restart recomputes (installed kernel routes, cached
+//    scratch) and never transient negotiation state (pending discoveries,
+//    whose retry timers died with the crashed node);
+//  * absolute sim-time deadlines are encoded as-is — every node in a world
+//    shares one scheduler clock, so a peer-held deadline is directly
+//    meaningful to the restarted node;
+//  * iteration must be over ordered containers, so the same state always
+//    encodes to the same bytes (checkpoint blobs are journal-digested).
+//
+// decode_state() must be fuzz-safe: a malformed blob returns false and
+// leaves the element in a consistent (possibly emptied) state, exactly like
+// the PacketBB parser discipline — replicas arrive off the wire.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "opencom/interface.hpp"
+
+namespace mk::core {
+
+/// Provided as "IStateCodec" by replication-capable S elements.
+struct IStateCodec : oc::Interface {
+  /// Appends a self-contained snapshot of this S element to `out`.
+  virtual void encode_state(std::vector<std::uint8_t>& out) const = 0;
+
+  /// Replaces this element's contents from an encode_state() blob. Returns
+  /// false on malformed input (state is left consistent but unspecified).
+  virtual bool decode_state(std::span<const std::uint8_t> blob) = 0;
+
+  /// Reverts the element to freshly-constructed contents (the crash model's
+  /// cold start: tables emptied, sequence counters reset).
+  virtual void reset_state() = 0;
+};
+
+/// Big-endian byte helpers shared by the protocol codecs and the checkpoint
+/// TLV framing (same byte order as the PacketBB wire format).
+namespace codec {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline bool get_u8(std::span<const std::uint8_t> in, std::size_t& off,
+                   std::uint8_t& v) {
+  if (off + 1 > in.size()) return false;
+  v = in[off++];
+  return true;
+}
+
+inline bool get_u16(std::span<const std::uint8_t> in, std::size_t& off,
+                    std::uint16_t& v) {
+  if (off + 2 > in.size()) return false;
+  v = static_cast<std::uint16_t>((in[off] << 8) | in[off + 1]);
+  off += 2;
+  return true;
+}
+
+inline bool get_u32(std::span<const std::uint8_t> in, std::size_t& off,
+                    std::uint32_t& v) {
+  std::uint16_t hi = 0, lo = 0;
+  if (!get_u16(in, off, hi) || !get_u16(in, off, lo)) return false;
+  v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+  return true;
+}
+
+inline bool get_u64(std::span<const std::uint8_t> in, std::size_t& off,
+                    std::uint64_t& v) {
+  std::uint32_t hi = 0, lo = 0;
+  if (!get_u32(in, off, hi) || !get_u32(in, off, lo)) return false;
+  v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+inline bool get_i64(std::span<const std::uint8_t> in, std::size_t& off,
+                    std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!get_u64(in, off, u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+}  // namespace codec
+
+}  // namespace mk::core

@@ -363,8 +363,24 @@ void SystemCf::send_messages(std::span<const pbb::Message* const> msgs,
   // Serialize straight into a recycled shared buffer that the medium then
   // fans out to every neighbour without copying.
   auto buf = net::acquire_payload();
-  pbb::serialize_msgs_into(msgs, *buf);
+  if (tlv_provider_ != nullptr && dest == net::kBroadcast) {
+    pkt_tlv_scratch_.clear();
+    tlv_provider_(pkt_tlv_scratch_);
+    pbb::serialize_msgs_into(msgs, pkt_tlv_scratch_, *buf);
+  } else {
+    pbb::serialize_msgs_into(msgs, *buf);
+  }
   node_.send_control(net::PayloadPtr(std::move(buf)), dest);
+}
+
+void SystemCf::set_packet_tlv_provider(PacketTlvProvider provider) {
+  auto lock = quiesce();
+  tlv_provider_ = std::move(provider);
+}
+
+void SystemCf::set_packet_tlv_observer(PacketTlvObserver observer) {
+  auto lock = quiesce();
+  tlv_observer_ = std::move(observer);
 }
 
 void SystemCf::flush_aggregation() {
@@ -418,6 +434,9 @@ void SystemCf::on_control_frame(const net::Frame& frame) {
     MK_WARN("system", "dropping malformed packet from ",
             pbb::addr_to_string(frame.tx), ": ", parsed.error());
     return;
+  }
+  if (tlv_observer_ != nullptr) {
+    for (const pbb::Tlv& t : parse_scratch_.tlvs) tlv_observer_(t, frame.tx);
   }
   for (auto& msg : parse_scratch_.messages) {
     auto it = msg_registry_.find(msg.type);

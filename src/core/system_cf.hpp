@@ -19,6 +19,7 @@
 // node's device and forwarding hooks (see DESIGN.md substitutions).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -118,6 +119,18 @@ class SystemCf : public oc::ComponentFramework, public CfsUnit {
   std::uint64_t packets_sent() const { return packets_sent_->value(); }
   std::uint64_t messages_sent() const { return messages_sent_->value(); }
 
+  // -- packet-level TLV piggybacking (replication checkpoints) -------------------
+  /// Polled once per outbound *broadcast* control packet; whatever it appends
+  /// rides as packet-level TLVs at zero extra frames. Unicast packets are
+  /// never decorated (a checkpoint aimed at one peer would miss the rest).
+  using PacketTlvProvider = std::function<void(std::vector<pbb::Tlv>& out)>;
+  /// Sees every packet-level TLV parsed off an incoming control frame,
+  /// together with the transmitting neighbour.
+  using PacketTlvObserver =
+      std::function<void(const pbb::Tlv& tlv, net::Addr from)>;
+  void set_packet_tlv_provider(PacketTlvProvider provider);
+  void set_packet_tlv_observer(PacketTlvObserver observer);
+
   /// Loads the NetLink packet-filter plug-in (idempotent).
   void ensure_netlink();
   NetLinkComponent* netlink();
@@ -191,9 +204,13 @@ class SystemCf : public oc::ComponentFramework, public CfsUnit {
   std::map<net::Addr, std::vector<ev::MsgPtr>> pending_out_;
   std::unique_ptr<OneShotTimer> flush_timer_;
 
+  PacketTlvProvider tlv_provider_;
+  PacketTlvObserver tlv_observer_;
+
   // RX/TX scratch, reused across frames (allocation-free steady state).
   pbb::Packet parse_scratch_;
   std::vector<const pbb::Message*> msg_ptr_scratch_;
+  std::vector<pbb::Tlv> pkt_tlv_scratch_;
 
   bool profiling_ = false;
   std::map<std::string, Samples> processing_times_;

@@ -17,7 +17,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 16> kKindNames{{
+constexpr std::array<KindName, 18> kKindNames{{
     {RecordKind::kEventDispatch, "event_dispatch"},
     {RecordKind::kFrameTx, "frame_tx"},
     {RecordKind::kFrameRx, "frame_rx"},
@@ -34,6 +34,8 @@ constexpr std::array<KindName, 16> kKindNames{{
     {RecordKind::kComponentFault, "component_fault"},
     {RecordKind::kQuarantine, "quarantine"},
     {RecordKind::kSoftExpire, "soft_expire"},
+    {RecordKind::kCheckpoint, "checkpoint"},
+    {RecordKind::kRehydrate, "rehydrate"},
 }};
 
 }  // namespace

@@ -88,6 +88,12 @@ enum class RecordKind : std::uint8_t {
   kSoftExpire = 16,      // a=stable soft-state set-name hash, b=entry key
                          // (address, or packed address|seq for duplicate
                          // sets), c=entries left in the set after expiry
+  kCheckpoint = 17,      // a=stable unit-name hash, b=CheckpointPhase<<32 |
+                         //   checkpoint epoch, c=blob bytes (kPublish /
+                         //   kStore / kDelta) or peer address (kReject)
+  kRehydrate = 18,       // a=stable unit-name hash (0 = whole node),
+                         // b=RehydratePhase<<32 | checkpoint epoch,
+                         // c=peer/origin address involved
 };
 
 /// Reasons packed into kFrameDrop's c field. Every frame that leaves the air
@@ -112,10 +118,12 @@ enum class ReconfigPhase : std::uint64_t {
 
 /// Reasons packed into kComponentFault's b field (supervision, ISSUE 5).
 enum class ComponentFaultReason : std::uint64_t {
-  kException = 1,  // handler threw out of deliver()
-  kDeadline = 2,   // charged dispatch cost exceeded the watchdog deadline
-  kTimer = 3,      // a scheduled timer callback threw (trapped world-side)
-  kCorrupt = 4,    // injected output-integrity fault (misbehave corrupt)
+  kException = 1,    // handler threw out of deliver()
+  kDeadline = 2,     // charged dispatch cost exceeded the watchdog deadline
+  kTimer = 3,        // a scheduled timer callback threw (trapped world-side)
+  kCorrupt = 4,      // injected output-integrity fault (misbehave corrupt)
+  kAllocBudget = 5,  // dispatch exceeded the per-dispatch allocation budget
+                     // (mk::memtrack window around the guarded deliver)
 };
 
 /// Phases packed into kQuarantine's b field (circuit breaker + recovery
@@ -130,6 +138,34 @@ enum class QuarantinePhase : std::uint64_t {
                   // the ContextView health signal
   kProbation = 6, // unit stayed clean for a full fault window post-recovery;
                   // ladder (restart count/backoff) reset
+};
+
+/// Detail flags OR-ed into the high bits of a kQuarantine kRestart record's c
+/// field (low 32 bits stay the attempt number), distinguishing restart-rung
+/// sub-phases (ISSUE 10 satellite: variant-aware recovery).
+inline constexpr std::uint64_t kRestartVariantFlag = 1ull << 32;
+/// The carried S element was judged suspect (breaker re-tripped within
+/// probation); the unit restarted stateless and peer replicas were consulted.
+inline constexpr std::uint64_t kRestartStatelessFlag = 1ull << 33;
+
+/// Phases packed into the high 32 bits of a kCheckpoint record's b field
+/// (S-element replication, ISSUE 10; low 32 bits carry the RFC-1982 epoch).
+enum class CheckpointPhase : std::uint64_t {
+  kPublish = 1,  // full snapshot staged for piggyback / sent in a beacon
+  kStore = 2,    // peer replica accepted into the local store
+  kDelta = 3,    // hot-standby delta published (c = patch bytes)
+  kDeltaApply = 4,  // hot-standby delta applied onto a stored replica
+  kReject = 5,   // replica refused: RFC-1982-older epoch or delta base miss
+};
+
+/// Phases packed into the high 32 bits of a kRehydrate record's b field.
+enum class RehydratePhase : std::uint64_t {
+  kSolicit = 1,      // restarted node broadcast a replica solicitation
+  kOffer = 2,        // peer answered a solicit with a stored replica
+  kApply = 3,        // offered replica decoded into the live S element
+  kStaleReject = 4,  // offer ignored: older epoch than what is already live,
+                     // or past the staleness bound
+  kColdStart = 5,    // no usable replica arrived; protocol reconverges cold
 };
 
 std::string_view kind_name(RecordKind kind);

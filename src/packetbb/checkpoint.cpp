@@ -1,0 +1,127 @@
+#include "packetbb/checkpoint.hpp"
+
+#include "util/assert.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace mk::pbb {
+
+namespace {
+
+constexpr std::uint8_t kCheckpointVersion = 1;
+constexpr std::uint8_t kFlagDelta = 0x01;
+
+}  // namespace
+
+// value := u8 version | u32 origin | u64 unit_hash | u16 epoch | i64 at_us
+//          | u8 flags | [u16 base_epoch if delta] | u16 blob_len | byte*
+Tlv encode_checkpoint(const Checkpoint& cp) {
+  ByteWriter w;
+  w.reserve(26 + (cp.delta ? 2 : 0) + cp.blob.size());
+  w.put_u8(kCheckpointVersion);
+  w.put_u32(cp.origin);
+  w.put_u64(cp.unit_hash);
+  w.put_u16(cp.epoch);
+  w.put_u64(static_cast<std::uint64_t>(cp.at_us));
+  w.put_u8(cp.delta ? kFlagDelta : 0);
+  if (cp.delta) w.put_u16(cp.base_epoch);
+  MK_ASSERT(cp.blob.size() <= 0xFFFF,
+            "checkpoint blob exceeds the u16 length field");
+  w.put_u16(static_cast<std::uint16_t>(cp.blob.size()));
+  w.put_bytes(cp.blob);
+  return Tlv{kTlvCheckpoint, w.take()};
+}
+
+std::optional<Checkpoint> decode_checkpoint(const Tlv& tlv) {
+  if (tlv.type != kTlvCheckpoint) return std::nullopt;
+  try {
+    ByteReader r(tlv.value);
+    if (r.get_u8() != kCheckpointVersion) return std::nullopt;
+    Checkpoint cp;
+    cp.origin = r.get_u32();
+    cp.unit_hash = r.get_u64();
+    cp.epoch = r.get_u16();
+    cp.at_us = static_cast<std::int64_t>(r.get_u64());
+    std::uint8_t flags = r.get_u8();
+    cp.delta = (flags & kFlagDelta) != 0;
+    if (cp.delta) cp.base_epoch = r.get_u16();
+    std::uint16_t len = r.get_u16();
+    auto view = r.get_view(len);
+    cp.blob.assign(view.begin(), view.end());
+    if (!r.at_end()) return std::nullopt;
+    return cp;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+// value := u8 version | u32 origin | u64 unit_hash
+Tlv encode_solicit(const Solicit& s) {
+  ByteWriter w;
+  w.reserve(13);
+  w.put_u8(kCheckpointVersion);
+  w.put_u32(s.origin);
+  w.put_u64(s.unit_hash);
+  return Tlv{kTlvSolicit, w.take()};
+}
+
+std::optional<Solicit> decode_solicit(const Tlv& tlv) {
+  if (tlv.type != kTlvSolicit) return std::nullopt;
+  try {
+    ByteReader r(tlv.value);
+    if (r.get_u8() != kCheckpointVersion) return std::nullopt;
+    Solicit s;
+    s.origin = r.get_u32();
+    s.unit_hash = r.get_u64();
+    if (!r.at_end()) return std::nullopt;
+    return s;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+// delta := u32 prefix_len | u32 suffix_len | u32 new_total | middle bytes
+std::vector<std::uint8_t> make_delta(std::span<const std::uint8_t> base,
+                                     std::span<const std::uint8_t> next) {
+  std::size_t prefix = 0;
+  const std::size_t max_common = base.size() < next.size() ? base.size()
+                                                           : next.size();
+  while (prefix < max_common && base[prefix] == next[prefix]) ++prefix;
+  std::size_t suffix = 0;
+  while (suffix < max_common - prefix &&
+         base[base.size() - 1 - suffix] == next[next.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  ByteWriter w;
+  const std::size_t middle = next.size() - prefix - suffix;
+  w.reserve(12 + middle);
+  w.put_u32(static_cast<std::uint32_t>(prefix));
+  w.put_u32(static_cast<std::uint32_t>(suffix));
+  w.put_u32(static_cast<std::uint32_t>(next.size()));
+  w.put_bytes(next.subspan(prefix, middle));
+  return w.take();
+}
+
+std::optional<std::vector<std::uint8_t>> apply_delta(
+    std::span<const std::uint8_t> base, std::span<const std::uint8_t> delta) {
+  try {
+    ByteReader r(delta);
+    const std::uint32_t prefix = r.get_u32();
+    const std::uint32_t suffix = r.get_u32();
+    const std::uint32_t total = r.get_u32();
+    if (prefix + suffix > total) return std::nullopt;
+    if (prefix > base.size() || suffix > base.size()) return std::nullopt;
+    const std::size_t middle = total - prefix - suffix;
+    if (r.remaining() != middle) return std::nullopt;
+    std::vector<std::uint8_t> out;
+    out.reserve(total);
+    out.insert(out.end(), base.begin(), base.begin() + prefix);
+    auto view = r.get_view(middle);
+    out.insert(out.end(), view.begin(), view.end());
+    out.insert(out.end(), base.end() - suffix, base.end());
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mk::pbb

@@ -1,0 +1,72 @@
+// Checkpoint/solicit TLV codec for S-element replication (ISSUE 10).
+//
+// A checkpoint is a snapshot of one unit's S element, stamped with an
+// RFC-1982-style epoch, that a node hands to its 1-hop neighbours so a
+// crash/restart can rehydrate from the freshest peer replica instead of
+// cold-starting. The TLVs travel two ways:
+//  * piggybacked as *packet-level* TLVs on outbound broadcast control
+//    traffic (HELLO/TC/RREQ floods) — zero extra frames in steady state;
+//  * inside dedicated REPL messages (message-level TLVs) when a beacon
+//    deadline lapses with nothing to piggyback on, and for the restart-time
+//    solicit/offer exchange (offers are unicast to the restarted node).
+//
+// The value layout reuses the PacketBB byte discipline (big-endian,
+// ByteWriter/ByteReader, decode never throws out of the module).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "packetbb/packetbb.hpp"
+
+namespace mk::pbb {
+
+// TLV types 11/12 — disjoint from the protocol TLVs in protocols/wire.hpp
+// (1..10) so a checkpoint TLV is unambiguous at either level.
+inline constexpr std::uint8_t kTlvCheckpoint = 11;
+inline constexpr std::uint8_t kTlvSolicit = 12;
+
+/// One S-element snapshot (or hot-standby delta against `base_epoch`).
+struct Checkpoint {
+  Addr origin = 0;               ///< node whose state this is
+  std::uint64_t unit_hash = 0;   ///< fnv1a of the unit name ("olsr", ...)
+  std::uint16_t epoch = 0;       ///< RFC 1982 serial; wraps
+  std::int64_t at_us = 0;        ///< sim time the snapshot was taken
+  bool delta = false;            ///< blob is a prefix/suffix delta
+  std::uint16_t base_epoch = 0;  ///< full snapshot the delta applies to
+  std::vector<std::uint8_t> blob;
+
+  bool operator==(const Checkpoint&) const = default;
+};
+
+/// Restart-time request for replicas: "send me what you hold for `origin`"
+/// (unit_hash 0 = every unit you hold for that origin).
+struct Solicit {
+  Addr origin = 0;
+  std::uint64_t unit_hash = 0;
+
+  bool operator==(const Solicit&) const = default;
+};
+
+/// Encodes into a kTlvCheckpoint TLV value.
+Tlv encode_checkpoint(const Checkpoint& cp);
+
+/// Decodes a kTlvCheckpoint TLV value. Fuzz-safe: nullopt on malformed
+/// input (replicas arrive off the wire).
+std::optional<Checkpoint> decode_checkpoint(const Tlv& tlv);
+
+Tlv encode_solicit(const Solicit& s);
+std::optional<Solicit> decode_solicit(const Tlv& tlv);
+
+/// Applies a prefix/suffix byte delta produced by `make_delta` to `base`.
+/// Returns nullopt if the delta is malformed against this base.
+std::optional<std::vector<std::uint8_t>> apply_delta(
+    std::span<const std::uint8_t> base, std::span<const std::uint8_t> delta);
+
+/// Delta of `next` against `base`: shared prefix/suffix lengths plus the
+/// differing middle. Always decodable by apply_delta against `base`.
+std::vector<std::uint8_t> make_delta(std::span<const std::uint8_t> base,
+                                     std::span<const std::uint8_t> next);
+
+}  // namespace mk::pbb

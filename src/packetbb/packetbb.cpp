@@ -252,14 +252,23 @@ void serialize_into(const Packet& packet, std::vector<std::uint8_t>& out) {
 
 void serialize_msgs_into(std::span<const Message* const> msgs,
                          std::vector<std::uint8_t>& out) {
+  serialize_msgs_into(msgs, std::span<const Tlv>{}, out);
+}
+
+void serialize_msgs_into(std::span<const Message* const> msgs,
+                         std::span<const Tlv> pkt_tlvs,
+                         std::vector<std::uint8_t>& out) {
   ByteWriter w(std::move(out));
-  std::size_t total = 4;  // version + flags + ntlvs(0) + nmsgs
+  std::size_t total = 4;  // version + flags + ntlvs + nmsgs
+  for (const Tlv& t : pkt_tlvs) total += tlv_wire_size(t);
   for (const Message* m : msgs) total += 4 + message_body_size(*m);
   w.reserve(total);
 
   w.put_u8(0);  // version (Packet default)
   w.put_u8(0);  // no packet seqnum
-  w.put_u8(0);  // no packet tlvs
+  MK_ASSERT(pkt_tlvs.size() <= 255, "too many packet tlvs");
+  w.put_u8(static_cast<std::uint8_t>(pkt_tlvs.size()));
+  for (const Tlv& t : pkt_tlvs) write_tlv(w, t.type, t.value);
   MK_ASSERT(msgs.size() <= 255, "too many messages");
   w.put_u8(static_cast<std::uint8_t>(msgs.size()));
   for (const Message* m : msgs) emit_message(w, *m);

@@ -129,6 +129,12 @@ void serialize_into(const Packet& packet, std::vector<std::uint8_t>& out);
 void serialize_msgs_into(std::span<const Message* const> msgs,
                          std::vector<std::uint8_t>& out);
 
+/// Like the two-argument overload but emits `pkt_tlvs` as packet-level TLVs
+/// (replication checkpoints piggyback on outbound control packets this way).
+void serialize_msgs_into(std::span<const Message* const> msgs,
+                         std::span<const Tlv> pkt_tlvs,
+                         std::vector<std::uint8_t>& out);
+
 /// Parses an untrusted byte string; returns an error (never throws, never
 /// crashes) on malformed input.
 Result<Packet> parse(std::span<const std::uint8_t> data);

@@ -48,6 +48,11 @@ ContextView Engine::snapshot() const {
     view.deployed_protocols.insert(name);
   }
   view.power_aware = proto::is_power_aware(kit_);
+  if (const core::ReplicationControl* repl = kit_.replication()) {
+    view.replication = repl->strategy();
+    view.replicas_held = repl->replicas_held();
+    view.own_replica_age_us = repl->own_replica_age_us();
+  }
   if (const core::HealthProvider* health = kit_.health_provider()) {
     for (auto& name : health->quarantined_units()) {
       view.quarantined_units.insert(std::move(name));
@@ -171,6 +176,38 @@ Rule make_health_escalation_rule(std::string unit, std::string fallback) {
         }
       },
       /*cooldown=*/sec(60), /*sustain=*/1};
+}
+
+std::vector<Rule> make_replication_adaptive_rules(Duration cooldown) {
+  std::vector<Rule> rules;
+
+  rules.push_back(Rule{
+      "degraded-escalate-hot-standby",
+      [](const ContextView& c) {
+        return c.replication == core::ReplicationStrategy::kCheckpoint &&
+               (!c.quarantined_units.empty() || !c.failed_units.empty());
+      },
+      [](core::Manetkit& kit) {
+        if (core::ReplicationControl* repl = kit.replication()) {
+          repl->set_strategy(core::ReplicationStrategy::kHotStandby);
+        }
+      },
+      cooldown, /*sustain=*/1});
+
+  rules.push_back(Rule{
+      "healthy-relax-to-checkpoint",
+      [](const ContextView& c) {
+        return c.replication == core::ReplicationStrategy::kHotStandby &&
+               c.quarantined_units.empty() && c.failed_units.empty();
+      },
+      [](core::Manetkit& kit) {
+        if (core::ReplicationControl* repl = kit.replication()) {
+          repl->set_strategy(core::ReplicationStrategy::kCheckpoint);
+        }
+      },
+      cooldown, /*sustain=*/3});
+
+  return rules;
 }
 
 }  // namespace mk::policy

@@ -46,6 +46,12 @@ struct ContextView {
   std::set<std::string> failed_units;
   /// True while the power-aware OLSR variant is applied.
   bool power_aware = false;
+  /// Replication signal (ISSUE 10): the active strategy, how many peer
+  /// replicas this node is holding, and the age of the freshest peer-held
+  /// replica of our own state (-1 = none spread yet / no replication CF).
+  core::ReplicationStrategy replication = core::ReplicationStrategy::kNone;
+  std::size_t replicas_held = 0;
+  std::int64_t own_replica_age_us = -1;
   TimePoint now{};
 
   bool deployed(const std::string& name) const {
@@ -65,6 +71,8 @@ struct ContextView {
     auto it = signals.find(key);
     return it == signals.end() ? fallback : it->second;
   }
+  /// At least one peer holds a replica of this node's state.
+  bool replicated() const { return own_replica_age_us >= 0; }
 };
 
 struct Rule {
@@ -131,5 +139,13 @@ std::vector<Rule> default_adaptive_rules(std::size_t reactive_threshold = 6,
 /// `fallback` is not yet deployed, replace `unit` with `fallback` (state is
 /// NOT carried: the failed unit's S element is suspect by definition).
 Rule make_health_escalation_rule(std::string unit, std::string fallback);
+
+/// Replication adaptation (ISSUE 10): runtime strategy switching from the
+/// same context loop that switches protocols. While any unit is degraded the
+/// breaker is telling us a crash is plausible, so checkpointing escalates to
+/// hot-standby deltas; once the node has been clean for a few evaluations it
+/// relaxes back to periodic checkpoints. No-ops when no replication CF is
+/// deployed (kit.replication() == nullptr) or the operator pinned kNone.
+std::vector<Rule> make_replication_adaptive_rules(Duration cooldown = sec(30));
 
 }  // namespace mk::policy

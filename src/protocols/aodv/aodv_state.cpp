@@ -16,6 +16,7 @@ AodvState::AodvState() : oc::Component("aodv.AodvState") {
   set_instance_name("State");
   provide("IAodvState", static_cast<IAodvState*>(this));
   provide("IState", static_cast<core::IState*>(this));
+  provide("IStateCodec", static_cast<core::IStateCodec*>(this));
 }
 
 bool AodvState::update_route(net::Addr dest, std::uint16_t seq, bool seq_valid,
@@ -216,6 +217,101 @@ std::vector<std::pair<net::Addr, std::uint32_t>> AodvState::rreq_seen_entries()
   out.reserve(rreq_seen_.size());
   for (const auto& [key, _] : rreq_seen_) out.push_back(key);
   return out;
+}
+
+// Codec layout (version 1, big-endian):
+//   u8 version | u16 own_seq | u32 rreq_id
+//   u16 n_routes | per route: u32 dest | u32 next_hop | u16 dest_seq
+//                            | u8 seq_valid | u8 hops | u8 valid
+//                            | i64 expires_us | u16 n_precursors | u32*n
+//   u16 n_rreq_seen | per tuple: u32 origin | u32 rreq_id | i64 seen_us
+namespace {
+constexpr std::uint8_t kAodvCodecVersion = 1;
+}
+
+void AodvState::encode_state(std::vector<std::uint8_t>& out) const {
+  namespace cc = core::codec;
+  cc::put_u8(out, kAodvCodecVersion);
+  cc::put_u16(out, own_seq_);
+  cc::put_u32(out, rreq_id_);
+  cc::put_u16(out, static_cast<std::uint16_t>(routes_.size()));
+  for (const auto& [dest, r] : routes_) {
+    cc::put_u32(out, dest);
+    cc::put_u32(out, r.next_hop);
+    cc::put_u16(out, r.dest_seq);
+    cc::put_u8(out, r.seq_valid ? 1 : 0);
+    cc::put_u8(out, r.hops);
+    cc::put_u8(out, r.valid ? 1 : 0);
+    cc::put_i64(out, r.expires.us);
+    cc::put_u16(out, static_cast<std::uint16_t>(r.precursors.size()));
+    for (net::Addr p : r.precursors) cc::put_u32(out, p);
+  }
+  cc::put_u16(out, static_cast<std::uint16_t>(rreq_seen_.size()));
+  for (const auto& [key, seen] : rreq_seen_) {
+    cc::put_u32(out, key.first);
+    cc::put_u32(out, key.second);
+    cc::put_i64(out, seen.us);
+  }
+}
+
+bool AodvState::decode_state(std::span<const std::uint8_t> blob) {
+  namespace cc = core::codec;
+  std::size_t off = 0;
+  std::uint8_t version = 0;
+  if (!cc::get_u8(blob, off, version) || version != kAodvCodecVersion) {
+    return false;
+  }
+  reset_state();
+  if (!cc::get_u16(blob, off, own_seq_) || !cc::get_u32(blob, off, rreq_id_)) {
+    return false;
+  }
+  std::uint16_t n_routes = 0;
+  if (!cc::get_u16(blob, off, n_routes)) return false;
+  for (std::uint16_t i = 0; i < n_routes; ++i) {
+    AodvRoute r;
+    std::uint32_t dest = 0, next_hop = 0;
+    std::uint8_t seq_valid = 0, valid = 0;
+    std::int64_t expires_us = 0;
+    std::uint16_t n_prec = 0;
+    if (!cc::get_u32(blob, off, dest) || !cc::get_u32(blob, off, next_hop) ||
+        !cc::get_u16(blob, off, r.dest_seq) ||
+        !cc::get_u8(blob, off, seq_valid) || !cc::get_u8(blob, off, r.hops) ||
+        !cc::get_u8(blob, off, valid) || !cc::get_i64(blob, off, expires_us) ||
+        !cc::get_u16(blob, off, n_prec)) {
+      return false;
+    }
+    r.dest = dest;
+    r.next_hop = next_hop;
+    r.seq_valid = seq_valid != 0;
+    r.valid = valid != 0;
+    r.expires = TimePoint{expires_us};
+    for (std::uint16_t j = 0; j < n_prec; ++j) {
+      std::uint32_t p = 0;
+      if (!cc::get_u32(blob, off, p)) return false;
+      r.precursors.insert(p);
+    }
+    routes_[dest] = std::move(r);
+  }
+  std::uint16_t n_seen = 0;
+  if (!cc::get_u16(blob, off, n_seen)) return false;
+  for (std::uint16_t i = 0; i < n_seen; ++i) {
+    std::uint32_t origin = 0, rreq_id = 0;
+    std::int64_t seen_us = 0;
+    if (!cc::get_u32(blob, off, origin) || !cc::get_u32(blob, off, rreq_id) ||
+        !cc::get_i64(blob, off, seen_us)) {
+      return false;
+    }
+    rreq_seen_[std::make_pair(net::Addr{origin}, rreq_id)] = TimePoint{seen_us};
+  }
+  return off == blob.size();
+}
+
+void AodvState::reset_state() {
+  routes_.clear();
+  own_seq_ = 1;
+  rreq_id_ = 0;
+  rreq_seen_.clear();
+  pending_.clear();
 }
 
 std::string AodvState::describe() const {

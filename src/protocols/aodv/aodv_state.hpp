@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/ifaces.hpp"
+#include "core/state_codec.hpp"
 #include "net/address.hpp"
 #include "opencom/component.hpp"
 #include "util/time.hpp"
@@ -39,7 +40,10 @@ struct IAodvState : oc::Interface {
   virtual std::size_t route_count() const = 0;
 };
 
-class AodvState : public oc::Component, public core::IState, public IAodvState {
+class AodvState : public oc::Component,
+                  public core::IState,
+                  public core::IStateCodec,
+                  public IAodvState {
  public:
   AodvState();
 
@@ -104,6 +108,14 @@ class AodvState : public oc::Component, public core::IState, public IAodvState {
   std::vector<net::Addr> pending_dests() const;
 
   std::string describe() const override;
+
+  // -- IStateCodec (S-element replication, ISSUE 10) ----------------------------
+  /// Route table (with precursors and seqnum memory), own sequence number,
+  /// RREQ-ID counter and the RREQ duplicate cache. Pending discoveries are
+  /// transient negotiation state and are not carried.
+  void encode_state(std::vector<std::uint8_t>& out) const override;
+  bool decode_state(std::span<const std::uint8_t> blob) override;
+  void reset_state() override;
 
  private:
   struct Pending {

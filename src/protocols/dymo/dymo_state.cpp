@@ -17,6 +17,7 @@ DymoState::DymoState() : oc::Component("dymo.DymoState") {
   set_instance_name("State");
   provide("IDymoState", static_cast<IDymoState*>(this));
   provide("IState", static_cast<core::IState*>(this));
+  provide("IStateCodec", static_cast<core::IStateCodec*>(this));
 }
 
 bool DymoState::update_route(net::Addr dest, std::uint16_t seq,
@@ -181,6 +182,96 @@ std::vector<std::pair<net::Addr, std::uint16_t>> DymoState::duplicate_entries()
   out.reserve(duplicates_.size());
   for (const auto& [key, _] : duplicates_) out.push_back(key);
   return out;
+}
+
+// Codec layout (version 1, big-endian):
+//   u8 version | u16 own_seq
+//   u16 n_routes | per route: u32 dest | u16 seqnum | u8 valid | i64 expires_us
+//                            | u8 n_paths | per path: u32 next_hop | u8 hops
+//   u16 n_duplicates | per tuple: u32 origin | u16 seq | i64 seen_us
+namespace {
+constexpr std::uint8_t kDymoCodecVersion = 1;
+}
+
+void DymoState::encode_state(std::vector<std::uint8_t>& out) const {
+  namespace cc = core::codec;
+  cc::put_u8(out, kDymoCodecVersion);
+  cc::put_u16(out, own_seq_);
+  cc::put_u16(out, static_cast<std::uint16_t>(routes_.size()));
+  for (const auto& [dest, r] : routes_) {
+    cc::put_u32(out, dest);
+    cc::put_u16(out, r.seqnum);
+    cc::put_u8(out, r.valid ? 1 : 0);
+    cc::put_i64(out, r.expires.us);
+    cc::put_u8(out, static_cast<std::uint8_t>(r.paths.size()));
+    for (const DymoPath& p : r.paths) {
+      cc::put_u32(out, p.next_hop);
+      cc::put_u8(out, p.hops);
+    }
+  }
+  cc::put_u16(out, static_cast<std::uint16_t>(duplicates_.size()));
+  for (const auto& [key, seen] : duplicates_) {
+    cc::put_u32(out, key.first);
+    cc::put_u16(out, key.second);
+    cc::put_i64(out, seen.us);
+  }
+}
+
+bool DymoState::decode_state(std::span<const std::uint8_t> blob) {
+  namespace cc = core::codec;
+  std::size_t off = 0;
+  std::uint8_t version = 0;
+  if (!cc::get_u8(blob, off, version) || version != kDymoCodecVersion) {
+    return false;
+  }
+  reset_state();
+  if (!cc::get_u16(blob, off, own_seq_)) return false;
+  std::uint16_t n_routes = 0;
+  if (!cc::get_u16(blob, off, n_routes)) return false;
+  for (std::uint16_t i = 0; i < n_routes; ++i) {
+    DymoRoute r;
+    std::uint32_t dest = 0;
+    std::uint8_t valid = 0, n_paths = 0;
+    std::int64_t expires_us = 0;
+    if (!cc::get_u32(blob, off, dest) || !cc::get_u16(blob, off, r.seqnum) ||
+        !cc::get_u8(blob, off, valid) || !cc::get_i64(blob, off, expires_us) ||
+        !cc::get_u8(blob, off, n_paths)) {
+      return false;
+    }
+    r.dest = dest;
+    r.valid = valid != 0;
+    r.expires = TimePoint{expires_us};
+    for (std::uint8_t j = 0; j < n_paths; ++j) {
+      DymoPath p;
+      std::uint32_t nh = 0;
+      if (!cc::get_u32(blob, off, nh) || !cc::get_u8(blob, off, p.hops)) {
+        return false;
+      }
+      p.next_hop = nh;
+      r.paths.push_back(p);
+    }
+    routes_[dest] = std::move(r);
+  }
+  std::uint16_t n_dups = 0;
+  if (!cc::get_u16(blob, off, n_dups)) return false;
+  for (std::uint16_t i = 0; i < n_dups; ++i) {
+    std::uint32_t origin = 0;
+    std::uint16_t seq = 0;
+    std::int64_t seen_us = 0;
+    if (!cc::get_u32(blob, off, origin) || !cc::get_u16(blob, off, seq) ||
+        !cc::get_i64(blob, off, seen_us)) {
+      return false;
+    }
+    duplicates_[std::make_pair(net::Addr{origin}, seq)] = TimePoint{seen_us};
+  }
+  return off == blob.size();
+}
+
+void DymoState::reset_state() {
+  routes_.clear();
+  own_seq_ = 1;
+  pending_.clear();
+  duplicates_.clear();
 }
 
 std::string DymoState::describe() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/ifaces.hpp"
+#include "core/state_codec.hpp"
 #include "net/address.hpp"
 #include "opencom/component.hpp"
 #include "util/time.hpp"
@@ -42,7 +43,10 @@ struct IDymoState : oc::Interface {
   virtual std::size_t route_count() const = 0;
 };
 
-class DymoState : public oc::Component, public core::IState, public IDymoState {
+class DymoState : public oc::Component,
+                  public core::IState,
+                  public core::IStateCodec,
+                  public IDymoState {
  public:
   DymoState();
 
@@ -108,6 +112,14 @@ class DymoState : public oc::Component, public core::IState, public IDymoState {
   std::vector<std::pair<net::Addr, std::uint16_t>> duplicate_entries() const;
 
   std::string describe() const override;
+
+  // -- IStateCodec (S-element replication, ISSUE 10) ----------------------------
+  /// Route table (with path lists), own sequence number and the RREQ
+  /// duplicate set. Pending discoveries are transient negotiation state —
+  /// their retry timers died with the crashed node — and are not carried.
+  void encode_state(std::vector<std::uint8_t>& out) const override;
+  bool decode_state(std::span<const std::uint8_t> blob) override;
+  void reset_state() override;
 
  protected:
   std::map<net::Addr, DymoRoute> routes_;

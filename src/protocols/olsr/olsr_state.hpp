@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/ifaces.hpp"
+#include "core/state_codec.hpp"
 #include "net/address.hpp"
 #include "opencom/component.hpp"
 #include "util/time.hpp"
@@ -22,7 +23,10 @@ struct IOlsrState : oc::Interface {
   virtual std::size_t topology_size() const = 0;
 };
 
-class OlsrState : public oc::Component, public core::IState, public IOlsrState {
+class OlsrState : public oc::Component,
+                  public core::IState,
+                  public core::IStateCodec,
+                  public IOlsrState {
  public:
   OlsrState();
 
@@ -75,6 +79,14 @@ class OlsrState : public oc::Component, public core::IState, public IOlsrState {
   double own_battery() const { return own_battery_; }
 
   std::string describe() const override;
+
+  // -- IStateCodec (S-element replication, ISSUE 10) ----------------------------
+  /// Topology set, sequence counters and the last advertised selector set.
+  /// Installed kernel routes and the energy map are derived/contextual and
+  /// recomputed after a restore (olsr_recompute_routes / fresh HELLOs).
+  void encode_state(std::vector<std::uint8_t>& out) const override;
+  bool decode_state(std::span<const std::uint8_t> blob) override;
+  void reset_state() override;
 
  private:
   struct TopologyEntry {

@@ -16,6 +16,7 @@ inline constexpr std::uint8_t kMsgDymoRerr = 11;
 inline constexpr std::uint8_t kMsgAodvRreq = 20;
 inline constexpr std::uint8_t kMsgAodvRrep = 21;
 inline constexpr std::uint8_t kMsgAodvRerr = 22;
+inline constexpr std::uint8_t kMsgRepl = 30;      // replication beacon/solicit/offer
 
 // -- message TLV types -----------------------------------------------------------
 inline constexpr std::uint8_t kTlvWillingness = 1;  // u8, 0..7
@@ -32,6 +33,9 @@ inline constexpr std::uint8_t kTlvPiggyback = 9;    // opaque bytes
 /// information in marked HELLOs, so the two sensing CFs can co-exist on one
 /// node without flapping each other's selector sets.
 inline constexpr std::uint8_t kTlvMprAware = 10;    // empty
+// 11 and 12 are reserved for replication (pbb::kTlvCheckpoint/kTlvSolicit,
+// packetbb/checkpoint.hpp) — they appear both packet-level (piggyback) and
+// message-level (REPL beacon/solicit/offer).
 
 // -- address-block TLV types -------------------------------------------------------
 inline constexpr std::uint8_t kAtlvLinkCode = 1;  // u8 LinkCode

@@ -6,6 +6,7 @@
 #include "core/manet_protocol.hpp"
 #include "opencom/guard.hpp"
 #include "util/log.hpp"
+#include "util/memtrack.hpp"
 
 namespace mk::supervision {
 
@@ -32,7 +33,10 @@ Supervisor::Supervisor(core::Manetkit& kit, SupervisorOptions opts)
       restarts_ctr_(&kit.metrics().counter("sup.restart_attempts")),
       recoveries_ctr_(&kit.metrics().counter("sup.recoveries")),
       fallbacks_ctr_(&kit.metrics().counter("sup.fallbacks")),
-      escalations_ctr_(&kit.metrics().counter("sup.escalations")) {
+      escalations_ctr_(&kit.metrics().counter("sup.escalations")),
+      variant_restarts_ctr_(&kit.metrics().counter("sup.variant_restarts")),
+      stateless_restarts_ctr_(&kit.metrics().counter("sup.stateless_restarts")),
+      alloc_faults_ctr_(&kit.metrics().counter("sup.alloc_budget_faults")) {
   kit_.manager().set_dispatch_guard(this);
   kit_.set_health_provider(this);
 }
@@ -60,6 +64,13 @@ void Supervisor::charge(Duration cost) { t_charged_us += cost.count(); }
 void Supervisor::deliver(core::CfsUnit& target, const ev::Event& event) {
   guarded_ctr_->inc();
   t_charged_us = 0;
+
+  // Allocation-budget window: heap churn across the dispatch is a fault
+  // signal like charged time is. Only armed when the counting interposer is
+  // actually the linked allocator (sanitizer builds stand down).
+  const bool alloc_armed = opts_.alloc_budget > 0 && memtrack::interposer_live();
+  const std::uint64_t alloc_before =
+      alloc_armed ? memtrack::snapshot().total_bytes : 0;
 
   Misbehaviour mode = Misbehaviour::kNone;
   std::uint64_t salt = 0;
@@ -117,6 +128,13 @@ void Supervisor::deliver(core::CfsUnit& target, const ev::Event& event) {
     on_fault(target.unit_name(), obs::ComponentFaultReason::kCorrupt);
     return;
   }
+  if (alloc_armed) {
+    std::uint64_t churned = memtrack::snapshot().total_bytes - alloc_before;
+    if (churned > opts_.alloc_budget) {
+      on_fault(target.unit_name(), obs::ComponentFaultReason::kAllocBudget);
+      return;
+    }
+  }
   if (t_charged_us > opts_.deadline.count()) {
     on_fault(target.unit_name(), obs::ComponentFaultReason::kDeadline);
   }
@@ -134,6 +152,9 @@ void Supervisor::on_fault(const std::string& unit,
     faults_ctr_->inc();
     kit_.metrics().counter("sup.faults." + unit).inc();
     if (reason == obs::ComponentFaultReason::kDeadline) deadline_ctr_->inc();
+    if (reason == obs::ComponentFaultReason::kAllocBudget) {
+      alloc_faults_ctr_->inc();
+    }
     journal(obs::RecordKind::kComponentFault, unit,
             static_cast<std::uint64_t>(reason), st.faults);
     if (st.health == UnitHealth::kHealthy) {
@@ -148,8 +169,12 @@ void Supervisor::on_fault(const std::string& unit,
       if (static_cast<int>(st.window_us.size()) >= opts_.fault_threshold) {
         st.health = UnitHealth::kQuarantined;
         if (st.probation_timer != kInvalidTimer) {
+          // Re-trip inside probation: the restart that produced this
+          // incarnation carried the S element, and the unit faulted again
+          // before proving itself — treat that state as suspect.
           kit_.scheduler().cancel(st.probation_timer);
           st.probation_timer = kInvalidTimer;
+          st.retripped = true;
         }
         trip = true;
       }
@@ -196,6 +221,8 @@ void Supervisor::schedule_recovery(const std::string& unit, Duration backoff) {
 
 void Supervisor::attempt_recovery(const std::string& unit) {
   int attempt = 0;
+  bool suspect = false;
+  std::string variant;
   {
     std::scoped_lock lock(mutex_);
     UnitState& st = units_[unit];
@@ -206,6 +233,8 @@ void Supervisor::attempt_recovery(const std::string& unit) {
     } else {
       attempt = ++st.restarts;
     }
+    suspect = st.retripped;
+    variant = st.variant;
   }
   if (attempt < 0 || !kit_.is_deployed(unit)) {
     // Non-protocol units (e.g. the System CF) cannot be re-instantiated
@@ -214,21 +243,41 @@ void Supervisor::attempt_recovery(const std::string& unit) {
     return;
   }
 
+  // Restart-rung sub-phase (ISSUE 10 satellite): a re-trip within probation
+  // means the in-place restart-with-state rung already failed, so this rung
+  // drops the carried S element — and lands on the configured cheaper
+  // variant, if any — then asks peers for replicas instead.
+  std::string target = unit;
+  std::uint64_t flags = 0;
+  if (suspect) {
+    flags |= obs::kRestartStatelessFlag;
+    if (!variant.empty() && variant != unit && kit_.has_builder(variant)) {
+      target = variant;
+      flags |= obs::kRestartVariantFlag;
+    }
+  }
+
   restarts_ctr_->inc();
+  if ((flags & obs::kRestartVariantFlag) != 0) {
+    variant_restarts_ctr_->inc();
+  } else if ((flags & obs::kRestartStatelessFlag) != 0) {
+    stateless_restarts_ctr_->inc();
+  }
   journal(obs::RecordKind::kQuarantine, unit,
           static_cast<std::uint64_t>(obs::QuarantinePhase::kRestart),
-          static_cast<std::uint64_t>(attempt));
+          static_cast<std::uint64_t>(attempt) | flags);
 
-  // Re-instantiate with the S element carried over — the PR 3 state-transfer
-  // machinery, including its own journaled retry and rollback-on-failure.
+  // Re-instantiate — the PR 3 state-transfer machinery, including its own
+  // journaled retry and rollback-on-failure. The S element is carried only
+  // while it is above suspicion.
   core::Manetkit::ReplaceReport report;
   oc::InvokeFault fault;
   bool invoked = oc::guarded_invoke(
       [&] {
         core::Manetkit::ReplaceOptions ropts;
         ropts.max_attempts = 1;
-        ropts.carry_state = true;
-        report = kit_.replace_protocol(unit, unit, ropts);
+        ropts.carry_state = !suspect;
+        report = kit_.replace_protocol(unit, target, ropts);
       },
       fault);
 
@@ -240,6 +289,7 @@ void Supervisor::attempt_recovery(const std::string& unit) {
       UnitState& st = units_[unit];
       st.health = UnitHealth::kHealthy;
       st.window_us.clear();
+      st.retripped = false;
       used = st.backoff;
       st.probation_timer = kit_.scheduler().schedule_after(
           opts_.fault_window,
@@ -249,6 +299,15 @@ void Supervisor::attempt_recovery(const std::string& unit) {
     journal(obs::RecordKind::kQuarantine, unit,
             static_cast<std::uint64_t>(obs::QuarantinePhase::kRecover),
             static_cast<std::uint64_t>(used.count()));
+    if (suspect) {
+      // The fresh incarnation started empty; rebuild its tables from the
+      // freshest peer replica when the replication CF is deployed.
+      if (core::ReplicationControl* rc = kit_.replication()) {
+        if (rc->request_rehydrate(target)) {
+          kit_.metrics().counter("sup.rehydrate_requests").inc();
+        }
+      }
+    }
     return;
   }
 
@@ -325,6 +384,7 @@ void Supervisor::check_probation(const std::string& unit,
     if (st.health == UnitHealth::kHealthy && st.last_fault_us <= recovered_us) {
       st.restarts = 0;
       st.backoff = Duration{0};
+      st.retripped = false;
       reset = true;
     }
   }
@@ -364,6 +424,18 @@ std::vector<std::string> Supervisor::failed_units() const {
     if (st.health == UnitHealth::kFailed) out.push_back(name);
   }
   return out;
+}
+
+void Supervisor::set_recovery_variant(const std::string& unit,
+                                      std::string variant) {
+  std::scoped_lock lock(mutex_);
+  units_[unit].variant = std::move(variant);
+}
+
+std::string Supervisor::recovery_variant(const std::string& unit) const {
+  std::scoped_lock lock(mutex_);
+  auto it = units_.find(unit);
+  return it == units_.end() ? std::string{} : it->second.variant;
 }
 
 void Supervisor::set_misbehaviour(const std::string& unit, Misbehaviour mode) {

@@ -81,6 +81,13 @@ struct SupervisorOptions {
   /// protocol is co-deployed. When false the ladder goes straight from
   /// restarts to escalation.
   bool allow_fallback = true;
+  /// Per-dispatch heap-churn budget in bytes (mk::memtrack window around the
+  /// guarded deliver); exceeding it is a component fault (kAllocBudget), so
+  /// a leaking/thrashing handler climbs the same breaker-and-ladder as one
+  /// that throws. 0 disables. Enforced only when the counting allocation
+  /// interposer is live (memtrack::interposer_live() — false under
+  /// sanitizers, where the budget silently stands down).
+  std::uint64_t alloc_budget = 0;
 };
 
 class Supervisor final : public core::DispatchGuard, public core::HealthProvider {
@@ -114,6 +121,17 @@ class Supervisor final : public core::DispatchGuard, public core::HealthProvider
   /// operator's "forgive" after fixing the root cause out of band.
   void forgive(const std::string& unit);
 
+  // -- variant-aware recovery (ISSUE 10 satellite) -----------------------------
+  /// Names a cheaper co-registered variant to restart `unit` into when the
+  /// breaker re-trips within probation — i.e. when an in-place restart with
+  /// the S element carried already failed to hold. A suspect restart always
+  /// drops the carried state (kRestartStatelessFlag) and consults peer
+  /// replicas via core::ReplicationControl when one is published; with a
+  /// variant configured it additionally lands on `variant` instead of `unit`
+  /// (kRestartVariantFlag, counted as "sup.variant_restarts"). Empty clears.
+  void set_recovery_variant(const std::string& unit, std::string variant);
+  std::string recovery_variant(const std::string& unit) const;
+
   /// Adds `cost` of modelled sim-time to the dispatch currently executing on
   /// this thread; the watchdog compares the accumulated charge against
   /// options().deadline when the dispatch returns. Deterministic by
@@ -132,6 +150,11 @@ class Supervisor final : public core::DispatchGuard, public core::HealthProvider
     TimerId recovery_timer = kInvalidTimer;
     TimerId probation_timer = kInvalidTimer;
     std::uint64_t corrupt_salt = 0;
+    /// Breaker tripped again while probation was still pending: the restored
+    /// S element is suspect, so the next recovery rung restarts stateless
+    /// (into the configured variant, if any).
+    bool retripped = false;
+    std::string variant;  // set_recovery_variant target ("" = none)
   };
 
   void on_fault(const std::string& unit, obs::ComponentFaultReason reason);
@@ -160,6 +183,9 @@ class Supervisor final : public core::DispatchGuard, public core::HealthProvider
   obs::Counter* recoveries_ctr_;
   obs::Counter* fallbacks_ctr_;
   obs::Counter* escalations_ctr_;
+  obs::Counter* variant_restarts_ctr_;
+  obs::Counter* stateless_restarts_ctr_;
+  obs::Counter* alloc_faults_ctr_;
 };
 
 /// Categories that keep a node routing (fallback candidates).

@@ -83,6 +83,10 @@ core::Manetkit& SimWorld::kit(std::size_t i) {
       supervisors_.at(i) =
           std::make_unique<supervision::Supervisor>(*slot, sup_opts_);
     }
+    if (replicate_) {
+      repl::register_replication(*slot, repl_params_);
+      slot->deploy("replication");
+    }
   }
   return *slot;
 }
@@ -159,10 +163,10 @@ fault::FaultInjector& SimWorld::apply_fault_plan(const fault::FaultPlan& plan,
   if (injector_ == nullptr) {
     fault::FaultInjector::NodeControl control;
     control.crash = [this](net::Addr a) {
-      nodes_.at(net::index_for_addr(a))->device().set_up(false);
+      crash_node(net::index_for_addr(a));
     };
     control.restart = [this](net::Addr a) {
-      nodes_.at(net::index_for_addr(a))->device().set_up(true);
+      restart_node(net::index_for_addr(a));
     };
     control.misbehave = [this](net::Addr a, const std::string& component,
                                fault::Misbehave mode) {
@@ -195,6 +199,61 @@ fault::FaultInjector& SimWorld::apply_fault_plan(const fault::FaultPlan& plan,
   }
   injector_->arm(plan);
   return *injector_;
+}
+
+void SimWorld::crash_node(std::size_t i) {
+  core::Manetkit* k = kits_.at(i).get();
+  if (replicate_ && k != nullptr) {
+    // A real crash: the process dies with its S elements. Stop everything
+    // (the replication CF too — a crashed node publishes nothing), wipe the
+    // codec-capable state and the kernel routes, and forget the replicas
+    // this node held for others.
+    for (const std::string& name : k->deployed()) {
+      core::ManetProtocolCf* p = k->protocol(name);
+      if (p != nullptr && p->running()) p->stop();
+    }
+    for (const std::string& name : k->deployed()) {
+      core::ManetProtocolCf* p = k->protocol(name);
+      if (p == nullptr || p->state_component() == nullptr) continue;
+      auto* codec = p->state_component()->interface_as<core::IStateCodec>(
+          "IStateCodec");
+      if (codec != nullptr) codec->reset_state();
+    }
+    nodes_.at(i)->kernel_table().clear();
+    if (core::ManetProtocolCf* rp = k->protocol("replication")) {
+      if (repl::ReplicationManager* mgr = repl::replication_state(*rp)) {
+        mgr->on_crash_wipe();
+      }
+    }
+  }
+  nodes_.at(i)->device().set_up(false);
+}
+
+void SimWorld::restart_node(std::size_t i) {
+  nodes_.at(i)->device().set_up(true);
+  core::Manetkit* k = kits_.at(i).get();
+  if (replicate_ && k != nullptr) {
+    for (const std::string& name : k->deployed()) {
+      core::ManetProtocolCf* p = k->protocol(name);
+      if (p != nullptr && !p->running()) p->start();
+    }
+    // Under strategy none this returns false (the cold-start control arm);
+    // otherwise the node broadcasts a solicit and peers unicast offers back.
+    if (core::ReplicationControl* rc = k->replication()) {
+      rc->request_rehydrate("");
+    }
+  }
+}
+
+void SimWorld::enable_replication(repl::ReplicationParams params) {
+  if (replicate_) return;
+  replicate_ = true;
+  repl_params_ = params;
+  for (auto& k : kits_) {
+    if (k == nullptr) continue;
+    repl::register_replication(*k, repl_params_);
+    k->deploy("replication");
+  }
 }
 
 void SimWorld::enable_supervision(supervision::SupervisorOptions opts) {

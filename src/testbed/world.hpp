@@ -18,6 +18,7 @@
 #include "net/topology.hpp"
 #include "obs/invariants.hpp"
 #include "obs/journal.hpp"
+#include "replication/replication.hpp"
 #include "supervision/supervisor.hpp"
 #include "util/scheduler.hpp"
 
@@ -114,10 +115,28 @@ class SimWorld {
                                          std::uint64_t seed = 1);
   fault::FaultInjector* injector() { return injector_.get(); }
 
-  /// Device-level crash/restart (radio off/on) — the crash model fault plans
-  /// use, exposed for direct scripting in tests.
-  void crash_node(std::size_t i) { nodes_.at(i)->device().set_up(false); }
-  void restart_node(std::size_t i) { nodes_.at(i)->device().set_up(true); }
+  /// Crash/restart, exposed for direct scripting in tests (fault-plan
+  /// crash/restart actions land here too). Without enable_replication this
+  /// is the historical radio-off/on model (protocol state survives in RAM).
+  /// With replication enabled the crash is a *real* one: every deployed
+  /// protocol on the node (including the replication CF) stops, codec-capable
+  /// S elements are wiped, the kernel table is cleared and the device goes
+  /// down; restart brings the device up, starts the protocols and solicits
+  /// peer replicas (a no-op rehydrate under strategy none, so none/checkpoint
+  /// comparisons share one crash model).
+  void crash_node(std::size_t i);
+  void restart_node(std::size_t i);
+
+  // -- replication (ISSUE 10) -----------------------------------------------------
+  /// Deploys the "replication" CF on every MANETKit stack (including kits
+  /// created after this call) and switches fault-plan crash/restart to the
+  /// cold-start crash model above. Idempotent; params fixed by the first call.
+  void enable_replication(repl::ReplicationParams params = {});
+  bool replication_enabled() const { return replicate_; }
+  /// The node's replication control surface (null before enablement).
+  core::ReplicationControl* replication(std::size_t i) {
+    return kits_.at(i) == nullptr ? nullptr : kits_.at(i)->replication();
+  }
 
   // -- supervision ---------------------------------------------------------------
   /// Installs a Supervisor on every MANETKit stack (including kits created
@@ -159,6 +178,8 @@ class SimWorld {
   std::vector<std::unique_ptr<supervision::Supervisor>> supervisors_;
   bool supervise_ = false;
   supervision::SupervisorOptions sup_opts_{};
+  bool replicate_ = false;
+  repl::ReplicationParams repl_params_{};
   std::vector<std::unique_ptr<baseline::RoutingDaemon>> daemons_;
   /// Node pointers in index order (the mobility ctors' node set).
   std::vector<net::SimNode*> node_ptrs() const;

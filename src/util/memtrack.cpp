@@ -42,6 +42,38 @@ Stats snapshot() {
   };
 }
 
+namespace {
+
+constexpr bool compiled_with_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool interposer_live() {
+  if (compiled_with_sanitizer()) return false;
+  // Runtime probe: an allocation the optimizer cannot elide must move the
+  // total_allocs counter, or some other allocator got linked ahead of us.
+  static const bool live = [] {
+    std::uint64_t before = snapshot().total_allocs;
+    auto* volatile p = new std::uint64_t(0xA110C);
+    delete p;
+    return snapshot().total_allocs > before;
+  }();
+  return live;
+}
+
 std::uint64_t Scope::live_bytes_delta() const {
   Stats now = snapshot();
   return now.live_bytes > start_.live_bytes ? now.live_bytes - start_.live_bytes

@@ -23,6 +23,13 @@ struct Stats {
 /// Globally consistent snapshot of the allocation counters.
 Stats snapshot();
 
+/// True when the counting interposer is the allocator actually being linked
+/// (compile-time sanitizer check plus a one-time runtime probe allocation
+/// that must move the counter). Under ASan/TSan/MSan the sanitizer runtime
+/// owns allocation, so this reports false and byte-budget enforcement
+/// (tests, the supervision dispatch guard) is skipped.
+bool interposer_live();
+
 class Scope {
  public:
   Scope() : start_(snapshot()) {}

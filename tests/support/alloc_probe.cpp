@@ -18,36 +18,6 @@ std::uint64_t AllocScope::bytes() const {
   return memtrack::snapshot().total_bytes - start_bytes_;
 }
 
-namespace {
-
-constexpr bool compiled_with_sanitizer() {
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-  return true;
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
-    __has_feature(memory_sanitizer)
-  return true;
-#else
-  return false;
-#endif
-#else
-  return false;
-#endif
-}
-
-}  // namespace
-
-bool AllocProbe::available() {
-  if (compiled_with_sanitizer()) return false;
-  // Runtime probe: an allocation the optimizer cannot elide must move the
-  // total_allocs counter, or the interposer is not the one being linked.
-  static const bool live = [] {
-    std::uint64_t before = memtrack::snapshot().total_allocs;
-    auto* volatile p = new std::uint64_t(0xA110C);
-    delete p;
-    return memtrack::snapshot().total_allocs > before;
-  }();
-  return live;
-}
+bool AllocProbe::available() { return memtrack::interposer_live(); }
 
 }  // namespace mk::test

@@ -162,5 +162,67 @@ TEST(DefaultRules, SparseNetworkReturnsToProactive) {
   EXPECT_FALSE(world.kit(1).is_deployed("dymo"));
 }
 
+// ---------------------------------------- replication rules (ISSUE 10)
+
+TEST(ReplicationRules, SnapshotCarriesReplicationContext) {
+  testbed::SimWorld world(2);
+  world.linear();
+  world.enable_replication();
+  world.deploy_all("olsr");
+
+  Engine engine(world.kit(0));
+  auto view = engine.snapshot();
+  EXPECT_EQ(view.replication, core::ReplicationStrategy::kCheckpoint);
+  EXPECT_EQ(view.replicas_held, 0u);  // nothing spread yet
+  EXPECT_FALSE(view.replicated());
+
+  world.run_for(sec(10));  // checkpoints spread both ways
+  view = engine.snapshot();
+  EXPECT_GT(view.replicas_held, 0u);
+  EXPECT_TRUE(view.replicated());
+  EXPECT_GE(view.own_replica_age_us, 0);
+}
+
+TEST(ReplicationRules, DegradedUnitEscalatesToHotStandbyAndRelaxesBack) {
+  testbed::SimWorld world(1);
+  world.enable_replication();
+  supervision::SupervisorOptions opts;
+  opts.initial_backoff = sec(30);  // keep the quarantine visibly open
+  world.enable_supervision(opts);
+  auto& kit = world.kit(0);
+  kit.deploy("olsr");
+
+  Engine engine(kit);
+  for (Rule& r : make_replication_adaptive_rules(/*cooldown=*/sec(0))) {
+    engine.add_rule(std::move(r));
+  }
+
+  ASSERT_EQ(kit.replication()->strategy(),
+            core::ReplicationStrategy::kCheckpoint);
+
+  // A quarantined unit makes the health signal non-empty: escalate. The MPR
+  // CF provides NHOOD_CHANGE, one of OLSR's required events, so emitting it
+  // there delivers into the misbehaving OLSR unit through the guard.
+  world.supervisor(0)->set_misbehaviour("olsr", supervision::Misbehaviour::kThrow);
+  for (int i = 0; i < 4; ++i) {
+    kit.protocol("mpr")->emit(ev::Event(ev::etype("NHOOD_CHANGE")));
+    world.run_for(msec(100));
+  }
+  ASSERT_EQ(world.supervisor(0)->health("olsr"),
+            supervision::UnitHealth::kQuarantined);
+  engine.evaluate();
+  EXPECT_EQ(kit.replication()->strategy(),
+            core::ReplicationStrategy::kHotStandby);
+
+  // Forgiven and clean for three consecutive evaluations: relax.
+  world.supervisor(0)->set_misbehaviour("olsr", supervision::Misbehaviour::kNone);
+  world.supervisor(0)->forgive("olsr");
+  engine.evaluate();
+  engine.evaluate();
+  engine.evaluate();
+  EXPECT_EQ(kit.replication()->strategy(),
+            core::ReplicationStrategy::kCheckpoint);
+}
+
 }  // namespace
 }  // namespace mk::policy

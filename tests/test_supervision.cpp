@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "fault/plan.hpp"
+#include "support/alloc_probe.hpp"
 #include "util/log.hpp"
 #include "policy/policy_engine.hpp"
 #include "protocols/dymo/dymo_cf.hpp"
@@ -556,6 +557,149 @@ TEST(ChaosConformance, QuarantineUnderPartitionReplaysIdentically) {
   EXPECT_EQ(a, b) << "same-seed supervised chaos rerun diverged";
   EXPECT_EQ(a.violations, 0u);
   EXPECT_GT(a.total, 0u);
+}
+
+// --------------------------- variant-aware recovery (ISSUE 10 satellite)
+
+TEST(Supervision, ProbationRetripRestartsStatelessIntoVariant) {
+  testbed::SimWorld world(1);
+  SupervisorOptions opts;
+  opts.fault_threshold = 1;
+  opts.max_restarts = 3;
+  opts.fault_window = sec(5);  // doubles as the probation length
+  opts.initial_backoff = msec(100);
+  world.enable_supervision(opts);
+  auto& kit = world.kit(0);
+
+  VictimLog log;
+  register_victim(kit, &log);
+  register_producer(kit);
+  kit.register_protocol("victim-lite", 10, [&log](core::Manetkit& k) {
+    return make_simple_cf(k, "victim-lite", {"EVT_V"}, {}, &log);
+  });
+  kit.deploy("victim");
+  kit.deploy("producer");
+  Supervisor& sup = *world.supervisor(0);
+  sup.set_recovery_variant("victim", "victim-lite");
+  EXPECT_EQ(sup.recovery_variant("victim"), "victim-lite");
+
+  // Trip #1: the ordinary rung — in-place restart, S element carried.
+  sup.set_misbehaviour("victim", Misbehaviour::kThrow);
+  emit_v(kit);
+  EXPECT_EQ(sup.health("victim"), UnitHealth::kQuarantined);
+  sup.set_misbehaviour("victim", Misbehaviour::kNone);
+  world.run_for(msec(300));
+  EXPECT_EQ(sup.health("victim"), UnitHealth::kHealthy);
+  EXPECT_TRUE(kit.is_deployed("victim"));
+  EXPECT_EQ(kit.metrics().counter_value("sup.variant_restarts"), 0u);
+
+  // Trip #2 lands inside probation: the carried S element is now suspect,
+  // so the next rung drops it and restarts into the cheaper variant.
+  sup.set_misbehaviour("victim", Misbehaviour::kThrow);
+  emit_v(kit);
+  EXPECT_EQ(sup.health("victim"), UnitHealth::kQuarantined);
+  sup.set_misbehaviour("victim", Misbehaviour::kNone);
+  world.run_for(msec(600));
+
+  EXPECT_EQ(sup.health("victim"), UnitHealth::kHealthy);
+  EXPECT_FALSE(kit.is_deployed("victim"))
+      << "the variant restart must land on victim-lite, not victim";
+  EXPECT_TRUE(kit.is_deployed("victim-lite"));
+  EXPECT_EQ(kit.metrics().counter_value("sup.variant_restarts"), 1u);
+  EXPECT_EQ(kit.metrics().counter_value("sup.stateless_restarts"), 0u)
+      << "a variant restart is counted as such, not as plain stateless";
+  // No replication CF is deployed here, so no rehydrate was requested.
+  EXPECT_EQ(kit.metrics().counter_value("sup.rehydrate_requests"), 0u);
+
+  // The variant processes traffic where the original kept faulting.
+  int before = log.delivered;
+  emit_v(kit);
+  EXPECT_EQ(log.delivered, before + 1);
+}
+
+TEST(Supervision, ProbationRetripWithoutVariantRestartsStateless) {
+  testbed::SimWorld world(1);
+  SupervisorOptions opts;
+  opts.fault_threshold = 1;
+  opts.max_restarts = 3;
+  opts.fault_window = sec(5);
+  opts.initial_backoff = msec(100);
+  world.enable_supervision(opts);
+  auto& kit = world.kit(0);
+
+  VictimLog log;
+  register_victim(kit, &log);
+  register_producer(kit);
+  kit.deploy("victim");
+  kit.deploy("producer");
+  Supervisor& sup = *world.supervisor(0);
+
+  sup.set_misbehaviour("victim", Misbehaviour::kThrow);
+  emit_v(kit);
+  sup.set_misbehaviour("victim", Misbehaviour::kNone);
+  world.run_for(msec(300));
+  ASSERT_EQ(sup.health("victim"), UnitHealth::kHealthy);
+
+  sup.set_misbehaviour("victim", Misbehaviour::kThrow);
+  emit_v(kit);
+  sup.set_misbehaviour("victim", Misbehaviour::kNone);
+  world.run_for(msec(600));
+
+  EXPECT_EQ(sup.health("victim"), UnitHealth::kHealthy);
+  EXPECT_TRUE(kit.is_deployed("victim"));
+  EXPECT_EQ(kit.metrics().counter_value("sup.stateless_restarts"), 1u);
+  EXPECT_EQ(kit.metrics().counter_value("sup.variant_restarts"), 0u);
+}
+
+// ----------------------- per-dispatch allocation budget (ISSUE 10 satellite)
+
+class HogHandler final : public core::EventHandler {
+ public:
+  HogHandler() : core::EventHandler("test.HogHandler", {"EVT_V"}) {
+    set_instance_name("Hog");
+  }
+  void handle(const ev::Event&, core::ProtocolContext&) override {
+    // ~256 KiB of churn inside one dispatch — far past any sane budget.
+    std::vector<std::unique_ptr<std::uint8_t[]>> keep;
+    for (int i = 0; i < 64; ++i) {
+      keep.push_back(std::make_unique<std::uint8_t[]>(4096));
+    }
+  }
+};
+
+TEST(Supervision, AllocBudgetOverrunIsAComponentFault) {
+  if (!mk::test::AllocProbe::available()) {
+    GTEST_SKIP() << "allocation interposer not live (sanitizer build)";
+  }
+  testbed::SimWorld world(1);
+  SupervisorOptions opts;
+  opts.fault_threshold = 2;
+  opts.alloc_budget = 64 * 1024;
+  world.enable_supervision(opts);
+  auto& kit = world.kit(0);
+
+  kit.register_protocol("hog", 10, [](core::Manetkit& k) {
+    auto cf = std::make_unique<core::ManetProtocolCf>(
+        k.kernel(), "hog", k.scheduler(), k.self(), &k.system().sys_state());
+    cf->add_handler(std::make_unique<HogHandler>());
+    cf->declare_events({"EVT_V"}, {});
+    return cf;
+  });
+  register_producer(kit);
+  kit.deploy("hog");
+  kit.deploy("producer");
+  Supervisor& sup = *world.supervisor(0);
+
+  emit_v(kit);
+  EXPECT_EQ(sup.faults("hog"), 1u)
+      << "heap churn past the budget must be charged as a component fault";
+  EXPECT_EQ(kit.metrics().counter_value("sup.alloc_budget_faults"), 1u);
+  EXPECT_EQ(sup.health("hog"), UnitHealth::kHealthy);  // threshold is 2
+
+  // The overrunning unit climbs the same breaker as a throwing one.
+  emit_v(kit);
+  EXPECT_EQ(sup.faults("hog"), 2u);
+  EXPECT_EQ(sup.health("hog"), UnitHealth::kQuarantined);
 }
 
 }  // namespace
